@@ -1,0 +1,49 @@
+//! Ablation from §6.3's "further possible hardware optimizations": cap the
+//! number of Early-Execution/prediction PRF writes per bank per dispatch
+//! group (the paper suggests ~4 writes per group of 8 suffices).
+//!
+//! Measures the simulated IPC impact of caps 1, 2 and ∞ on a high-offload
+//! workload, and Criterion-times the runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eole_bench::Runner;
+use eole_core::config::CoreConfig;
+use eole_workloads::workload_by_name;
+
+fn config_with_cap(cap: Option<usize>) -> CoreConfig {
+    let mut c = CoreConfig::eole_4_64_banked(4);
+    c.eole.ee_writes_per_bank = cap;
+    if let Some(k) = cap {
+        c.name = format!("EOLE_4_64_4banks_eewr{k}");
+    }
+    c
+}
+
+fn bench(c: &mut Criterion) {
+    let runner = Runner::quick();
+    let w = workload_by_name("namd").expect("namd exists");
+    let trace = runner.prepare(&w);
+
+    // Report the ablation result once (visible in bench output).
+    for cap in [Some(1), Some(2), None] {
+        let s = runner.run(&trace, config_with_cap(cap));
+        println!(
+            "ee_writes_per_bank={:?}: IPC {:.3}, dispatch-group cuts {}",
+            cap, s.ipc(), s.ee_write_stalls
+        );
+    }
+
+    let mut g = c.benchmark_group("ablation_ee_writes");
+    g.sample_size(10);
+    for cap in [Some(1), Some(2), None] {
+        let label = match cap {
+            Some(k) => format!("cap{k}"),
+            None => "uncapped".to_string(),
+        };
+        g.bench_function(&label, |b| b.iter(|| runner.run(&trace, config_with_cap(cap))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

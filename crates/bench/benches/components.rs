@@ -1,0 +1,67 @@
+//! Component micro-benchmarks: throughput of the individual structures the
+//! pipeline calls every cycle (TAGE, VTAGE-2DStride, caches, DRAM). Useful
+//! for tracking simulator performance regressions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eole_mem::hierarchy::{HierarchyConfig, MemoryHierarchy};
+use eole_predictors::branch::{DirectionPredictor, Tage};
+use eole_predictors::history::BranchHistory;
+use eole_predictors::value::{ValuePredictor, VtageTwoDeltaStride};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components");
+
+    g.bench_function("tage_predict_update", |b| {
+        let mut tage = Tage::paper(1);
+        let mut hist = BranchHistory::new();
+        for i in 0..1024 {
+            hist.push(i % 7 != 0);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            let pc = 0x40 + (i % 32) * 4;
+            let view = hist.view(1024);
+            let p = tage.predict(pc, view);
+            tage.update(pc, view, p.taken ^ (i % 13 == 0));
+            i += 1;
+        })
+    });
+
+    g.bench_function("vtage_2dstride_predict", |b| {
+        let mut vp = VtageTwoDeltaStride::paper(2);
+        let hist = BranchHistory::from_outcomes(&vec![true; 700]);
+        let mut i = 0u64;
+        b.iter(|| {
+            let pc = (i % 128) * 4;
+            let view = hist.view(700);
+            let _ = vp.predict(pc, view);
+            vp.train(pc, view, i);
+            i += 1;
+        })
+    });
+
+    g.bench_function("l1_hit_path", |b| {
+        let mut mem = MemoryHierarchy::new(&HierarchyConfig::paper());
+        // Warm one line.
+        let t0 = mem.load(0x10, 0x4000, 0);
+        let mut cycle = t0;
+        b.iter(|| {
+            cycle = mem.load(0x10, 0x4000, cycle);
+        })
+    });
+
+    g.bench_function("dram_streaming", |b| {
+        let mut mem = MemoryHierarchy::new(&HierarchyConfig::paper());
+        let mut addr = 0x100_0000u64;
+        let mut cycle = 0u64;
+        b.iter(|| {
+            cycle = mem.load(0x20, addr, cycle);
+            addr += 4096; // new line, new page: misses all the way down
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

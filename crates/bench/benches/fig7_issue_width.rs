@@ -1,0 +1,18 @@
+//! Criterion bench regenerating Fig. 7 — issue-width study
+//! at reduced scale (two representative workloads, short windows); the
+//! full-suite numbers come from the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eole_bench::experiments::ExperimentSet;
+use eole_bench::Runner;
+
+fn bench(c: &mut Criterion) {
+    let set = ExperimentSet::with_workloads(Runner::quick(), &["gzip", "namd"]);
+    let mut g = c.benchmark_group("fig7_issue_width");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| b.iter(|| set.fig7()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for Table 1: configuration construction + validation
+//! (static, so this measures harness overheads rather than simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eole_bench::experiments::ExperimentSet;
+use eole_bench::Runner;
+use eole_core::config::CoreConfig;
+
+fn bench(c: &mut Criterion) {
+    let set = ExperimentSet::with_workloads(Runner::quick(), &["gzip"]);
+    let mut g = c.benchmark_group("table1_config");
+    g.bench_function("render", |b| b.iter(|| set.table1()));
+    g.bench_function("validate_all_presets", |b| {
+        b.iter(|| {
+            for cfg in [
+                CoreConfig::baseline_6_64(),
+                CoreConfig::baseline_vp_6_64(),
+                CoreConfig::eole_4_64(),
+                CoreConfig::eole_4_64_ports(4, 4),
+            ] {
+                cfg.validate().unwrap();
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

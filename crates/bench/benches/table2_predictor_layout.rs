@@ -1,0 +1,31 @@
+//! Criterion bench for Table 2: predictor construction and storage
+//! accounting, plus steady-state predict/train throughput of the paper's
+//! hybrid (the structure whose lookup bandwidth the front end depends on).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eole_bench::experiments::ExperimentSet;
+use eole_bench::Runner;
+use eole_predictors::history::BranchHistory;
+use eole_predictors::value::{ValuePredictor, VtageTwoDeltaStride};
+
+fn bench(c: &mut Criterion) {
+    let set = ExperimentSet::with_workloads(Runner::quick(), &["gzip"]);
+    let mut g = c.benchmark_group("table2_predictor_layout");
+    g.bench_function("render", |b| b.iter(|| set.table2()));
+    g.bench_function("hybrid_predict_train", |b| {
+        let mut vp = VtageTwoDeltaStride::paper(7);
+        let hist = BranchHistory::from_outcomes(&vec![true; 256]);
+        let mut i = 0u64;
+        b.iter(|| {
+            let pc = 0x100 + (i % 64) * 4;
+            let view = hist.view(256);
+            let _ = vp.predict(pc, view);
+            vp.train(pc, view, i * 8);
+            i += 1;
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! CLI for regenerating the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p eole-bench --bin experiments -- all
+//! cargo run --release -p eole-bench --bin experiments -- fig7 fig12 --md results.md
+//! cargo run --release -p eole-bench --bin experiments -- fig6 --warmup 50000 --measure 100000
+//! cargo run --release -p eole-bench --bin experiments -- table3 --quick
+//! ```
+
+use std::io::Write as _;
+
+use eole_bench::experiments::ExperimentSet;
+use eole_bench::Runner;
+
+const USAGE: &str = "usage: experiments [names...|all] [--quick] [--warmup N] [--measure N] [--md FILE]
+experiments: table1 table2 table3 fig2 fig4 offload fig6 fig7 fig8 fig10 fig11 fig12 fig13 vp_ablation ee_writes complexity";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut names: Vec<String> = Vec::new();
+    let mut runner = Runner::default();
+    let mut md_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => runner = Runner::quick(),
+            "--warmup" => {
+                i += 1;
+                runner.warmup = args[i].parse().expect("--warmup takes a number");
+            }
+            "--measure" => {
+                i += 1;
+                runner.measure = args[i].parse().expect("--measure takes a number");
+            }
+            "--md" => {
+                i += 1;
+                md_out = Some(args[i].clone());
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => names.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if names.is_empty() {
+        println!("{USAGE}");
+        return;
+    }
+
+    let set = ExperimentSet::new(runner);
+    let start = std::time::Instant::now();
+    let tables = if names.iter().any(|n| n == "all") {
+        set.all()
+    } else {
+        names
+            .iter()
+            .map(|n| set.by_name(n).unwrap_or_else(|| panic!("unknown experiment {n}\n{USAGE}")))
+            .collect()
+    };
+
+    for t in &tables {
+        println!("{}", t.to_text());
+    }
+    eprintln!(
+        "[{} experiment(s), warmup {} + measure {} µ-ops per run, {:.1}s]",
+        tables.len(),
+        runner.warmup,
+        runner.measure,
+        start.elapsed().as_secs_f64()
+    );
+
+    if let Some(path) = md_out {
+        let mut f = std::fs::File::create(&path).expect("create markdown output");
+        for t in &tables {
+            writeln!(f, "{}", t.to_markdown()).expect("write markdown");
+        }
+        eprintln!("[markdown written to {path}]");
+    }
+}

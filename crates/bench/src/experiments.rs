@@ -1,0 +1,530 @@
+//! One function per table/figure of the paper's evaluation.
+//!
+//! Each returns an [`eole_stats::table::Table`] whose rows follow the
+//! paper's benchmark order; speedup figures append a geometric-mean row.
+//! `EXPERIMENTS.md` records the paper-vs-measured comparison for each.
+
+use eole_core::complexity::PrfPortModel;
+use eole_core::config::{CoreConfig, ValuePredictorKind};
+use eole_predictors::value::{TwoDeltaStride, ValuePredictor, Vtage, VtageTwoDeltaStride};
+use eole_stats::summary::geometric_mean;
+use eole_stats::table::Table;
+use eole_workloads::{all_workloads, Workload};
+
+use crate::{per_workload, Runner};
+
+/// Paper Table 3 baseline IPCs, in suite order (for shape comparison).
+pub const PAPER_IPC: [(&str, f64); 19] = [
+    ("gzip", 0.984),
+    ("wupwise", 1.553),
+    ("applu", 1.591),
+    ("vpr", 1.326),
+    ("art", 1.211),
+    ("crafty", 1.769),
+    ("parser", 0.544),
+    ("vortex", 1.781),
+    ("bzip2", 0.888),
+    ("gcc", 1.055),
+    ("gamess", 1.929),
+    ("mcf", 0.105),
+    ("milc", 0.459),
+    ("namd", 1.860),
+    ("gobmk", 0.766),
+    ("hmmer", 2.477),
+    ("sjeng", 1.321),
+    ("h264", 1.312),
+    ("lbm", 0.748),
+];
+
+/// Driver for the full experiment suite.
+pub struct ExperimentSet {
+    /// Methodology shared by all runs.
+    pub runner: Runner,
+    workloads: Vec<Workload>,
+}
+
+impl ExperimentSet {
+    /// Builds a set over the full Table 3 suite.
+    pub fn new(runner: Runner) -> Self {
+        ExperimentSet { runner, workloads: all_workloads() }
+    }
+
+    /// Restricts the suite (used by Criterion benches and smoke tests).
+    pub fn with_workloads(runner: Runner, names: &[&str]) -> Self {
+        let workloads = all_workloads()
+            .into_iter()
+            .filter(|w| names.contains(&w.name))
+            .collect();
+        ExperimentSet { runner, workloads }
+    }
+
+    /// Per-workload speedup table: `configs` normalized to `baseline`.
+    fn speedup_table(&self, title: &str, baseline: CoreConfig, configs: &[CoreConfig]) -> Table {
+        let mut headers: Vec<&str> = vec!["bench"];
+        let names: Vec<String> = configs.iter().map(|c| c.name.clone()).collect();
+        for n in &names {
+            headers.push(n);
+        }
+        let mut table = Table::new(title, &headers);
+        let runner = self.runner;
+        let rows = per_workload(&self.workloads, |w| {
+            let trace = runner.prepare(w);
+            let base = runner.run(&trace, baseline.clone()).ipc();
+            let speeds: Vec<f64> = configs
+                .iter()
+                .map(|c| runner.run(&trace, c.clone()).ipc() / base)
+                .collect();
+            (w.name.to_string(), speeds)
+        });
+        let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+        for (name, speeds) in rows {
+            let mut cells = vec![name];
+            for (i, s) in speeds.iter().enumerate() {
+                cells.push(format!("{s:.3}"));
+                per_config[i].push(*s);
+            }
+            table.add_row(cells);
+        }
+        let mut gm = vec!["gmean".to_string()];
+        for col in &per_config {
+            gm.push(format!("{:.3}", geometric_mean(col).unwrap_or(0.0)));
+        }
+        table.add_row(gm);
+        table
+    }
+
+    /// Table 1: the simulated configuration (static dump for the record).
+    pub fn table1(&self) -> Table {
+        let c = CoreConfig::baseline_6_64();
+        let mut t = Table::new("Table 1 — simulator configuration", &["parameter", "value"]);
+        let rows: Vec<(&str, String)> = vec![
+            ("fetch/rename/commit width", format!("{}/{}/{} µ-ops", c.fetch_width, c.rename_width, c.commit_width)),
+            ("issue width", format!("{} (4 in EOLE_4_*)", c.issue_width)),
+            ("ROB / IQ / LQ / SQ", format!("{} / {} / {} / {}", c.rob_entries, c.iq_entries, c.lq_entries, c.sq_entries)),
+            ("PRF", format!("{} INT + {} FP", c.int_prf, c.fp_prf)),
+            ("front-end depth", format!("{} cycles (+1 LE/VT with VP)", c.frontend_depth)),
+            ("branch predictor", "TAGE 1+12 comps, 2-way 4K BTB, 32-entry RAS".into()),
+            ("memory dependence", "Store Sets 1K SSIT / 128 SSIDs".into()),
+            ("FUs", format!("{} ALU(1c), {} MulDiv(3c/25c*), {} FP(3c), {} FPMulDiv(5c/10c*), {} Ld/Str", c.fu.int_alu, c.fu.int_muldiv, c.fu.fp_alu, c.fu.fp_muldiv, c.fu.mem_ports)),
+            ("L1I / L1D", "32 KB 4-way; L1D 2 cycles, 64 MSHRs".into()),
+            ("L2", "2 MB 16-way, 12 cycles, stride prefetcher degree 8".into()),
+            ("DRAM", "DDR3-ish: 75/130/185-cycle row hit/closed/conflict".into()),
+            ("value predictor", "VTAGE-2DStride hybrid + 3-bit FPC {1,1/32×4,1/64×2}".into()),
+        ];
+        for (k, v) in rows {
+            t.add_row(vec![k.to_string(), v]);
+        }
+        t
+    }
+
+    /// Table 2: predictor layout summary.
+    pub fn table2(&self) -> Table {
+        let mut t = Table::new(
+            "Table 2 — predictor layout",
+            &["predictor", "#entries", "tag", "size (KB)", "paper (KB)"],
+        );
+        let stride = TwoDeltaStride::paper(1);
+        let vtage = Vtage::paper(1);
+        let hybrid = VtageTwoDeltaStride::paper(1);
+        let kb = |bits: u64| format!("{:.1}", bits as f64 / 8.0 / 1024.0);
+        t.add_row(vec![
+            "2D-Stride".into(),
+            "8192".into(),
+            "full (64)".into(),
+            kb(stride.storage_bits()),
+            "251.9".into(),
+        ]);
+        t.add_row(vec![
+            "VTAGE".into(),
+            "8192 base + 6×1024".into(),
+            "12 + rank".into(),
+            kb(vtage.storage_bits()),
+            "68.7 + 64.1".into(),
+        ]);
+        t.add_row(vec![
+            "hybrid total".into(),
+            "-".into(),
+            "-".into(),
+            kb(hybrid.storage_bits()),
+            "~385".into(),
+        ]);
+        t
+    }
+
+    /// Table 3: per-benchmark baseline IPC (ours vs the paper's, for shape).
+    pub fn table3(&self) -> Table {
+        let runner = self.runner;
+        let mut t = Table::new(
+            "Table 3 — benchmarks and Baseline_6_64 IPC",
+            &["bench", "kind", "IPC (ours)", "IPC (paper)"],
+        );
+        let rows = per_workload(&self.workloads, |w| {
+            let trace = runner.prepare(w);
+            let ipc = runner.run(&trace, CoreConfig::baseline_6_64()).ipc();
+            (w.name.to_string(), w.kind, ipc)
+        });
+        for (name, kind, ipc) in rows {
+            let paper = PAPER_IPC
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| format!("{v:.3}"))
+                .unwrap_or_else(|| "-".into());
+            t.add_row(vec![
+                name,
+                format!("{:?}", kind).to_uppercase(),
+                format!("{ipc:.3}"),
+                paper,
+            ]);
+        }
+        t
+    }
+
+    /// Fig. 2: fraction of committed µ-ops early-executable, 1 vs 2 EE
+    /// stages (measured on the 6-issue EOLE pipeline, as in the paper).
+    pub fn fig2(&self) -> Table {
+        let runner = self.runner;
+        let mut t = Table::new(
+            "Fig. 2 — early-executed fraction of committed µ-ops",
+            &["bench", "1 ALU stage", "2 ALU stages"],
+        );
+        let rows = per_workload(&self.workloads, |w| {
+            let trace = runner.prepare(w);
+            let one = runner.run(&trace, CoreConfig::eole_6_64()).early_exec_fraction();
+            let mut cfg2 = CoreConfig::eole_6_64();
+            cfg2.eole.ee_stages = 2;
+            let two = runner.run(&trace, cfg2).early_exec_fraction();
+            (w.name.to_string(), one, two)
+        });
+        for (name, one, two) in rows {
+            t.add_row(vec![name, format!("{one:.3}"), format!("{two:.3}")]);
+        }
+        t
+    }
+
+    /// Fig. 4: fraction of committed µ-ops late-executable, split into
+    /// high-confidence branches and value-predicted ALU µ-ops.
+    pub fn fig4(&self) -> Table {
+        let runner = self.runner;
+        let mut t = Table::new(
+            "Fig. 4 — late-executed fraction of committed µ-ops",
+            &["bench", "HC branches", "value-predicted ALU", "total"],
+        );
+        let rows = per_workload(&self.workloads, |w| {
+            let trace = runner.prepare(w);
+            let s = runner.run(&trace, CoreConfig::eole_6_64());
+            (w.name.to_string(), s.late_branch_fraction(), s.late_alu_fraction())
+        });
+        for (name, br, alu) in rows {
+            t.add_row(vec![
+                name,
+                format!("{br:.3}"),
+                format!("{alu:.3}"),
+                format!("{:.3}", br + alu),
+            ]);
+        }
+        t
+    }
+
+    /// §3.4: total OoO-engine offload (Fig. 2 + Fig. 4, disjoint sets).
+    pub fn offload(&self) -> Table {
+        let runner = self.runner;
+        let mut t = Table::new(
+            "§3.4 — µ-ops bypassing the OoO engine (paper: 10%–60%)",
+            &["bench", "early", "late ALU", "late branch", "total"],
+        );
+        let rows = per_workload(&self.workloads, |w| {
+            let trace = runner.prepare(w);
+            let s = runner.run(&trace, CoreConfig::eole_6_64());
+            (
+                w.name.to_string(),
+                s.early_exec_fraction(),
+                s.late_alu_fraction(),
+                s.late_branch_fraction(),
+            )
+        });
+        for (name, e, a, b) in rows {
+            t.add_row(vec![
+                name,
+                format!("{e:.3}"),
+                format!("{a:.3}"),
+                format!("{b:.3}"),
+                format!("{:.3}", e + a + b),
+            ]);
+        }
+        t
+    }
+
+    /// Fig. 6: speedup from adding the VTAGE-2DStride predictor.
+    pub fn fig6(&self) -> Table {
+        self.speedup_table(
+            "Fig. 6 — Baseline_VP_6_64 speedup over Baseline_6_64",
+            CoreConfig::baseline_6_64(),
+            &[CoreConfig::baseline_vp_6_64()],
+        )
+    }
+
+    /// Fig. 7: issue-width study, normalized to Baseline_VP_6_64.
+    pub fn fig7(&self) -> Table {
+        self.speedup_table(
+            "Fig. 7 — issue width (normalized to Baseline_VP_6_64)",
+            CoreConfig::baseline_vp_6_64(),
+            &[
+                CoreConfig::baseline_vp_4_64(),
+                CoreConfig::eole_4_64(),
+                CoreConfig::eole_6_64(),
+            ],
+        )
+    }
+
+    /// Fig. 8: IQ-size study, normalized to Baseline_VP_6_64.
+    pub fn fig8(&self) -> Table {
+        self.speedup_table(
+            "Fig. 8 — IQ size (normalized to Baseline_VP_6_64)",
+            CoreConfig::baseline_vp_6_64(),
+            &[
+                CoreConfig::baseline_vp_6_48(),
+                CoreConfig::eole_6_48(),
+                CoreConfig::eole_6_64(),
+            ],
+        )
+    }
+
+    /// Fig. 10: PRF banking, normalized to single-bank EOLE_4_64.
+    pub fn fig10(&self) -> Table {
+        self.speedup_table(
+            "Fig. 10 — PRF banking (normalized to 1-bank EOLE_4_64)",
+            CoreConfig::eole_4_64(),
+            &[
+                CoreConfig::eole_4_64_banked(2),
+                CoreConfig::eole_4_64_banked(4),
+                CoreConfig::eole_4_64_banked(8),
+            ],
+        )
+    }
+
+    /// Fig. 11: LE/VT read ports per bank, normalized to unconstrained
+    /// EOLE_4_64.
+    pub fn fig11(&self) -> Table {
+        self.speedup_table(
+            "Fig. 11 — LE/VT read ports per bank (4-bank PRF, normalized to EOLE_4_64)",
+            CoreConfig::eole_4_64(),
+            &[
+                CoreConfig::eole_4_64_ports(4, 2),
+                CoreConfig::eole_4_64_ports(4, 3),
+                CoreConfig::eole_4_64_ports(4, 4),
+            ],
+        )
+    }
+
+    /// Fig. 12: the headline summary.
+    pub fn fig12(&self) -> Table {
+        self.speedup_table(
+            "Fig. 12 — headline (normalized to Baseline_VP_6_64)",
+            CoreConfig::baseline_vp_6_64(),
+            &[
+                CoreConfig::baseline_6_64(),
+                CoreConfig::eole_4_64(),
+                CoreConfig::eole_4_64_ports(4, 4),
+            ],
+        )
+    }
+
+    /// Fig. 13: modularity — EOLE vs OLE (late only) vs EOE (early only).
+    pub fn fig13(&self) -> Table {
+        self.speedup_table(
+            "Fig. 13 — EOLE vs OLE vs EOE (4 ports, 4 banks; normalized to Baseline_VP_6_64)",
+            CoreConfig::baseline_vp_6_64(),
+            &[
+                CoreConfig::eole_4_64_ports(4, 4),
+                CoreConfig::ole_4_64_ports(4, 4),
+                CoreConfig::eoe_4_64_ports(4, 4),
+            ],
+        )
+    }
+
+    /// Extension of §2's taxonomy: swap the value predictor of
+    /// `Baseline_VP_6_64` and report the speedup over the no-VP baseline —
+    /// computational (stride family) vs context-based (FCM/VTAGE) vs the
+    /// evaluated hybrid.
+    pub fn vp_ablation(&self) -> Table {
+        let kinds = [
+            ("LVP", ValuePredictorKind::LastValue),
+            ("Stride", ValuePredictorKind::Stride),
+            ("2D-Stride", ValuePredictorKind::TwoDeltaStride),
+            ("FCM-4", ValuePredictorKind::Fcm),
+            ("VTAGE", ValuePredictorKind::Vtage),
+            ("hybrid", ValuePredictorKind::VtageTwoDeltaStride),
+        ];
+        let configs: Vec<CoreConfig> = kinds
+            .iter()
+            .map(|(label, kind)| {
+                let mut c = CoreConfig::baseline_vp_6_64();
+                c.name = (*label).to_string();
+                c.vp = Some(eole_core::config::VpConfig { kind: *kind, seed: 0xe01e });
+                c
+            })
+            .collect();
+        self.speedup_table(
+            "VP ablation — predictor kind (speedup over Baseline_6_64)",
+            CoreConfig::baseline_6_64(),
+            &configs,
+        )
+    }
+
+    /// §6.3 "further possible hardware optimizations": cap EE/prediction
+    /// PRF writes per bank per dispatch group (the paper suggests ~4 per
+    /// group of 8 suffices — i.e. 1 per bank with 4 banks).
+    pub fn ablation_ee_writes(&self) -> Table {
+        let mut configs = Vec::new();
+        for cap in [1usize, 2] {
+            let mut c = CoreConfig::eole_4_64_banked(4);
+            c.name = format!("EOLE_4_64_4banks_eewr{cap}");
+            c.eole.ee_writes_per_bank = Some(cap);
+            configs.push(c);
+        }
+        configs.push(CoreConfig::eole_4_64_banked(4));
+        self.speedup_table(
+            "§6.3 ablation — EE/prediction writes per bank per group (normalized to EOLE_4_64)",
+            CoreConfig::eole_4_64(),
+            &configs,
+        )
+    }
+
+    /// §6.2–6.3: register-file ports and relative area.
+    pub fn complexity(&self) -> Table {
+        let base6 = PrfPortModel::new(6, 8, 8, false, false);
+        let vp6 = PrfPortModel::new(6, 8, 8, true, false);
+        let eole4 = PrfPortModel::new(4, 8, 8, true, true);
+        let mut t = Table::new(
+            "§6 — PRF ports and (R+W)(R+2W) area, relative to Baseline_6_64",
+            &["organization", "reads", "writes", "area ratio"],
+        );
+        let base_area = base6.monolithic().relative_area();
+        for (label, pc) in [
+            ("Baseline_6_64 (monolithic)", base6.monolithic()),
+            ("Baseline_VP_6_64 (monolithic)", vp6.monolithic()),
+            ("EOLE_4_64 (monolithic)", eole4.monolithic()),
+            ("EOLE_4_64 per bank (4 banks, 4 LE/VT ports)", eole4.banked(4, 4)),
+            ("EOLE_4_64 per bank (4 banks, 3 LE/VT ports)", eole4.banked(4, 3)),
+        ] {
+            t.add_row(vec![
+                label.to_string(),
+                pc.reads.to_string(),
+                pc.writes.to_string(),
+                format!("{:.2}", pc.relative_area() / base_area),
+            ]);
+        }
+        t
+    }
+
+    /// Everything, in paper order.
+    pub fn all(&self) -> Vec<Table> {
+        vec![
+            self.table1(),
+            self.table2(),
+            self.table3(),
+            self.fig2(),
+            self.fig4(),
+            self.offload(),
+            self.fig6(),
+            self.fig7(),
+            self.fig8(),
+            self.fig10(),
+            self.fig11(),
+            self.fig12(),
+            self.fig13(),
+            self.vp_ablation(),
+            self.ablation_ee_writes(),
+            self.complexity(),
+        ]
+    }
+
+    /// Runs one experiment by name (`table1`, `fig2`, … `complexity`).
+    pub fn by_name(&self, name: &str) -> Option<Table> {
+        Some(match name {
+            "table1" => self.table1(),
+            "table2" => self.table2(),
+            "table3" => self.table3(),
+            "fig2" => self.fig2(),
+            "fig4" => self.fig4(),
+            "offload" => self.offload(),
+            "fig6" => self.fig6(),
+            "fig7" => self.fig7(),
+            "fig8" => self.fig8(),
+            "fig10" => self.fig10(),
+            "fig11" => self.fig11(),
+            "fig12" => self.fig12(),
+            "fig13" => self.fig13(),
+            "vp_ablation" => self.vp_ablation(),
+            "ee_writes" => self.ablation_ee_writes(),
+            "complexity" => self.complexity(),
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_set() -> ExperimentSet {
+        ExperimentSet::with_workloads(Runner::quick(), &["gzip", "namd"])
+    }
+
+    #[test]
+    fn static_tables_have_expected_shape() {
+        let set = quick_set();
+        assert!(set.table1().num_rows() >= 10);
+        assert_eq!(set.table2().num_rows(), 3);
+        assert_eq!(set.complexity().num_rows(), 5);
+    }
+
+    #[test]
+    fn fig7_produces_one_row_per_workload_plus_gmean() {
+        let set = quick_set();
+        let t = set.fig7();
+        assert_eq!(t.num_rows(), 3); // 2 workloads + gmean
+        assert_eq!(t.headers().len(), 4);
+        // Speedups parse as positive numbers.
+        for row in t.rows() {
+            for cell in &row[1..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!(v > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn by_name_covers_every_experiment() {
+        let set = quick_set();
+        for name in ["table1", "table2", "complexity", "vp_ablation", "ee_writes"] {
+            assert!(set.by_name(name).is_some());
+        }
+        assert!(set.by_name("fig99").is_none());
+    }
+
+    #[test]
+    fn hybrid_dominates_its_components_on_average() {
+        // The hybrid should never be meaningfully worse than either of its
+        // halves (it subsumes both).
+        let set = ExperimentSet::with_workloads(Runner::quick(), &["wupwise", "bzip2"]);
+        let t = set.vp_ablation();
+        let gmean = t.rows().last().unwrap();
+        let stride2d: f64 = gmean[3].parse().unwrap();
+        let vtage: f64 = gmean[5].parse().unwrap();
+        let hybrid: f64 = gmean[6].parse().unwrap();
+        assert!(hybrid >= stride2d - 0.02, "hybrid {hybrid} vs 2D-stride {stride2d}");
+        assert!(hybrid >= vtage - 0.02, "hybrid {hybrid} vs VTAGE {vtage}");
+    }
+
+    #[test]
+    fn fig2_two_stage_never_below_one_stage() {
+        let set = quick_set();
+        let t = set.fig2();
+        for row in t.rows() {
+            let one: f64 = row[1].parse().unwrap();
+            let two: f64 = row[2].parse().unwrap();
+            assert!(two + 1e-9 >= one, "{}: {one} vs {two}", row[0]);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! # eole-bench
+//!
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (§5–§6) over the synthetic Table 3 suite.
+//!
+//! * [`Runner`] — warmup/measure methodology (the paper warms 50M and
+//!   measures 100M instructions of a SimPoint slice; we scale both down
+//!   and keep the two-phase structure).
+//! * [`experiments::ExperimentSet`] — one method per paper table/figure,
+//!   each returning an [`eole_stats::table::Table`]; workloads run in
+//!   parallel threads.
+//! * `src/bin/experiments.rs` — the CLI that prints them
+//!   (`cargo run --release -p eole-bench --bin experiments -- all`).
+//! * `benches/` — one Criterion bench per table/figure measuring simulator
+//!   throughput on that experiment's configuration set.
+
+pub mod experiments;
+
+use eole_core::config::CoreConfig;
+use eole_core::pipeline::{PreparedTrace, Simulator};
+use eole_core::stats::SimStats;
+use eole_workloads::Workload;
+
+/// Warmup/measurement methodology for one experiment run.
+#[derive(Clone, Copy, Debug)]
+pub struct Runner {
+    /// µ-ops simulated before counters reset (caches/predictors warm up).
+    pub warmup: u64,
+    /// µ-ops measured after the reset.
+    pub measure: u64,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner { warmup: 100_000, measure: 200_000 }
+    }
+}
+
+impl Runner {
+    /// A fast configuration for smoke tests and Criterion benches.
+    pub fn quick() -> Self {
+        Runner { warmup: 10_000, measure: 25_000 }
+    }
+
+    /// Total trace length needed.
+    pub fn trace_len(&self) -> u64 {
+        self.warmup + self.measure + 16
+    }
+
+    /// Generates the workload's trace once (shareable across configs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel fails to execute — a kernel bug by definition.
+    pub fn prepare(&self, workload: &Workload) -> PreparedTrace {
+        let trace = workload
+            .trace(self.trace_len())
+            .unwrap_or_else(|e| panic!("{} kernel failed: {e}", workload.name));
+        PreparedTrace::new(trace)
+    }
+
+    /// Runs one configuration over a prepared trace: warm up, reset
+    /// counters, measure.
+    ///
+    /// # Panics
+    ///
+    /// Panics on simulator deadlock (an invariant violation, not a
+    /// recoverable condition for an experiment).
+    pub fn run(&self, trace: &PreparedTrace, config: CoreConfig) -> SimStats {
+        let name = config.name.clone();
+        let mut sim = Simulator::new(trace, config)
+            .unwrap_or_else(|e| panic!("config {name}: {e}"));
+        sim.run(self.warmup).unwrap_or_else(|e| panic!("{name} warmup: {e}"));
+        sim.begin_measurement();
+        sim.run(self.measure).unwrap_or_else(|e| panic!("{name} measure: {e}"));
+        sim.stats()
+    }
+}
+
+/// Runs `f` for every workload in parallel and returns the results in
+/// Table 3 order.
+pub fn per_workload<R, F>(workloads: &[Workload], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&Workload) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut results: Vec<Option<R>> = (0..workloads.len()).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mutex = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(workloads.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= workloads.len() {
+                    break;
+                }
+                let r = f(&workloads[i]);
+                results_mutex.lock().expect("no poisoned threads")[i] = Some(r);
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("all workloads computed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eole_workloads::all_workloads;
+
+    #[test]
+    fn runner_measures_after_warmup() {
+        let runner = Runner { warmup: 5_000, measure: 8_000 };
+        let w = eole_workloads::workload_by_name("gzip").unwrap();
+        let trace = runner.prepare(&w);
+        let stats = runner.run(&trace, CoreConfig::baseline_vp_6_64());
+        assert!(stats.committed >= 8_000);
+        assert!(stats.committed < 10_000, "window ends near the target");
+        assert!(stats.ipc() > 0.1);
+    }
+
+    #[test]
+    fn per_workload_preserves_order() {
+        let ws: Vec<_> = all_workloads().into_iter().take(6).collect();
+        let names = per_workload(&ws, |w| w.name.to_string());
+        let expected: Vec<_> = ws.iter().map(|w| w.name.to_string()).collect();
+        assert_eq!(names, expected);
+    }
+}

@@ -1,0 +1,162 @@
+//! Register-file port/area arithmetic from §6 of the paper.
+//!
+//! The paper argues EOLE's case quantitatively with a simple model: the
+//! area of a register file is roughly proportional to `(R + W) · (R + 2W)`
+//! (Zyuban & Kogge, \[41\]). This module reproduces §6.2–6.3’s port counts
+//! and area ratios so the claims can be asserted in tests and reprinted by
+//! the experiment harness:
+//!
+//! * Baseline 6-issue (no VP): 12R/6W.
+//! * `Baseline_VP_6_64`: +8 prediction writes, +8 validation/training reads
+//!   → 20R/14W.
+//! * `EOLE_4_64` unbanked: 8R (OoO) + 16R (LE/VT) = 24R, 4W (OoO) + 8W (EE)
+//!   = 12W → ≈4× the baseline PRF area.
+//! * `EOLE_4_64` with 4 banks and 4 LE/VT ports/bank: 12R/6W per bank —
+//!   exactly the 6-issue baseline's ports (§6.3's punchline).
+
+/// Read/write port requirement of one register file (or one bank).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PortCount {
+    /// Read ports.
+    pub reads: usize,
+    /// Write ports.
+    pub writes: usize,
+}
+
+impl PortCount {
+    /// Relative area per register under the `(R+W)(R+2W)` model.
+    pub fn relative_area(&self) -> f64 {
+        let r = self.reads as f64;
+        let w = self.writes as f64;
+        (r + w) * (r + 2.0 * w)
+    }
+}
+
+/// Port requirements of a full core configuration (§6.2's accounting).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrfPortModel {
+    /// Reads for OoO issue (2 per issue slot).
+    pub ooo_reads: usize,
+    /// Writes for OoO writeback (1 per issue slot).
+    pub ooo_writes: usize,
+    /// Writes for predictions and Early Execution results (rename width,
+    /// 0 without VP).
+    pub ee_pred_writes: usize,
+    /// Reads for Late Execution, validation and training (2 per commit
+    /// slot with LE; 1 per slot with validation only; 0 without VP).
+    pub levt_reads: usize,
+}
+
+impl PrfPortModel {
+    /// §6.2 port accounting for a configuration shape.
+    ///
+    /// `issue_width`/`rename_width`/`commit_width` describe the engine;
+    /// `vp` enables prediction writes + validation reads; `late` doubles
+    /// the LE/VT reads (operand fetch for late-executed µ-ops).
+    pub fn new(
+        issue_width: usize,
+        rename_width: usize,
+        commit_width: usize,
+        vp: bool,
+        late: bool,
+    ) -> Self {
+        PrfPortModel {
+            ooo_reads: 2 * issue_width,
+            ooo_writes: issue_width,
+            ee_pred_writes: if vp { rename_width } else { 0 },
+            levt_reads: if !vp {
+                0
+            } else if late {
+                2 * commit_width
+            } else {
+                commit_width
+            },
+        }
+    }
+
+    /// Total ports on a monolithic (1-bank) file.
+    pub fn monolithic(&self) -> PortCount {
+        PortCount {
+            reads: self.ooo_reads + self.levt_reads,
+            writes: self.ooo_writes + self.ee_pred_writes,
+        }
+    }
+
+    /// Ports per bank when the file is `banks`-way banked with
+    /// `levt_ports_per_bank` reads reserved for LE/VT (§6.3): the OoO
+    /// engine's ports must still be fully provisioned on every bank
+    /// (any µ-op may read any bank), while EE/prediction writes split
+    /// round-robin and LE/VT reads are explicitly capped.
+    pub fn banked(&self, banks: usize, levt_ports_per_bank: usize) -> PortCount {
+        let ee_per_bank = self.ee_pred_writes.div_ceil(banks);
+        PortCount {
+            reads: self.ooo_reads + levt_ports_per_bank.min(self.levt_reads),
+            writes: self.ooo_writes + ee_per_bank,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline_6() -> PortCount {
+        PrfPortModel::new(6, 8, 8, false, false).monolithic()
+    }
+
+    #[test]
+    fn baseline_6_issue_ports() {
+        assert_eq!(baseline_6(), PortCount { reads: 12, writes: 6 });
+    }
+
+    #[test]
+    fn baseline_vp_6_64_ports_match_section_6_2() {
+        // "Baseline_VP_6_64 would necessitate 14 write ports (8 predictions
+        // + 6 OoO) and 20 read ports (8 validation/training + 12 OoO)."
+        let m = PrfPortModel::new(6, 8, 8, true, false).monolithic();
+        assert_eq!(m, PortCount { reads: 20, writes: 14 });
+    }
+
+    #[test]
+    fn eole_4_64_unbanked_ports_match_section_6_2() {
+        // "a total of 12 write ports (8 EE + 4 OoO) and 24 read ports
+        // (8 OoO + 16 late execution/validation/training)".
+        let m = PrfPortModel::new(4, 8, 8, true, true).monolithic();
+        assert_eq!(m, PortCount { reads: 24, writes: 12 });
+    }
+
+    #[test]
+    fn eole_prf_area_is_about_4x_baseline() {
+        // "the area cost of the EOLE PRF would be 4 times the initial area
+        // cost of the 6-issue baseline PRF."
+        let eole = PrfPortModel::new(4, 8, 8, true, true).monolithic().relative_area();
+        let base = baseline_6().relative_area();
+        let ratio = eole / base;
+        assert!((3.8..4.2).contains(&ratio), "area ratio = {ratio:.2}");
+    }
+
+    #[test]
+    fn banked_eole_matches_baseline_ports() {
+        // §6.3: with 4 banks and 4 LE/VT read ports per bank, each bank has
+        // 12 read ports (8 OoO + 4 LE/VT) and 6 write ports (4 OoO + 2 EE)
+        // — "just as the baseline 6-issue configuration without VP".
+        let m = PrfPortModel::new(4, 8, 8, true, true).banked(4, 4);
+        assert_eq!(m, PortCount { reads: 12, writes: 6 });
+        assert_eq!(m, baseline_6());
+        assert!((m.relative_area() - baseline_6().relative_area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_port_variant_is_even_smaller() {
+        // §6.3 also evaluates 3 LE/VT ports per bank (speedup ≥ 0.97).
+        let m = PrfPortModel::new(4, 8, 8, true, true).banked(4, 3);
+        assert_eq!(m, PortCount { reads: 11, writes: 6 });
+    }
+
+    #[test]
+    fn area_model_is_monotonic_in_ports() {
+        let small = PortCount { reads: 8, writes: 4 };
+        let big = PortCount { reads: 16, writes: 8 };
+        assert!(big.relative_area() > small.relative_area());
+    }
+}

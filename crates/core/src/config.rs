@@ -1,0 +1,372 @@
+//! Core configuration and the named presets of the paper's evaluation.
+//!
+//! Preset naming follows the paper: `Baseline_6_64` is a 6-issue, 64-entry-IQ
+//! superscalar without value prediction; `Baseline_VP_6_64` adds the
+//! VTAGE-2DStride predictor with validation at commit; `EOLE_x_y` adds Early
+//! and Late Execution; `OLE`/`EOE` drop Early/Late Execution respectively
+//! (§6.5).
+
+use eole_mem::hierarchy::HierarchyConfig;
+
+/// Functional-unit pool sizes (Table 1: "6ALU(1c), 4MulDiv(3c/25c*),
+/// 6FP(3c), 4FPMulDiv(5c/10c*), 4Ld/Str; * = not pipelined").
+#[derive(Clone, Debug)]
+pub struct FuConfig {
+    /// Single-cycle integer ALUs.
+    pub int_alu: usize,
+    /// Integer multiply/divide units (divide is unpipelined).
+    pub int_muldiv: usize,
+    /// 3-cycle FP units.
+    pub fp_alu: usize,
+    /// FP multiply/divide units (divide is unpipelined).
+    pub fp_muldiv: usize,
+    /// Load/store ports.
+    pub mem_ports: usize,
+}
+
+impl FuConfig {
+    /// Table 1's pool for the 6-issue baseline.
+    pub fn paper() -> Self {
+        FuConfig { int_alu: 6, int_muldiv: 4, fp_alu: 6, fp_muldiv: 4, mem_ports: 4 }
+    }
+}
+
+/// Operation latencies in cycles (Table 1).
+pub mod latency {
+    /// Single-cycle integer ALU.
+    pub const INT_ALU: u64 = 1;
+    /// Pipelined integer multiply.
+    pub const INT_MUL: u64 = 3;
+    /// Unpipelined integer divide.
+    pub const INT_DIV: u64 = 25;
+    /// FP add/sub/convert/compare.
+    pub const FP_ALU: u64 = 3;
+    /// FP multiply.
+    pub const FP_MUL: u64 = 5;
+    /// Unpipelined FP divide.
+    pub const FP_DIV: u64 = 10;
+    /// Store-to-load forwarding from the SQ.
+    pub const SQ_FORWARD: u64 = 2;
+}
+
+/// Which value predictor drives the VP pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ValuePredictorKind {
+    /// The paper's hybrid (Table 2).
+    VtageTwoDeltaStride,
+    /// VTAGE alone.
+    Vtage,
+    /// 2-delta stride alone.
+    TwoDeltaStride,
+    /// Simple stride.
+    Stride,
+    /// Last-value.
+    LastValue,
+    /// Order-4 FCM.
+    Fcm,
+}
+
+/// Value-prediction configuration.
+#[derive(Clone, Debug)]
+pub struct VpConfig {
+    /// Predictor choice.
+    pub kind: ValuePredictorKind,
+    /// Seed for the probabilistic confidence counters.
+    pub seed: u64,
+}
+
+impl VpConfig {
+    /// The paper's VTAGE-2DStride hybrid.
+    pub fn paper() -> Self {
+        VpConfig { kind: ValuePredictorKind::VtageTwoDeltaStride, seed: 0xe01e }
+    }
+}
+
+/// EOLE feature toggles and port budgets.
+#[derive(Clone, Debug)]
+pub struct EoleConfig {
+    /// Early Execution beside Rename (§3.2).
+    pub early: bool,
+    /// Late Execution in the pre-commit LE/VT stage (§3.3).
+    pub late: bool,
+    /// Depth of the Early Execution block (Fig. 2 compares 1 vs 2).
+    pub ee_stages: usize,
+    /// PRF read ports per bank reserved for Late Execution / Validation /
+    /// Training; `None` models unlimited ports (Fig. 11 sweeps 2/3/4).
+    pub levt_read_ports_per_bank: Option<usize>,
+    /// Cap on EE/prediction PRF writes per bank per dispatch group
+    /// (§6.3 "further possible hardware optimizations"); `None` = no cap.
+    pub ee_writes_per_bank: Option<usize>,
+}
+
+impl EoleConfig {
+    /// EOLE disabled (plain baseline / baseline+VP).
+    pub fn off() -> Self {
+        EoleConfig {
+            early: false,
+            late: false,
+            ee_stages: 1,
+            levt_read_ports_per_bank: None,
+            ee_writes_per_bank: None,
+        }
+    }
+
+    /// Full EOLE with unconstrained ports.
+    pub fn full() -> Self {
+        EoleConfig { early: true, late: true, ..Self::off() }
+    }
+}
+
+/// Complete core configuration.
+#[derive(Clone, Debug)]
+pub struct CoreConfig {
+    /// Display name (used in result tables).
+    pub name: String,
+    /// µ-ops fetched per cycle (Table 1: 8-wide fetch).
+    pub fetch_width: usize,
+    /// µ-ops renamed/dispatched per cycle (8-wide).
+    pub rename_width: usize,
+    /// µ-ops retired per cycle (8-wide).
+    pub commit_width: usize,
+    /// Out-of-order issue width (the paper's 6 vs 4 experiments).
+    pub issue_width: usize,
+    /// Unified IQ capacity (64 vs 48).
+    pub iq_entries: usize,
+    /// Reorder buffer capacity (192).
+    pub rob_entries: usize,
+    /// Load-queue capacity (48).
+    pub lq_entries: usize,
+    /// Store-queue capacity (48).
+    pub sq_entries: usize,
+    /// Integer physical registers (256).
+    pub int_prf: usize,
+    /// FP physical registers (256).
+    pub fp_prf: usize,
+    /// PRF banks (Fig. 10 sweeps 1/2/4/8).
+    pub prf_banks: usize,
+    /// Fetch-to-rename depth in cycles (deep 15-cycle front end).
+    pub frontend_depth: u64,
+    /// Decode-redirect bubble on a taken control µ-op that misses the BTB.
+    pub btb_miss_bubble: u64,
+    /// Taken branches fetchable per cycle (Table 1: 2).
+    pub max_taken_per_cycle: usize,
+    /// Functional units.
+    pub fu: FuConfig,
+    /// Memory hierarchy.
+    pub mem: HierarchyConfig,
+    /// Value prediction; `None` disables VP (plain baseline).
+    pub vp: Option<VpConfig>,
+    /// EOLE toggles.
+    pub eole: EoleConfig,
+    /// Seed for TAGE's allocation randomization.
+    pub branch_seed: u64,
+}
+
+impl CoreConfig {
+    fn base(name: &str, issue_width: usize, iq_entries: usize) -> Self {
+        CoreConfig {
+            name: name.to_string(),
+            fetch_width: 8,
+            rename_width: 8,
+            commit_width: 8,
+            issue_width,
+            iq_entries,
+            rob_entries: 192,
+            lq_entries: 48,
+            sq_entries: 48,
+            int_prf: 256,
+            fp_prf: 256,
+            prf_banks: 1,
+            frontend_depth: 15,
+            btb_miss_bubble: 3,
+            max_taken_per_cycle: 2,
+            fu: FuConfig::paper(),
+            mem: HierarchyConfig::paper(),
+            vp: None,
+            eole: EoleConfig::off(),
+            branch_seed: 0x7a6e,
+        }
+    }
+
+    /// `Baseline_6_64`: 6-issue, 64-entry IQ, no VP (Table 1).
+    pub fn baseline_6_64() -> Self {
+        Self::base("Baseline_6_64", 6, 64)
+    }
+
+    /// `Baseline_VP_6_64`: the reference configuration of §5.
+    pub fn baseline_vp_6_64() -> Self {
+        let mut c = Self::base("Baseline_VP_6_64", 6, 64);
+        c.vp = Some(VpConfig::paper());
+        c
+    }
+
+    /// `Baseline_VP_4_64` (Fig. 7).
+    pub fn baseline_vp_4_64() -> Self {
+        let mut c = Self::base("Baseline_VP_4_64", 4, 64);
+        c.vp = Some(VpConfig::paper());
+        c
+    }
+
+    /// `Baseline_VP_6_48` (Fig. 8).
+    pub fn baseline_vp_6_48() -> Self {
+        let mut c = Self::base("Baseline_VP_6_48", 6, 48);
+        c.vp = Some(VpConfig::paper());
+        c
+    }
+
+    /// `EOLE_6_64` (Fig. 7).
+    pub fn eole_6_64() -> Self {
+        let mut c = Self::base("EOLE_6_64", 6, 64);
+        c.vp = Some(VpConfig::paper());
+        c.eole = EoleConfig::full();
+        c
+    }
+
+    /// `EOLE_4_64` — the headline configuration.
+    pub fn eole_4_64() -> Self {
+        let mut c = Self::base("EOLE_4_64", 4, 64);
+        c.vp = Some(VpConfig::paper());
+        c.eole = EoleConfig::full();
+        c
+    }
+
+    /// `EOLE_6_48` (Fig. 8).
+    pub fn eole_6_48() -> Self {
+        let mut c = Self::base("EOLE_6_48", 6, 48);
+        c.vp = Some(VpConfig::paper());
+        c.eole = EoleConfig::full();
+        c
+    }
+
+    /// `EOLE_4_64` with a banked PRF (Fig. 10).
+    pub fn eole_4_64_banked(banks: usize) -> Self {
+        let mut c = Self::eole_4_64();
+        c.name = format!("EOLE_4_64_{banks}banks");
+        c.prf_banks = banks;
+        c
+    }
+
+    /// `EOLE_4_64` with a 4-banked PRF and `ports` LE/VT read ports per bank
+    /// (Fig. 11; the paper's `EOLE_4_64_4ports_4banks` is `ports = 4`).
+    pub fn eole_4_64_ports(banks: usize, ports: usize) -> Self {
+        let mut c = Self::eole_4_64();
+        c.name = format!("EOLE_4_64_{ports}ports_{banks}banks");
+        c.prf_banks = banks;
+        c.eole.levt_read_ports_per_bank = Some(ports);
+        c
+    }
+
+    /// `OLE_4_64`: Late Execution only (§6.5, Fig. 13).
+    pub fn ole_4_64_ports(banks: usize, ports: usize) -> Self {
+        let mut c = Self::eole_4_64_ports(banks, ports);
+        c.name = format!("OLE_4_64_{ports}ports_{banks}banks");
+        c.eole.early = false;
+        c
+    }
+
+    /// `EOE_4_64`: Early Execution only (§6.5, Fig. 13).
+    pub fn eoe_4_64_ports(banks: usize, ports: usize) -> Self {
+        let mut c = Self::eole_4_64_ports(banks, ports);
+        c.name = format!("EOE_4_64_{ports}ports_{banks}banks");
+        c.eole.late = false;
+        c
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fetch_width == 0 || self.rename_width == 0 || self.commit_width == 0 {
+            return Err("widths must be non-zero".into());
+        }
+        if self.issue_width == 0 || self.iq_entries == 0 || self.rob_entries == 0 {
+            return Err("window sizes must be non-zero".into());
+        }
+        if !self.prf_banks.is_power_of_two() {
+            return Err(format!("prf_banks {} must be a power of two", self.prf_banks));
+        }
+        if self.int_prf % self.prf_banks != 0 || self.fp_prf % self.prf_banks != 0 {
+            return Err("PRF size must divide evenly across banks".into());
+        }
+        if (self.eole.early || self.eole.late) && self.vp.is_none() {
+            return Err("EOLE requires value prediction (validation at commit)".into());
+        }
+        if !(1..=2).contains(&self.eole.ee_stages) {
+            return Err("ee_stages must be 1 or 2".into());
+        }
+        if self.int_prf < 64 || self.fp_prf < 64 {
+            return Err("PRF must at least cover the architectural registers".into());
+        }
+        Ok(())
+    }
+
+    /// The extra pre-commit pipeline depth: 1 LE/VT stage when VP is on
+    /// (§4.1: "an additional pipeline cycle"), 0 otherwise.
+    pub fn levt_depth(&self) -> u64 {
+        if self.vp.is_some() {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for c in [
+            CoreConfig::baseline_6_64(),
+            CoreConfig::baseline_vp_6_64(),
+            CoreConfig::baseline_vp_4_64(),
+            CoreConfig::baseline_vp_6_48(),
+            CoreConfig::eole_6_64(),
+            CoreConfig::eole_4_64(),
+            CoreConfig::eole_6_48(),
+            CoreConfig::eole_4_64_banked(4),
+            CoreConfig::eole_4_64_ports(4, 4),
+            CoreConfig::ole_4_64_ports(4, 4),
+            CoreConfig::eoe_4_64_ports(4, 4),
+        ] {
+            c.validate().unwrap_or_else(|e| panic!("{} invalid: {e}", c.name));
+        }
+    }
+
+    #[test]
+    fn eole_without_vp_is_rejected() {
+        let mut c = CoreConfig::baseline_6_64();
+        c.eole = EoleConfig::full();
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn banking_must_divide_prf() {
+        let mut c = CoreConfig::eole_4_64();
+        c.prf_banks = 3;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn preset_names_match_the_paper() {
+        assert_eq!(CoreConfig::eole_4_64_ports(4, 4).name, "EOLE_4_64_4ports_4banks");
+        assert_eq!(CoreConfig::ole_4_64_ports(4, 4).name, "OLE_4_64_4ports_4banks");
+    }
+
+    #[test]
+    fn levt_depth_follows_vp() {
+        assert_eq!(CoreConfig::baseline_6_64().levt_depth(), 0);
+        assert_eq!(CoreConfig::baseline_vp_6_64().levt_depth(), 1);
+        assert_eq!(CoreConfig::eole_4_64().levt_depth(), 1);
+    }
+
+    #[test]
+    fn issue_width_presets() {
+        assert_eq!(CoreConfig::eole_4_64().issue_width, 4);
+        assert_eq!(CoreConfig::eole_6_48().iq_entries, 48);
+        assert_eq!(CoreConfig::baseline_vp_6_64().iq_entries, 64);
+    }
+}

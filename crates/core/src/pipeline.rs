@@ -1,0 +1,1591 @@
+//! The EOLE pipeline model: a trace-driven, cycle-level superscalar with
+//! value prediction, Early Execution beside Rename, and a Late Execution /
+//! Validation / Training (LE/VT) stage before Commit.
+//!
+//! Stage order per simulated cycle (reverse pipeline order, standard for
+//! cycle-by-cycle models): **commit+LE/VT → issue/execute → rename/dispatch
+//! (incl. Early Execution) → fetch (incl. branch & value prediction)**.
+//!
+//! See `DESIGN.md` §3 for the modelling decisions (trace-driven fetch that
+//! stalls on mispredicted branches instead of running wrong paths; oracle
+//! branch history; squash = cursor rewind + ROB walk).
+
+use std::collections::VecDeque;
+
+use eole_isa::{InstClass, Program, RegClass, Trace};
+use eole_mem::hierarchy::MemoryHierarchy;
+use eole_predictors::branch::{
+    Btb, BranchConfidence, DirectionPredictor, ReturnStack, Tage,
+};
+use eole_predictors::history::BranchHistory;
+use eole_predictors::storesets::StoreSets;
+use eole_predictors::value::{
+    Fcm, LastValue, StridePredictor, TwoDeltaStride, ValuePredictor, Vtage,
+    VtageTwoDeltaStride,
+};
+
+use crate::config::{latency, CoreConfig, ValuePredictorKind};
+use crate::prf::{PhysReg, Prf, NOT_READY};
+use crate::stats::SimStats;
+
+/// A dynamic trace plus the precomputed branch-history log, shareable
+/// across many simulator instances (one per configuration).
+#[derive(Clone, Debug)]
+pub struct PreparedTrace {
+    insts: Vec<eole_isa::DynInst>,
+    history: BranchHistory,
+}
+
+impl PreparedTrace {
+    /// Prepares a raw trace for timing simulation.
+    pub fn new(trace: Trace) -> Self {
+        let history = BranchHistory::from_outcomes(&trace.branch_outcomes);
+        PreparedTrace { insts: trace.insts, history }
+    }
+
+    /// Number of µ-ops.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if the trace holds no µ-ops.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The µ-ops.
+    pub fn insts(&self) -> &[eole_isa::DynInst] {
+        &self.insts
+    }
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The pipeline stopped retiring (internal invariant broken).
+    Deadlock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Instructions committed up to that point.
+        committed: u64,
+    },
+    /// Configuration rejected by [`CoreConfig::validate`].
+    BadConfig(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { cycle, committed } => {
+                write!(f, "pipeline deadlock at cycle {cycle} after {committed} commits")
+            }
+            SimError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// How a value becomes available to the Early Execution block's operand
+/// sources (paper §3.2: immediate, local bypass, or the value predictor —
+/// never the PRF).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Avail {
+    /// Producer's *used prediction* travels with the rename group.
+    Pred,
+    /// Early-executed in EE stage 1.
+    Ee1,
+    /// Early-executed in EE stage 2 (2-deep EE only).
+    Ee2,
+    /// Result only exists in the PRF / OoO engine: not EE-consumable.
+    No,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Writer {
+    renamed_cycle: u64,
+    avail: Avail,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SrcReg {
+    class: RegClass,
+    preg: PhysReg,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct DstReg {
+    arch_flat: u8,
+    class: RegClass,
+    new: PhysReg,
+    old: PhysReg,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct FrontUop {
+    trace_idx: usize,
+    seq: u64,
+    at_rename: u64,
+    vp_queried: bool,
+    pred_some: bool,
+    pred_used: bool,
+    pred_correct: bool,
+    /// Very-high-confidence conditional branch (storage-free TAGE conf).
+    hc: bool,
+    /// Fetch stalls until this µ-op resolves (mispredicted control).
+    awaited: bool,
+    /// Mispredicted indirect/return (for stats).
+    ind_mispredict: bool,
+}
+
+#[derive(Clone, Debug)]
+struct RobEntry {
+    seq: u64,
+    trace_idx: usize,
+    dispatch_cycle: u64,
+    class: InstClass,
+    dst: Option<DstReg>,
+    srcs: [Option<SrcReg>; 2],
+    done_cycle: u64,
+    ee: bool,
+    le_alu: bool,
+    le_branch: bool,
+    vp_eligible: bool,
+    vp_queried: bool,
+    pred_some: bool,
+    pred_used: bool,
+    pred_correct: bool,
+    hc: bool,
+    awaited: bool,
+    ind_mispredict: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct LoadEntry {
+    seq: u64,
+    trace_idx: usize,
+    addr: u64,
+    size: u8,
+    dep_store: Option<u64>,
+    issued_at: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct StoreEntry {
+    seq: u64,
+    trace_idx: usize,
+    addr: u64,
+    size: u8,
+    issued_at: u64,
+}
+
+fn overlap(a_addr: u64, a_size: u8, b_addr: u64, b_size: u8) -> bool {
+    a_addr < b_addr + b_size as u64 && b_addr < a_addr + a_size as u64
+}
+
+fn contains(outer_addr: u64, outer_size: u8, inner_addr: u64, inner_size: u8) -> bool {
+    outer_addr <= inner_addr
+        && inner_addr + inner_size as u64 <= outer_addr + outer_size as u64
+}
+
+fn pck(pc: u32) -> u64 {
+    Program::inst_addr(pc)
+}
+
+fn make_value_predictor(kind: ValuePredictorKind, seed: u64) -> Box<dyn ValuePredictor> {
+    match kind {
+        ValuePredictorKind::VtageTwoDeltaStride => Box::new(VtageTwoDeltaStride::paper(seed)),
+        ValuePredictorKind::Vtage => Box::new(Vtage::paper(seed)),
+        ValuePredictorKind::TwoDeltaStride => Box::new(TwoDeltaStride::paper(seed)),
+        ValuePredictorKind::Stride => Box::new(StridePredictor::new(8192, seed)),
+        ValuePredictorKind::LastValue => Box::new(LastValue::new(8192, seed)),
+        ValuePredictorKind::Fcm => Box::new(Fcm::new(8192, 8192, seed)),
+    }
+}
+
+/// The cycle-level simulator for one core configuration over one trace.
+pub struct Simulator<'t> {
+    trace: &'t PreparedTrace,
+    config: CoreConfig,
+    cycle: u64,
+    cursor: usize,
+    next_seq: u64,
+    total_committed: u64,
+    last_commit_cycle: u64,
+
+    // Front end.
+    fetch_stall_until: u64,
+    pending_redirect: Option<u64>,
+    last_fetch_line: u64,
+    front_q: VecDeque<FrontUop>,
+    front_cap: usize,
+    tage: Tage,
+    btb: Btb,
+    ras: ReturnStack,
+    vp: Option<Box<dyn ValuePredictor>>,
+
+    // Rename.
+    spec_rat: [PhysReg; 64],
+    commit_rat: [PhysReg; 64],
+    prf: Prf,
+    writer_info: [Option<Writer>; 64],
+    prev_group_cycle: u64,
+
+    // Window.
+    rob: VecDeque<RobEntry>,
+    iq: VecDeque<u64>,
+    lq: VecDeque<LoadEntry>,
+    sq: VecDeque<StoreEntry>,
+    store_sets: StoreSets,
+    lfst: Vec<Option<u64>>,
+
+    // Execute.
+    muldiv_busy: Vec<u64>,
+    fpmuldiv_busy: Vec<u64>,
+    mem: MemoryHierarchy,
+
+    stats: SimStats,
+}
+
+impl<'t> Simulator<'t> {
+    /// Builds a simulator over a prepared trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] if the configuration is inconsistent.
+    pub fn new(trace: &'t PreparedTrace, config: CoreConfig) -> Result<Self, SimError> {
+        config.validate().map_err(SimError::BadConfig)?;
+        let mut spec_rat = [0 as PhysReg; 64];
+        for (i, r) in spec_rat.iter_mut().enumerate() {
+            *r = (i % 32) as PhysReg;
+        }
+        let store_sets = StoreSets::paper();
+        let lfst = vec![None; store_sets.num_ssids() as usize];
+        let front_cap = config.fetch_width * (config.frontend_depth as usize + 4);
+        Ok(Simulator {
+            cycle: 0,
+            cursor: 0,
+            next_seq: 0,
+            total_committed: 0,
+            last_commit_cycle: 0,
+            fetch_stall_until: 0,
+            pending_redirect: None,
+            last_fetch_line: u64::MAX,
+            front_q: VecDeque::new(),
+            front_cap,
+            tage: Tage::paper(config.branch_seed),
+            btb: Btb::paper(),
+            ras: ReturnStack::paper(),
+            vp: config.vp.as_ref().map(|v| make_value_predictor(v.kind, v.seed)),
+            spec_rat,
+            commit_rat: spec_rat,
+            prf: Prf::new(config.int_prf, config.fp_prf, config.prf_banks),
+            writer_info: [None; 64],
+            prev_group_cycle: u64::MAX,
+            rob: VecDeque::new(),
+            iq: VecDeque::new(),
+            lq: VecDeque::new(),
+            sq: VecDeque::new(),
+            store_sets,
+            lfst,
+            muldiv_busy: vec![0; config.fu.int_muldiv],
+            fpmuldiv_busy: vec![0; config.fu.fp_muldiv],
+            mem: MemoryHierarchy::new(&config.mem),
+            stats: SimStats::default(),
+            trace,
+            config,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Total µ-ops committed since construction (not reset by
+    /// [`Simulator::begin_measurement`]).
+    pub fn committed_total(&self) -> u64 {
+        self.total_committed
+    }
+
+    /// True once every trace µ-op has committed.
+    pub fn finished(&self) -> bool {
+        self.cursor >= self.trace.len() && self.front_q.is_empty() && self.rob.is_empty()
+    }
+
+    /// Snapshot of the counters (memory counters are cumulative).
+    pub fn stats(&self) -> SimStats {
+        let mut s = self.stats.clone();
+        s.mem = self.mem.stats();
+        s
+    }
+
+    /// Zeroes the pipeline counters — call at the end of warmup so the
+    /// measurement window starts clean (predictor/cache state is kept).
+    pub fn begin_measurement(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Runs until `insts` more µ-ops commit, the trace drains, or the
+    /// deadlock watchdog fires.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] if no commit happens for 100k cycles.
+    pub fn run(&mut self, insts: u64) -> Result<(), SimError> {
+        let target = self.total_committed.saturating_add(insts);
+        while self.total_committed < target && !self.finished() {
+            self.step();
+            if self.cycle - self.last_commit_cycle > 100_000 {
+                return Err(SimError::Deadlock {
+                    cycle: self.cycle,
+                    committed: self.total_committed,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances the pipeline by one cycle.
+    pub fn step(&mut self) {
+        let squashed = self.do_commit();
+        if !squashed {
+            let violated = self.do_issue();
+            if !violated {
+                self.do_dispatch();
+                self.do_fetch();
+            }
+        }
+        self.cycle += 1;
+        self.stats.cycles += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch
+    // ------------------------------------------------------------------
+
+    fn do_fetch(&mut self) {
+        if self.pending_redirect.is_some() || self.cycle < self.fetch_stall_until {
+            return;
+        }
+        let mut taken = 0usize;
+        for _ in 0..self.config.fetch_width {
+            if self.cursor >= self.trace.len() || self.front_q.len() >= self.front_cap {
+                return;
+            }
+            let di = &self.trace.insts()[self.cursor];
+            // I-cache: access once per line transition.
+            let line = pck(di.pc) & !63;
+            if line != self.last_fetch_line {
+                let done = self.mem.fetch(line, self.cycle);
+                self.last_fetch_line = line;
+                let hit_latency = 1;
+                if done > self.cycle + hit_latency {
+                    self.fetch_stall_until = done;
+                    return; // µ-op not consumed; refetch hits the line.
+                }
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let mut fu = FrontUop {
+                trace_idx: self.cursor,
+                seq,
+                at_rename: self.cycle + self.config.frontend_depth,
+                vp_queried: false,
+                pred_some: false,
+                pred_used: false,
+                pred_correct: false,
+                hc: false,
+                awaited: false,
+                ind_mispredict: false,
+            };
+            let view = self.trace.history.view(di.bhist_pos as usize);
+            // Value prediction at fetch (§4.2).
+            if let Some(vp) = self.vp.as_mut() {
+                if di.inst.is_vp_eligible() {
+                    fu.vp_queried = true;
+                    if let Some(p) = vp.predict(pck(di.pc), view) {
+                        fu.pred_some = true;
+                        if p.confident {
+                            fu.pred_used = true;
+                            fu.pred_correct = p.value == di.result;
+                        }
+                    }
+                }
+            }
+            // Control prediction.
+            let cls = di.class();
+            match cls {
+                InstClass::Branch => {
+                    let pred = self.tage.predict(pck(di.pc), view);
+                    fu.hc = pred.confidence == BranchConfidence::VeryHigh;
+                    if pred.taken {
+                        if self.btb.lookup(pck(di.pc)).is_none() {
+                            // Direct target resolved at decode: short bubble.
+                            self.stats.btb_miss_bubbles += 1;
+                            self.fetch_stall_until = self.cycle + self.config.btb_miss_bubble;
+                        }
+                        self.btb.insert(pck(di.pc), di.inst.imm as u32);
+                    }
+                    if pred.taken != di.taken {
+                        fu.awaited = true;
+                    }
+                    if di.taken {
+                        taken += 1;
+                    }
+                }
+                InstClass::Jump | InstClass::Call => {
+                    if self.btb.lookup(pck(di.pc)).is_none() {
+                        self.stats.btb_miss_bubbles += 1;
+                        self.fetch_stall_until = self.cycle + self.config.btb_miss_bubble;
+                    }
+                    self.btb.insert(pck(di.pc), di.next_pc);
+                    if cls == InstClass::Call {
+                        self.ras.push(di.pc + 1);
+                    }
+                    taken += 1;
+                }
+                InstClass::Return => {
+                    let predicted = self.ras.pop();
+                    if predicted != Some(di.next_pc) {
+                        fu.awaited = true;
+                        fu.ind_mispredict = true;
+                    }
+                    taken += 1;
+                }
+                InstClass::JumpIndirect | InstClass::CallIndirect => {
+                    let predicted = self.btb.lookup(pck(di.pc));
+                    self.btb.insert(pck(di.pc), di.next_pc);
+                    if cls == InstClass::CallIndirect {
+                        self.ras.push(di.pc + 1);
+                    }
+                    if predicted != Some(di.next_pc) {
+                        fu.awaited = true;
+                        fu.ind_mispredict = true;
+                    }
+                    taken += 1;
+                }
+                _ => {}
+            }
+            self.stats.fetched += 1;
+            self.cursor += 1;
+            let awaited = fu.awaited;
+            if awaited {
+                self.pending_redirect = Some(seq);
+            }
+            self.front_q.push_back(fu);
+            if awaited || taken >= self.config.max_taken_per_cycle {
+                return;
+            }
+            if self.cycle < self.fetch_stall_until {
+                return; // BTB bubble cuts the fetch group.
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rename / Early Execution / Dispatch
+    // ------------------------------------------------------------------
+
+    /// Is the value of `arch` available to the EE block (never via PRF)?
+    /// Returns the chaining depth contribution: `Some(depth_of_consumer)`.
+    fn ee_src_depth(&self, arch: u8, now: u64) -> Option<usize> {
+        let w = self.writer_info[arch as usize]?;
+        if w.renamed_cycle == now {
+            // Same rename group.
+            match w.avail {
+                Avail::Pred => Some(1),
+                Avail::Ee1 if self.config.eole.ee_stages >= 2 => Some(2),
+                _ => None,
+            }
+        } else if w.renamed_cycle == self.prev_group_cycle {
+            // Previous rename group: pipeline-register bypass.
+            match w.avail {
+                Avail::No => None,
+                _ => Some(1),
+            }
+        } else {
+            None
+        }
+    }
+
+    /// EE decision for a single-cycle ALU µ-op: `Some(Ee1 | Ee2)` if every
+    /// register source is EE-available.
+    fn decide_early(&self, di: &eole_isa::DynInst, now: u64) -> Option<Avail> {
+        if !self.config.eole.early || !di.inst.is_single_cycle_alu() {
+            return None;
+        }
+        let mut depth = 1usize;
+        for src in di.inst.sources() {
+            match self.ee_src_depth(src.flat(), now) {
+                Some(d) => depth = depth.max(d),
+                None => return None,
+            }
+        }
+        if depth == 1 {
+            Some(Avail::Ee1)
+        } else {
+            Some(Avail::Ee2)
+        }
+    }
+
+    fn do_dispatch(&mut self) {
+        let now = self.cycle;
+        let mut dispatched = 0usize;
+        // EE/prediction PRF writes per (class, bank) this dispatch group.
+        let mut ee_writes = vec![[0usize; 2]; self.config.prf_banks];
+        while dispatched < self.config.rename_width {
+            let Some(fu) = self.front_q.front().copied() else { break };
+            if fu.at_rename > now {
+                break;
+            }
+            let di = &self.trace.insts()[fu.trace_idx];
+            let cls = di.class();
+            if self.rob.len() >= self.config.rob_entries {
+                self.stats.stall_rob_full += 1;
+                break;
+            }
+            if cls == InstClass::Load && self.lq.len() >= self.config.lq_entries {
+                self.stats.stall_lsq_full += 1;
+                break;
+            }
+            if cls == InstClass::Store && self.sq.len() >= self.config.sq_entries {
+                self.stats.stall_lsq_full += 1;
+                break;
+            }
+            // EOLE designations.
+            let ee_kind = self.decide_early(di, now);
+            let ee = ee_kind.is_some();
+            let le_alu = !ee
+                && self.config.eole.late
+                && fu.pred_used
+                && di.inst.is_single_cycle_alu();
+            let le_branch = self.config.eole.late && fu.hc && cls == InstClass::Branch;
+            let needs_iq = !(ee || le_alu || le_branch)
+                && !matches!(cls, InstClass::Jump | InstClass::Call);
+            if needs_iq && self.iq.len() >= self.config.iq_entries {
+                self.stats.stall_iq_full += 1;
+                break;
+            }
+            // EE/prediction write-port budget (§6.3 ablation).
+            let writes_prediction = (ee || fu.pred_used) && di.inst.dst.is_some();
+            if writes_prediction {
+                if let Some(cap) = self.config.eole.ee_writes_per_bank {
+                    let class = di.inst.dst.map(|d| d.class()).unwrap_or(RegClass::Int);
+                    let bank = self.prf.peek_alloc_bank(class);
+                    let ci = if class == RegClass::Int { 0 } else { 1 };
+                    if ee_writes[bank][ci] + 1 > cap {
+                        self.stats.ee_write_stalls += 1;
+                        break;
+                    }
+                }
+            }
+            // Rename: sources first, then the destination.
+            let mut srcs: [Option<SrcReg>; 2] = [None, None];
+            for (i, src) in di.inst.sources().enumerate() {
+                let preg = self.spec_rat[src.flat() as usize];
+                srcs[i] = Some(SrcReg { class: src.class(), preg });
+            }
+            let dst = match di.inst.dst {
+                Some(d) => {
+                    let class = d.class();
+                    match self.prf.alloc(class) {
+                        Some(new) => {
+                            let old = self.spec_rat[d.flat() as usize];
+                            self.spec_rat[d.flat() as usize] = new;
+                            Some(DstReg { arch_flat: d.flat(), class, new, old })
+                        }
+                        None => {
+                            self.stats.stall_prf += 1;
+                            break;
+                        }
+                    }
+                }
+                None => None,
+            };
+            if writes_prediction {
+                if let Some(d) = dst {
+                    let ci = if d.class == RegClass::Int { 0 } else { 1 };
+                    ee_writes[self.prf.bank_of(d.new)][ci] += 1;
+                }
+            }
+            self.front_q.pop_front();
+
+            // Destination readiness + completion.
+            let mut done_cycle = NOT_READY;
+            if let Some(d) = dst {
+                if ee || fu.pred_used || matches!(cls, InstClass::Call | InstClass::CallIndirect)
+                {
+                    // EE result / used prediction / statically-known link
+                    // value is written to the PRF at dispatch.
+                    self.prf.set_ready_min(d.class, d.new, now);
+                }
+            }
+            if ee || matches!(cls, InstClass::Jump | InstClass::Call) {
+                done_cycle = now;
+            }
+            // Writer availability for the EE operand rules.
+            if let Some(d) = dst {
+                let avail = if fu.pred_used
+                    || matches!(cls, InstClass::Call | InstClass::CallIndirect)
+                {
+                    Avail::Pred
+                } else if let Some(k) = ee_kind {
+                    k
+                } else {
+                    Avail::No
+                };
+                self.writer_info[d.arch_flat as usize] =
+                    Some(Writer { renamed_cycle: now, avail });
+            }
+
+            // Queue occupancy.
+            if needs_iq {
+                self.iq.push_back(fu.seq);
+            }
+            if cls == InstClass::Load {
+                let dep_store = self
+                    .store_sets
+                    .ssid(pck(di.pc))
+                    .and_then(|s| self.lfst[s as usize]);
+                self.lq.push_back(LoadEntry {
+                    seq: fu.seq,
+                    trace_idx: fu.trace_idx,
+                    addr: di.addr,
+                    size: di.size,
+                    dep_store,
+                    issued_at: NOT_READY,
+                });
+            }
+            if cls == InstClass::Store {
+                if let Some(s) = self.store_sets.ssid(pck(di.pc)) {
+                    self.lfst[s as usize] = Some(fu.seq);
+                }
+                self.sq.push_back(StoreEntry {
+                    seq: fu.seq,
+                    trace_idx: fu.trace_idx,
+                    addr: di.addr,
+                    size: di.size,
+                    issued_at: NOT_READY,
+                });
+            }
+
+            self.rob.push_back(RobEntry {
+                seq: fu.seq,
+                trace_idx: fu.trace_idx,
+                dispatch_cycle: now,
+                class: cls,
+                dst,
+                srcs,
+                done_cycle,
+                ee,
+                le_alu,
+                le_branch,
+                vp_eligible: di.inst.is_vp_eligible(),
+                vp_queried: fu.vp_queried,
+                pred_some: fu.pred_some,
+                pred_used: fu.pred_used,
+                pred_correct: fu.pred_correct,
+                hc: fu.hc,
+                awaited: fu.awaited,
+                ind_mispredict: fu.ind_mispredict,
+            });
+            dispatched += 1;
+        }
+        if dispatched > 0 {
+            self.prev_group_cycle = now;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue / Execute
+    // ------------------------------------------------------------------
+
+    fn rob_index(&self, seq: u64) -> usize {
+        let front = self.rob.front().expect("rob empty").seq;
+        (seq - front) as usize
+    }
+
+    fn srcs_ready(&self, e: &RobEntry) -> bool {
+        e.srcs.iter().flatten().all(|s| self.prf.ready_at(s.class, s.preg) <= self.cycle)
+    }
+
+    /// Decides whether the load at `lq_idx` can go: `None` = wait,
+    /// `Some(done_cycle)` = issue now.
+    fn try_load(&mut self, seq: u64) -> Option<u64> {
+        let now = self.cycle;
+        let le = *self.lq.iter().find(|l| l.seq == seq).expect("load in LQ");
+        // Store-set dependence: wait until the flagged store has issued.
+        if let Some(dep) = le.dep_store {
+            if let Some(st) = self.sq.iter().find(|s| s.seq == dep) {
+                if st.issued_at == NOT_READY {
+                    return None;
+                }
+            }
+        }
+        // Youngest older store with a known address that overlaps decides.
+        for st in self.sq.iter().rev() {
+            if st.seq >= le.seq {
+                continue;
+            }
+            if st.issued_at != NOT_READY && overlap(st.addr, st.size, le.addr, le.size) {
+                return if contains(st.addr, st.size, le.addr, le.size) {
+                    self.stats.sq_forwards += 1;
+                    Some(now + latency::SQ_FORWARD)
+                } else {
+                    None // partial overlap: wait for the store to drain
+                };
+            }
+            // Unknown address: speculate past it (store sets permitting).
+        }
+        let di = &self.trace.insts()[le.trace_idx];
+        Some(self.mem.load(pck(di.pc), le.addr, now))
+    }
+
+    /// Returns true if a memory-order violation squash happened.
+    fn do_issue(&mut self) -> bool {
+        let now = self.cycle;
+        let mut issued = 0usize;
+        let mut alu_used = 0usize;
+        let mut fp_used = 0usize;
+        let mut mul_used = 0usize;
+        let mut fmul_used = 0usize;
+        let mut mem_used = 0usize;
+        let mut violation: Option<(u64, u64)> = None; // (load_seq, store_seq)
+        let mut remaining: VecDeque<u64> = VecDeque::with_capacity(self.iq.len());
+        let iq = std::mem::take(&mut self.iq);
+        for seq in iq {
+            if issued >= self.config.issue_width || violation.is_some() {
+                remaining.push_back(seq);
+                continue;
+            }
+            let idx = self.rob_index(seq);
+            let ready = self.srcs_ready(&self.rob[idx]);
+            if !ready {
+                remaining.push_back(seq);
+                continue;
+            }
+            let class = self.rob[idx].class;
+            let done = match class {
+                InstClass::IntAlu
+                | InstClass::Branch
+                | InstClass::Return
+                | InstClass::JumpIndirect
+                | InstClass::CallIndirect => {
+                    if alu_used >= self.config.fu.int_alu {
+                        remaining.push_back(seq);
+                        continue;
+                    }
+                    alu_used += 1;
+                    now + latency::INT_ALU
+                }
+                InstClass::IntMul => {
+                    if mul_used >= self.config.fu.int_muldiv
+                        || !self.muldiv_busy.iter().any(|b| *b <= now)
+                    {
+                        remaining.push_back(seq);
+                        continue;
+                    }
+                    mul_used += 1;
+                    now + latency::INT_MUL
+                }
+                InstClass::IntDiv => {
+                    let Some(unit) = self.muldiv_busy.iter_mut().find(|b| **b <= now) else {
+                        remaining.push_back(seq);
+                        continue;
+                    };
+                    if mul_used >= self.config.fu.int_muldiv {
+                        remaining.push_back(seq);
+                        continue;
+                    }
+                    mul_used += 1;
+                    *unit = now + latency::INT_DIV; // unpipelined
+                    now + latency::INT_DIV
+                }
+                InstClass::FpAlu => {
+                    if fp_used >= self.config.fu.fp_alu {
+                        remaining.push_back(seq);
+                        continue;
+                    }
+                    fp_used += 1;
+                    now + latency::FP_ALU
+                }
+                InstClass::FpMul => {
+                    if fmul_used >= self.config.fu.fp_muldiv
+                        || !self.fpmuldiv_busy.iter().any(|b| *b <= now)
+                    {
+                        remaining.push_back(seq);
+                        continue;
+                    }
+                    fmul_used += 1;
+                    now + latency::FP_MUL
+                }
+                InstClass::FpDiv => {
+                    let Some(unit) = self.fpmuldiv_busy.iter_mut().find(|b| **b <= now)
+                    else {
+                        remaining.push_back(seq);
+                        continue;
+                    };
+                    if fmul_used >= self.config.fu.fp_muldiv {
+                        remaining.push_back(seq);
+                        continue;
+                    }
+                    fmul_used += 1;
+                    *unit = now + latency::FP_DIV;
+                    now + latency::FP_DIV
+                }
+                InstClass::Load => {
+                    if mem_used >= self.config.fu.mem_ports {
+                        remaining.push_back(seq);
+                        continue;
+                    }
+                    match self.try_load(seq) {
+                        Some(done) => {
+                            mem_used += 1;
+                            let le =
+                                self.lq.iter_mut().find(|l| l.seq == seq).expect("load");
+                            le.issued_at = now;
+                            done
+                        }
+                        None => {
+                            remaining.push_back(seq);
+                            continue;
+                        }
+                    }
+                }
+                InstClass::Store => {
+                    if mem_used >= self.config.fu.mem_ports {
+                        remaining.push_back(seq);
+                        continue;
+                    }
+                    mem_used += 1;
+                    let (st_addr, st_size, st_seq, st_tidx) = {
+                        let st =
+                            self.sq.iter_mut().find(|s| s.seq == seq).expect("store");
+                        st.issued_at = now;
+                        (st.addr, st.size, st.seq, st.trace_idx)
+                    };
+                    // The store's address is now known: detect any younger
+                    // load that already executed against the same bytes.
+                    let mut bad: Option<u64> = None;
+                    for l in self.lq.iter() {
+                        if l.seq > st_seq
+                            && l.issued_at != NOT_READY
+                            && l.issued_at <= now
+                            && overlap(st_addr, st_size, l.addr, l.size)
+                        {
+                            bad = Some(bad.map_or(l.seq, |b: u64| b.min(l.seq)));
+                        }
+                    }
+                    if let Some(load_seq) = bad {
+                        violation = Some((load_seq, st_seq));
+                        let _ = st_tidx;
+                    }
+                    // Release the LFST entry if we are still its tail.
+                    if let Some(s) = self
+                        .store_sets
+                        .ssid(pck(self.trace.insts()[st_tidx].pc))
+                    {
+                        if self.lfst[s as usize] == Some(st_seq) {
+                            self.lfst[s as usize] = None;
+                        }
+                    }
+                    now + latency::INT_ALU // address generation
+                }
+                InstClass::Jump | InstClass::Call | InstClass::Halt => {
+                    unreachable!("{class:?} never enters the IQ")
+                }
+            };
+            issued += 1;
+            let idx = self.rob_index(seq);
+            let (dst, awaited) = {
+                let e = &mut self.rob[idx];
+                e.done_cycle = done;
+                (e.dst, e.awaited)
+            };
+            if let Some(d) = dst {
+                self.prf.set_ready_min(d.class, d.new, done);
+            }
+            if awaited && self.pending_redirect == Some(seq) {
+                // Mispredicted control µ-op resolves at `done`: fetch
+                // restarts on the correct path then.
+                self.pending_redirect = None;
+                self.fetch_stall_until = done;
+                self.last_fetch_line = u64::MAX;
+            }
+        }
+        self.iq = remaining;
+
+        if let Some((load_seq, store_seq)) = violation {
+            let (load_pc, store_pc) = {
+                let l = self.lq.iter().find(|l| l.seq == load_seq).expect("load");
+                let s = self.sq.iter().find(|s| s.seq == store_seq).expect("store");
+                (
+                    pck(self.trace.insts()[l.trace_idx].pc),
+                    pck(self.trace.insts()[s.trace_idx].pc),
+                )
+            };
+            self.store_sets.on_violation(load_pc, store_pc);
+            self.stats.memory_order_squashes += 1;
+            self.squash_from(load_seq);
+            self.fetch_stall_until = now + 1;
+            return true;
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Commit + LE/VT
+    // ------------------------------------------------------------------
+
+    /// Returns true if a value-misprediction squash happened.
+    fn do_commit(&mut self) -> bool {
+        let now = self.cycle;
+        let mut committed = 0usize;
+        // LE/VT read ports consumed per (bank, class) this cycle.
+        let mut port_reads = vec![[0usize; 2]; self.config.prf_banks];
+        let port_cap = self.config.eole.levt_read_ports_per_bank;
+        let vp_on = self.vp.is_some();
+        while committed < self.config.commit_width {
+            let Some(e) = self.rob.front() else { break };
+            // Completion condition.
+            if e.le_alu || e.le_branch {
+                // Executes in the LE/VT stage itself: operands must be
+                // readable now (DIVA-style: everything older has resolved)
+                // and the µ-op must have traversed the pipe to pre-commit.
+                if e.dispatch_cycle + self.config.levt_depth() > now {
+                    break;
+                }
+                if !e
+                    .srcs
+                    .iter()
+                    .flatten()
+                    .all(|s| self.prf.ready_at(s.class, s.preg) <= now)
+                {
+                    break;
+                }
+            } else {
+                if e.done_cycle == NOT_READY {
+                    break;
+                }
+                if e.done_cycle + self.config.levt_depth() > now {
+                    break;
+                }
+            }
+            // LE/VT read-port budget (Fig. 11): validation/training reads
+            // the result of every VP-eligible µ-op; LE µ-ops read operands.
+            if let Some(cap) = port_cap {
+                let mut needed: Vec<(usize, usize)> = Vec::new();
+                if vp_on && e.vp_eligible {
+                    if let Some(d) = e.dst {
+                        let ci = if d.class == RegClass::Int { 0 } else { 1 };
+                        needed.push((self.prf.bank_of(d.new), ci));
+                    }
+                }
+                if e.le_alu || e.le_branch {
+                    for s in e.srcs.iter().flatten() {
+                        let ci = if s.class == RegClass::Int { 0 } else { 1 };
+                        needed.push((self.prf.bank_of(s.preg), ci));
+                    }
+                }
+                let mut scratch = port_reads.clone();
+                let mut fits = true;
+                for (bank, ci) in &needed {
+                    scratch[*bank][*ci] += 1;
+                    if scratch[*bank][*ci] > cap {
+                        fits = false;
+                        break;
+                    }
+                }
+                if !fits {
+                    self.stats.levt_port_stalls += 1;
+                    // Forward progress: if even an empty group cannot fit
+                    // this µ-op (its own reads exceed the per-bank budget),
+                    // the hardware would serialize the reads over extra
+                    // cycles; commit it alone and end the group.
+                    if committed == 0 {
+                        for b in port_reads.iter_mut() {
+                            b[0] = cap;
+                            b[1] = cap;
+                        }
+                    } else {
+                        break;
+                    }
+                } else {
+                    port_reads = scratch;
+                }
+            }
+
+            // ---- the µ-op commits -------------------------------------
+            let e = self.rob.pop_front().expect("checked above");
+            committed += 1;
+            self.total_committed += 1;
+            self.last_commit_cycle = now;
+            self.stats.committed += 1;
+            let di = &self.trace.insts()[e.trace_idx];
+            let view = self.trace.history.view(di.bhist_pos as usize);
+
+            // EOLE accounting.
+            if e.ee {
+                self.stats.early_executed += 1;
+            }
+            if e.le_alu {
+                self.stats.late_executed_alu += 1;
+            }
+            if e.le_branch {
+                self.stats.late_executed_branches += 1;
+            }
+
+            // Branch accounting + LE-resolved redirects + training.
+            if e.class == InstClass::Branch {
+                self.stats.cond_branches += 1;
+                if e.hc {
+                    self.stats.hc_branches += 1;
+                }
+                if e.awaited {
+                    if e.hc {
+                        self.stats.hc_branch_mispredicts += 1;
+                    } else {
+                        self.stats.branch_mispredicts += 1;
+                    }
+                    if e.le_branch && self.pending_redirect == Some(e.seq) {
+                        // Resolved only now, in the pre-commit stage: the
+                        // expensive-but-rare case of §3.3.
+                        self.pending_redirect = None;
+                        self.fetch_stall_until = now + 1;
+                        self.last_fetch_line = u64::MAX;
+                    }
+                }
+                self.tage.update(pck(di.pc), view, di.taken);
+            } else if e.ind_mispredict {
+                self.stats.indirect_mispredicts += 1;
+            }
+
+            // Memory retirement.
+            if e.class == InstClass::Store {
+                debug_assert_eq!(self.sq.front().map(|s| s.seq), Some(e.seq));
+                self.sq.pop_front();
+                self.mem.store(pck(di.pc), di.addr, now);
+            }
+            if e.class == InstClass::Load {
+                debug_assert_eq!(self.lq.front().map(|l| l.seq), Some(e.seq));
+                self.lq.pop_front();
+            }
+
+            // Value-predictor training (the "T" in LE/VT).
+            if e.vp_eligible {
+                self.stats.vp_eligible += 1;
+                if e.pred_some {
+                    self.stats.vp_predicted += 1;
+                }
+                if e.pred_used {
+                    self.stats.vp_used += 1;
+                    if e.pred_correct {
+                        self.stats.vp_used_correct += 1;
+                    }
+                }
+                if let Some(vp) = self.vp.as_mut() {
+                    if e.vp_queried {
+                        vp.train(pck(di.pc), view, di.result);
+                    }
+                }
+            }
+
+            // Architectural rename state.
+            if let Some(d) = e.dst {
+                self.commit_rat[d.arch_flat as usize] = d.new;
+                self.prf.free(d.class, d.old);
+            }
+
+            // Validation: a wrong used prediction squashes everything
+            // younger (§3.1: squash, not selective replay).
+            if e.pred_used && !e.pred_correct {
+                self.stats.vp_used_wrong += 1;
+                self.stats.vp_squashes += 1;
+                self.squash_after(e.seq);
+                self.fetch_stall_until = now + 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Squash
+    // ------------------------------------------------------------------
+
+    /// Squashes every µ-op younger than `seq` (exclusive).
+    fn squash_after(&mut self, seq: u64) {
+        self.squash_from(seq + 1);
+    }
+
+    /// Squashes every µ-op with sequence ≥ `first_bad` and rewinds the
+    /// trace cursor so they refetch.
+    fn squash_from(&mut self, first_bad: u64) {
+        let mut min_trace_idx: Option<usize> = None;
+        // Front-end queue (not yet renamed).
+        while let Some(back) = self.front_q.back() {
+            if back.seq < first_bad {
+                break;
+            }
+            let fu = self.front_q.pop_back().expect("non-empty");
+            min_trace_idx =
+                Some(min_trace_idx.map_or(fu.trace_idx, |m| m.min(fu.trace_idx)));
+            if fu.vp_queried {
+                if let Some(vp) = self.vp.as_mut() {
+                    vp.squash(pck(self.trace.insts()[fu.trace_idx].pc));
+                }
+            }
+            self.stats.squashed += 1;
+        }
+        // ROB walk, youngest first: undo renaming.
+        while let Some(back) = self.rob.back() {
+            if back.seq < first_bad {
+                break;
+            }
+            let e = self.rob.pop_back().expect("non-empty");
+            min_trace_idx = Some(min_trace_idx.map_or(e.trace_idx, |m| m.min(e.trace_idx)));
+            if let Some(d) = e.dst {
+                self.spec_rat[d.arch_flat as usize] = d.old;
+                self.prf.free(d.class, d.new);
+            }
+            if e.vp_queried {
+                if let Some(vp) = self.vp.as_mut() {
+                    vp.squash(pck(self.trace.insts()[e.trace_idx].pc));
+                }
+            }
+            self.stats.squashed += 1;
+        }
+        self.iq.retain(|s| *s < first_bad);
+        while self.lq.back().is_some_and(|l| l.seq >= first_bad) {
+            self.lq.pop_back();
+        }
+        while self.sq.back().is_some_and(|s| s.seq >= first_bad) {
+            self.sq.pop_back();
+        }
+        for slot in &mut self.lfst {
+            if slot.is_some_and(|s| s >= first_bad) {
+                *slot = None;
+            }
+        }
+        if self.pending_redirect.is_some_and(|s| s >= first_bad) {
+            self.pending_redirect = None;
+        }
+        if let Some(idx) = min_trace_idx {
+            self.cursor = idx;
+        }
+        // Every structure has been purged of seqs >= first_bad, so sequence
+        // numbers can be reused; this keeps ROB seqs contiguous, which
+        // `rob_index` relies on.
+        self.next_seq = first_bad;
+        self.writer_info = [None; 64];
+        self.prev_group_cycle = u64::MAX;
+        self.last_fetch_line = u64::MAX;
+        self.prf.reset_cursors();
+    }
+}
+
+impl std::fmt::Debug for Simulator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("config", &self.config.name)
+            .field("cycle", &self.cycle)
+            .field("committed", &self.total_committed)
+            .field("rob", &self.rob.len())
+            .field("iq", &self.iq.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoreConfig;
+    use eole_isa::{generate_trace, FpReg, IntReg, ProgramBuilder};
+
+    fn r(i: u8) -> IntReg {
+        IntReg::new(i)
+    }
+
+    /// A counted loop with a strided accumulator: highly value-predictable.
+    fn strided_loop(iters: i64) -> PreparedTrace {
+        let mut b = ProgramBuilder::new();
+        b.movi(r(1), 0);
+        b.movi(r(2), iters);
+        b.movi(r(3), 0);
+        let top = b.label();
+        b.bind(top);
+        b.addi(r(1), r(1), 1);
+        b.addi(r(3), r(3), 8);
+        b.bne(r(1), r(2), top);
+        b.halt();
+        PreparedTrace::new(generate_trace(&b.build().unwrap(), 1_000_000).unwrap())
+    }
+
+    /// A long dependent chain through loads/ALU: VP breaks the chain.
+    fn dependent_chain(iters: i64) -> PreparedTrace {
+        let mut b = ProgramBuilder::new();
+        let buf = b.add_data_u64(&[5]);
+        b.movi(r(1), buf as i64);
+        b.movi(r(2), 0);
+        b.movi(r(4), iters);
+        let top = b.label();
+        b.bind(top);
+        // Serial chain: ld -> add -> st -> ld ... (same address)
+        b.ld(r(3), r(1), 0);
+        b.addi(r(3), r(3), 0); // value stays 5: predictable
+        b.st(r(1), 0, r(3));
+        b.addi(r(2), r(2), 1);
+        b.bne(r(2), r(4), top);
+        b.halt();
+        PreparedTrace::new(generate_trace(&b.build().unwrap(), 1_000_000).unwrap())
+    }
+
+    fn run_to_end(trace: &PreparedTrace, config: CoreConfig) -> SimStats {
+        let mut sim = Simulator::new(trace, config).unwrap();
+        sim.run(u64::MAX).unwrap();
+        assert!(sim.finished());
+        assert_eq!(sim.committed_total(), trace.len() as u64);
+        sim.stats()
+    }
+
+    #[test]
+    fn all_presets_complete_and_commit_everything() {
+        let trace = strided_loop(400);
+        for config in [
+            CoreConfig::baseline_6_64(),
+            CoreConfig::baseline_vp_6_64(),
+            CoreConfig::baseline_vp_4_64(),
+            CoreConfig::eole_6_64(),
+            CoreConfig::eole_4_64(),
+            CoreConfig::eole_4_64_banked(4),
+            CoreConfig::eole_4_64_ports(4, 2),
+            CoreConfig::ole_4_64_ports(4, 4),
+            CoreConfig::eoe_4_64_ports(4, 4),
+        ] {
+            let name = config.name.clone();
+            let s = run_to_end(&trace, config);
+            assert!(s.ipc() > 0.1, "{name}: ipc = {}", s.ipc());
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let trace = dependent_chain(800);
+        let a = run_to_end(&trace, CoreConfig::eole_4_64());
+        let b = run_to_end(&trace, CoreConfig::eole_4_64());
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.vp_used, b.vp_used);
+        assert_eq!(a.early_executed, b.early_executed);
+    }
+
+    #[test]
+    fn value_prediction_speeds_up_dependent_chains() {
+        let trace = dependent_chain(3_000);
+        let base = run_to_end(&trace, CoreConfig::baseline_6_64());
+        let vp = run_to_end(&trace, CoreConfig::baseline_vp_6_64());
+        assert!(
+            vp.ipc() > base.ipc() * 1.05,
+            "VP should break the serial chain: base {:.3}, vp {:.3}",
+            base.ipc(),
+            vp.ipc()
+        );
+        assert!(vp.vp_used > 1000, "predictions must be used: {}", vp.vp_used);
+        assert_eq!(vp.vp_used_wrong, 0, "constant stream must not mispredict");
+    }
+
+    #[test]
+    fn eole_offloads_uops_from_the_ooo_engine() {
+        let trace = strided_loop(4_000);
+        let s = run_to_end(&trace, CoreConfig::eole_6_64());
+        assert!(s.early_executed > 0, "EE must fire on predictable ALU ops");
+        assert!(
+            s.offload_fraction() > 0.10,
+            "offload = {:.3}",
+            s.offload_fraction()
+        );
+        // Disjoint counting: EE + LE(alu) can never exceed committed.
+        assert!(s.early_executed + s.late_executed_alu + s.late_executed_branches <= s.committed);
+    }
+
+    #[test]
+    fn value_mispredict_squashes_and_recovers() {
+        // A load whose value is constant for thousands of instances, then
+        // changes: the saturated predictor uses a now-wrong prediction and
+        // the pipeline must squash, refetch and still commit everything.
+        let mut b = ProgramBuilder::new();
+        let buf = b.add_data_u64(&[7]);
+        b.movi(r(1), buf as i64);
+        b.movi(r(2), 0);
+        b.movi(r(4), 4_000);
+        b.movi(r(6), 3_000);
+        let top = b.label();
+        b.bind(top);
+        b.ld(r(3), r(1), 0);
+        b.add(r(5), r(3), r(3)); // consumer of the predicted load
+        b.addi(r(2), r(2), 1);
+        let skip = b.label();
+        b.bne(r(2), r(6), skip);
+        b.movi(r(7), 99);
+        b.st(r(1), 0, r(7)); // flip the loaded value once at iteration 3000
+        b.bind(skip);
+        b.bne(r(2), r(4), top);
+        b.halt();
+        let trace = PreparedTrace::new(generate_trace(&b.build().unwrap(), 1_000_000).unwrap());
+        let s = run_to_end(&trace, CoreConfig::baseline_vp_6_64());
+        assert!(s.vp_squashes >= 1, "expected at least one value-mispredict squash");
+        assert!(s.squashed > 0);
+    }
+
+    #[test]
+    fn memory_order_violation_trains_store_sets() {
+        // Store address depends on a 25-cycle divide; an immediately
+        // following load hits the same address. The load speculates past
+        // the store the first time (violation), and store sets should
+        // prevent it from repeating every iteration.
+        let mut b = ProgramBuilder::new();
+        let buf = b.add_data_u64(&[0; 16]);
+        b.movi(r(1), buf as i64);
+        b.movi(r(2), 0);
+        b.movi(r(4), 600);
+        b.movi(r(8), 3);
+        let top = b.label();
+        b.bind(top);
+        b.movi(r(5), 24);
+        b.div(r(6), r(5), r(8)); // 24/3 = 8: slow address component
+        b.add(r(7), r(1), r(6));
+        b.st(r(7), 0, r(2)); // store to buf+8, address late
+        b.ld(r(9), r(1), 8); // load from buf+8: conflicts
+        b.addi(r(2), r(2), 1);
+        b.bne(r(2), r(4), top);
+        b.halt();
+        let trace = PreparedTrace::new(generate_trace(&b.build().unwrap(), 1_000_000).unwrap());
+        let s = run_to_end(&trace, CoreConfig::baseline_6_64());
+        assert!(s.memory_order_squashes >= 1, "must detect the violation");
+        assert!(
+            s.memory_order_squashes < 300,
+            "store sets must stop recurrent violations: {}",
+            s.memory_order_squashes
+        );
+    }
+
+    #[test]
+    fn levt_port_limit_slows_but_completes() {
+        let trace = strided_loop(3_000);
+        let free = run_to_end(&trace, CoreConfig::eole_4_64_banked(4));
+        let capped = run_to_end(&trace, CoreConfig::eole_4_64_ports(4, 1));
+        assert!(capped.levt_port_stalls > 0, "1 port/bank must cut commit groups");
+        assert!(capped.cycles >= free.cycles);
+    }
+
+    #[test]
+    fn fp_heavy_code_uses_fp_pools() {
+        let f = FpReg::new;
+        let mut b = ProgramBuilder::new();
+        let data = b.add_data_f64(&[1.0, 1.5]);
+        b.movi(r(1), data as i64);
+        b.fld(f(1), r(1), 0);
+        b.fld(f(2), r(1), 8);
+        b.movi(r(2), 0);
+        b.movi(r(3), 500);
+        let top = b.label();
+        b.bind(top);
+        b.fmul(f(3), f(1), f(2));
+        b.fadd(f(1), f(3), f(2));
+        b.fdiv(f(4), f(1), f(2));
+        b.addi(r(2), r(2), 1);
+        b.bne(r(2), r(3), top);
+        b.halt();
+        let trace = PreparedTrace::new(generate_trace(&b.build().unwrap(), 1_000_000).unwrap());
+        let s = run_to_end(&trace, CoreConfig::baseline_6_64());
+        // The serial FP chain (3 + 5 cycles per iteration minimum) caps IPC.
+        assert!(s.ipc() < 2.0);
+    }
+
+    #[test]
+    fn narrower_issue_width_never_helps() {
+        let trace = strided_loop(4_000);
+        let six = run_to_end(&trace, CoreConfig::baseline_vp_6_64());
+        let four = run_to_end(&trace, CoreConfig::baseline_vp_4_64());
+        assert!(four.cycles >= six.cycles);
+    }
+
+    #[test]
+    fn measurement_window_reset_works() {
+        let trace = strided_loop(2_000);
+        let mut sim = Simulator::new(&trace, CoreConfig::baseline_vp_6_64()).unwrap();
+        sim.run(1_000).unwrap();
+        sim.begin_measurement();
+        let warm = sim.stats();
+        assert_eq!(warm.committed, 0);
+        sim.run(1_000).unwrap();
+        let s = sim.stats();
+        assert!(s.committed >= 1_000);
+        assert!(s.cycles > 0);
+    }
+
+    #[test]
+    fn calls_and_returns_flow_through() {
+        let mut b = ProgramBuilder::new();
+        b.movi(r(2), 0);
+        b.movi(r(4), 300);
+        let top = b.label();
+        let func = b.label();
+        b.bind(top);
+        b.call(func);
+        b.addi(r(2), r(2), 1);
+        b.bne(r(2), r(4), top);
+        b.halt();
+        b.bind(func);
+        b.addi(r(3), r(3), 2);
+        b.ret();
+        let trace = PreparedTrace::new(generate_trace(&b.build().unwrap(), 100_000).unwrap());
+        let s = run_to_end(&trace, CoreConfig::eole_4_64());
+        // RAS should make returns nearly free after warmup.
+        assert!(s.indirect_mispredicts < 5, "indirect mispredicts: {}", s.indirect_mispredicts);
+    }
+}
+
+#[cfg(test)]
+mod frontend_tests {
+    use super::*;
+    use crate::config::CoreConfig;
+    use eole_isa::{generate_trace, IntReg, ProgramBuilder};
+
+    fn r(i: u8) -> IntReg {
+        IntReg::new(i)
+    }
+
+    /// Fetch-to-commit depth calibration: the first independent µ-op must
+    /// retire after roughly the front-end depth plus rename/commit and the
+    /// LE/VT stage — the paper's "fetch-to-commit latency of 19 cycles
+    /// (+1 with VP)".
+    #[test]
+    fn pipeline_depth_matches_the_paper() {
+        let mut b = ProgramBuilder::new();
+        for i in 0..32 {
+            b.movi(r((i % 8) as u8 + 1), i as i64);
+        }
+        b.halt();
+        let trace = PreparedTrace::new(generate_trace(&b.build().unwrap(), 100).unwrap());
+        let first_commit = |config: CoreConfig| {
+            let mut sim = Simulator::new(&trace, config).unwrap();
+            while sim.committed_total() == 0 {
+                sim.step();
+                assert!(sim.cycle() < 1000, "first commit never happened");
+            }
+            sim.cycle()
+        };
+        // The very first fetch pays one cold I-cache fill (~L2+DRAM),
+        // then the µ-op flows through the 15-cycle front end to commit.
+        let base = first_commit(CoreConfig::baseline_6_64());
+        assert!(
+            (140..=200).contains(&base),
+            "cold fill + pipeline depth = {base} cycles"
+        );
+        // Adding VP adds exactly the one-cycle LE/VT stage.
+        let vp = first_commit(CoreConfig::baseline_vp_6_64());
+        assert_eq!(vp, base + 1, "the LE/VT stage is one cycle deep");
+    }
+
+    /// A hard-to-predict branch must cost roughly the pipeline refill
+    /// (≥ 20 cycles per the paper) compared to a predictable one.
+    #[test]
+    fn branch_misprediction_penalty_is_a_pipeline_refill() {
+        let build = |entropy: bool| {
+            let mut b = ProgramBuilder::new();
+            let (seed, t, i, n) = (r(1), r(2), r(3), r(4));
+            b.movi(seed, 0x1357_9bdf);
+            b.movi(i, 0);
+            b.movi(n, 3_000);
+            let top = b.label();
+            b.bind(top);
+            b.shli(t, seed, 13);
+            b.xor(seed, seed, t);
+            b.shri(t, seed, 7);
+            b.xor(seed, seed, t);
+            b.shli(t, seed, 17);
+            b.xor(seed, seed, t);
+            // Branch over *nothing*: taken and not-taken paths commit the
+            // identical µ-op stream, so cycle deltas are pure penalty.
+            let skip = b.label();
+            if entropy {
+                b.andi(t, seed, 1); // coin flip
+            } else {
+                b.andi(t, seed, 0); // always 0: perfectly predictable
+            }
+            b.beq_imm(t, 1, skip);
+            b.bind(skip);
+            b.addi(i, i, 1);
+            b.blt(i, n, top);
+            b.halt();
+            PreparedTrace::new(generate_trace(&b.build().unwrap(), 200_000).unwrap())
+        };
+        let run = |trace: &PreparedTrace| {
+            let mut sim = Simulator::new(trace, CoreConfig::baseline_6_64()).unwrap();
+            sim.run(u64::MAX).unwrap();
+            (sim.stats().cycles, sim.stats().branch_mispredicts, sim.stats().committed)
+        };
+        let noisy = build(true);
+        let calm = build(false);
+        let (noisy_cycles, mis, noisy_committed) = run(&noisy);
+        let (calm_cycles, calm_mis, calm_committed) = run(&calm);
+        assert!(mis > 500, "coin-flip branch must mispredict often: {mis}");
+        assert!(calm_mis < 50, "biased branch must not: {calm_mis}");
+        // Charge the cycle difference to the mispredictions (the two
+        // programs commit the identical µ-op count by construction).
+        assert_eq!(noisy_committed, calm_committed);
+        let penalty = (noisy_cycles - calm_cycles) as f64 / mis as f64;
+        assert!(
+            (12.0..40.0).contains(&penalty),
+            "per-misprediction penalty ≈ refill: {penalty:.1} cycles"
+        );
+    }
+
+    /// Cold instruction fetch must stall on I-cache misses (long straight-
+    /// line code marches through new lines).
+    #[test]
+    fn icache_misses_stall_fetch() {
+        let mut b = ProgramBuilder::new();
+        // 4K straight-line µ-ops = 256 I-cache lines, all cold.
+        for i in 0..4096 {
+            b.movi(r((i % 8) as u8 + 1), i as i64);
+        }
+        b.halt();
+        let trace = PreparedTrace::new(generate_trace(&b.build().unwrap(), 10_000).unwrap());
+        let mut sim = Simulator::new(&trace, CoreConfig::baseline_6_64()).unwrap();
+        sim.run(u64::MAX).unwrap();
+        let s = sim.stats();
+        assert!(s.mem.l1i.misses >= 200, "cold code must miss: {}", s.mem.l1i.misses);
+        // Straight-line prefetch-free fetch gates IPC well below width.
+        assert!(s.ipc() < 6.0);
+    }
+
+    /// Taken branches that miss the BTB charge the decode-redirect bubble.
+    #[test]
+    fn btb_misses_cost_bubbles_once() {
+        let mut b = ProgramBuilder::new();
+        let (i, n) = (r(1), r(2));
+        b.movi(i, 0);
+        b.movi(n, 500);
+        let top = b.label();
+        b.bind(top);
+        b.addi(i, i, 1);
+        b.blt(i, n, top); // same branch every time: one cold BTB miss
+        b.halt();
+        let trace = PreparedTrace::new(generate_trace(&b.build().unwrap(), 10_000).unwrap());
+        let mut sim = Simulator::new(&trace, CoreConfig::baseline_6_64()).unwrap();
+        sim.run(u64::MAX).unwrap();
+        let s = sim.stats();
+        assert!(
+            s.btb_miss_bubbles <= 5,
+            "a single hot branch trains the BTB once: {}",
+            s.btb_miss_bubbles
+        );
+    }
+}

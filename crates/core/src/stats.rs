@@ -1,0 +1,215 @@
+//! Simulation counters and derived metrics.
+//!
+//! `SimStats` is resettable mid-run so experiments can warm structures for
+//! N instructions and then measure M (the paper warms 50M and measures
+//! 100M; our synthetic slices scale both down).
+
+use eole_mem::hierarchy::MemStats;
+
+/// All counters collected by the pipeline.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Cycles simulated in the measurement window.
+    pub cycles: u64,
+    /// µ-ops committed.
+    pub committed: u64,
+    /// µ-ops fetched (includes refetches after squashes).
+    pub fetched: u64,
+    /// µ-ops discarded by squashes.
+    pub squashed: u64,
+
+    // ---- value prediction ------------------------------------------------
+    /// Committed VP-eligible µ-ops.
+    pub vp_eligible: u64,
+    /// Eligible µ-ops for which the predictor returned a prediction.
+    pub vp_predicted: u64,
+    /// Predictions actually used (saturated confidence).
+    pub vp_used: u64,
+    /// Used predictions that were correct.
+    pub vp_used_correct: u64,
+    /// Used predictions that were wrong (each costs a squash).
+    pub vp_used_wrong: u64,
+    /// Pipeline squashes caused by value mispredictions.
+    pub vp_squashes: u64,
+
+    // ---- EOLE ------------------------------------------------------------
+    /// Committed µ-ops executed in the Early Execution block.
+    pub early_executed: u64,
+    /// Committed predicted single-cycle ALU µ-ops executed late (LE).
+    pub late_executed_alu: u64,
+    /// Committed very-high-confidence branches resolved late.
+    pub late_executed_branches: u64,
+    /// Commit-group cuts caused by the LE/VT read-port budget (Fig. 11).
+    pub levt_port_stalls: u64,
+    /// Dispatch-group cuts caused by the EE/prediction write budget (§6.3).
+    pub ee_write_stalls: u64,
+
+    // ---- branches ----------------------------------------------------------
+    /// Committed conditional branches.
+    pub cond_branches: u64,
+    /// Mispredicted conditional branches (resolved in the OoO engine).
+    pub branch_mispredicts: u64,
+    /// Conditional branches fetched with very-high confidence.
+    pub hc_branches: u64,
+    /// Very-high-confidence branches that were mispredicted (resolved in
+    /// LE/VT when EOLE is on — the expensive-but-rare case).
+    pub hc_branch_mispredicts: u64,
+    /// Mispredicted indirect jumps / returns.
+    pub indirect_mispredicts: u64,
+    /// Taken control µ-ops that missed the BTB (decode-redirect bubble).
+    pub btb_miss_bubbles: u64,
+
+    // ---- memory ------------------------------------------------------------
+    /// Memory-order violations (store-set training events + squashes).
+    pub memory_order_squashes: u64,
+    /// Loads satisfied by store-to-load forwarding.
+    pub sq_forwards: u64,
+
+    // ---- stalls --------------------------------------------------------------
+    /// Dispatch-group cuts: ROB full.
+    pub stall_rob_full: u64,
+    /// Dispatch-group cuts: IQ full.
+    pub stall_iq_full: u64,
+    /// Dispatch-group cuts: LQ/SQ full.
+    pub stall_lsq_full: u64,
+    /// Dispatch-group cuts: current PRF bank out of free registers.
+    pub stall_prf: u64,
+
+    /// Memory-hierarchy counters at snapshot time.
+    pub mem: MemStats,
+}
+
+impl SimStats {
+    /// Instructions (µ-ops) per cycle over the measurement window.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of committed µ-ops that were early-executed (Fig. 2).
+    pub fn early_exec_fraction(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.early_executed as f64 / self.committed as f64
+        }
+    }
+
+    /// Fraction of committed µ-ops late-executed as predicted ALU µ-ops
+    /// (Fig. 4, "Value-predicted" series; disjoint from early execution).
+    pub fn late_alu_fraction(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.late_executed_alu as f64 / self.committed as f64
+        }
+    }
+
+    /// Fraction of committed µ-ops that were high-confidence branches
+    /// resolved late (Fig. 4, "High-Confidence Branches" series).
+    pub fn late_branch_fraction(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.late_executed_branches as f64 / self.committed as f64
+        }
+    }
+
+    /// Total fraction of committed µ-ops bypassing the OoO engine (§3.4's
+    /// "10% to 60%").
+    pub fn offload_fraction(&self) -> f64 {
+        self.early_exec_fraction() + self.late_alu_fraction() + self.late_branch_fraction()
+    }
+
+    /// Coverage of value prediction: used predictions / eligible µ-ops.
+    pub fn vp_coverage(&self) -> f64 {
+        if self.vp_eligible == 0 {
+            0.0
+        } else {
+            self.vp_used as f64 / self.vp_eligible as f64
+        }
+    }
+
+    /// Accuracy of used predictions.
+    pub fn vp_accuracy(&self) -> f64 {
+        if self.vp_used == 0 {
+            1.0
+        } else {
+            self.vp_used_correct as f64 / self.vp_used as f64
+        }
+    }
+
+    /// Conditional-branch mispredictions per kilo-instruction.
+    pub fn branch_mpki(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            (self.branch_mispredicts + self.hc_branch_mispredicts) as f64 * 1000.0
+                / self.committed as f64
+        }
+    }
+
+    /// Misprediction rate of the very-high-confidence branch class (the
+    /// paper relies on this being < 0.5%).
+    pub fn hc_branch_misrate(&self) -> f64 {
+        if self.hc_branches == 0 {
+            0.0
+        } else {
+            self.hc_branch_mispredicts as f64 / self.hc_branches as f64
+        }
+    }
+
+    /// Zeroes every counter (start of a measurement window).
+    pub fn reset(&mut self) {
+        *self = SimStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = SimStats {
+            cycles: 1000,
+            committed: 1500,
+            vp_eligible: 1000,
+            vp_used: 400,
+            vp_used_correct: 399,
+            early_executed: 150,
+            late_executed_alu: 150,
+            late_executed_branches: 75,
+            cond_branches: 100,
+            branch_mispredicts: 3,
+            hc_branches: 60,
+            hc_branch_mispredicts: 0,
+            ..Default::default()
+        };
+        assert!((s.ipc() - 1.5).abs() < 1e-12);
+        assert!((s.vp_coverage() - 0.4).abs() < 1e-12);
+        assert!((s.vp_accuracy() - 0.9975).abs() < 1e-12);
+        assert!((s.offload_fraction() - 0.25).abs() < 1e-12);
+        assert!((s.branch_mpki() - 2.0).abs() < 1e-12);
+        assert_eq!(s.hc_branch_misrate(), 0.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.vp_accuracy(), 1.0);
+        assert_eq!(s.offload_fraction(), 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut s = SimStats { cycles: 5, committed: 7, ..Default::default() };
+        s.reset();
+        assert_eq!(s.cycles, 0);
+        assert_eq!(s.committed, 0);
+    }
+}

@@ -1,0 +1,502 @@
+//! Functional (architectural) simulator.
+//!
+//! Executes a [`Program`] one instruction per step, producing the oracle
+//! values the timing model replays. Division by zero follows RISC-V
+//! semantics (quotient = all ones, remainder = dividend) so programs never
+//! trap.
+
+use crate::inst::{Inst, InstClass, Opcode};
+use crate::memory::SparseMemory;
+use crate::program::Program;
+use crate::reg::{ArchReg, FpReg, IntReg, RegClass, NUM_FP_REGS, NUM_INT_REGS};
+use crate::IsaError;
+
+/// What one retired instruction did, as reported by [`Machine::step`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct StepInfo {
+    /// Pc of the retired instruction.
+    pub pc: u32,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// Value written to the destination register, if any.
+    pub dst_value: Option<u64>,
+    /// Effective address for loads/stores.
+    pub mem_addr: Option<u64>,
+    /// Access size in bytes for loads/stores.
+    pub mem_size: u8,
+    /// For control-flow µ-ops: did it redirect (conditional taken, or any
+    /// jump/call/return)?
+    pub taken: bool,
+    /// The pc of the next instruction to execute.
+    pub next_pc: u32,
+    /// True once `Halt` retires.
+    pub halted: bool,
+}
+
+/// Architectural machine state.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    program: Program,
+    int_regs: [u64; NUM_INT_REGS],
+    fp_regs: [u64; NUM_FP_REGS],
+    pc: u32,
+    mem: SparseMemory,
+    halted: bool,
+    retired: u64,
+}
+
+impl Machine {
+    /// Loads `program` (instructions + data segments) into a fresh machine.
+    pub fn new(program: &Program) -> Self {
+        let mut mem = SparseMemory::new();
+        for seg in program.data() {
+            mem.load_bytes(seg.base, &seg.bytes);
+        }
+        Machine {
+            program: program.clone(),
+            int_regs: [0; NUM_INT_REGS],
+            fp_regs: [0; NUM_FP_REGS],
+            pc: program.entry(),
+            mem,
+            halted: false,
+            retired: 0,
+        }
+    }
+
+    /// Current pc.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// True once the program has executed `Halt`.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Retired instruction count.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Reads an integer register.
+    pub fn int_reg(&self, r: IntReg) -> u64 {
+        self.int_regs[r.index() as usize]
+    }
+
+    /// Reads an FP register as its f64 value.
+    pub fn fp_reg(&self, r: FpReg) -> f64 {
+        f64::from_bits(self.fp_regs[r.index() as usize])
+    }
+
+    /// Direct access to memory (e.g. for checking results in tests).
+    pub fn memory(&self) -> &SparseMemory {
+        &self.mem
+    }
+
+    /// Mutable access to memory (e.g. for poking inputs in tests).
+    pub fn memory_mut(&mut self) -> &mut SparseMemory {
+        &mut self.mem
+    }
+
+    fn read(&self, r: ArchReg) -> u64 {
+        match r.class() {
+            RegClass::Int => self.int_regs[r.index_in_class() as usize],
+            RegClass::Fp => self.fp_regs[r.index_in_class() as usize],
+        }
+    }
+
+    fn write(&mut self, r: ArchReg, v: u64) {
+        match r.class() {
+            RegClass::Int => self.int_regs[r.index_in_class() as usize] = v,
+            RegClass::Fp => self.fp_regs[r.index_in_class() as usize] = v,
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// [`IsaError::PcOutOfRange`] if the pc leaves the program without
+    /// halting; [`IsaError::IndirectOutOfRange`] if an indirect jump targets
+    /// an invalid instruction index.
+    pub fn step(&mut self) -> Result<StepInfo, IsaError> {
+        if self.halted {
+            return Err(IsaError::PcOutOfRange(self.pc));
+        }
+        let pc = self.pc;
+        let inst = *self.program.inst(pc).ok_or(IsaError::PcOutOfRange(pc))?;
+        let s1 = inst.src1.map(|r| self.read(r)).unwrap_or(0);
+        let s2 = inst.src2.map(|r| self.read(r)).unwrap_or(0);
+        let imm = inst.imm;
+        let immu = imm as u64;
+        let mut info = StepInfo {
+            pc,
+            inst,
+            dst_value: None,
+            mem_addr: None,
+            mem_size: 0,
+            taken: false,
+            next_pc: pc + 1,
+            halted: false,
+        };
+
+        use Opcode::*;
+        let mut dst_value: Option<u64> = None;
+        match inst.op {
+            Add => dst_value = Some(s1.wrapping_add(s2)),
+            Sub => dst_value = Some(s1.wrapping_sub(s2)),
+            And => dst_value = Some(s1 & s2),
+            Or => dst_value = Some(s1 | s2),
+            Xor => dst_value = Some(s1 ^ s2),
+            Shl => dst_value = Some(s1.wrapping_shl((s2 & 63) as u32)),
+            Shr => dst_value = Some(s1.wrapping_shr((s2 & 63) as u32)),
+            Sar => dst_value = Some(((s1 as i64).wrapping_shr((s2 & 63) as u32)) as u64),
+            Slt => dst_value = Some(((s1 as i64) < (s2 as i64)) as u64),
+            Sltu => dst_value = Some((s1 < s2) as u64),
+            AddI => dst_value = Some(s1.wrapping_add(immu)),
+            SubI => dst_value = Some(s1.wrapping_sub(immu)),
+            AndI => dst_value = Some(s1 & immu),
+            OrI => dst_value = Some(s1 | immu),
+            XorI => dst_value = Some(s1 ^ immu),
+            ShlI => dst_value = Some(s1.wrapping_shl((immu & 63) as u32)),
+            ShrI => dst_value = Some(s1.wrapping_shr((immu & 63) as u32)),
+            SarI => dst_value = Some(((s1 as i64).wrapping_shr((immu & 63) as u32)) as u64),
+            SltI => dst_value = Some(((s1 as i64) < imm) as u64),
+            MovI => dst_value = Some(immu),
+            Mov => dst_value = Some(s1),
+            Lea => dst_value = Some(
+                s1.wrapping_add(s2.wrapping_shl(inst.aux as u32)).wrapping_add(immu),
+            ),
+            Mul => dst_value = Some(s1.wrapping_mul(s2)),
+            Div => {
+                let (a, b) = (s1 as i64, s2 as i64);
+                dst_value = Some(if b == 0 {
+                    u64::MAX
+                } else if a == i64::MIN && b == -1 {
+                    a as u64
+                } else {
+                    (a / b) as u64
+                });
+            }
+            Rem => {
+                let (a, b) = (s1 as i64, s2 as i64);
+                dst_value = Some(if b == 0 {
+                    a as u64
+                } else if a == i64::MIN && b == -1 {
+                    0
+                } else {
+                    (a % b) as u64
+                });
+            }
+            Fadd => dst_value = Some((f64::from_bits(s1) + f64::from_bits(s2)).to_bits()),
+            Fsub => dst_value = Some((f64::from_bits(s1) - f64::from_bits(s2)).to_bits()),
+            Fmul => dst_value = Some((f64::from_bits(s1) * f64::from_bits(s2)).to_bits()),
+            Fdiv => dst_value = Some((f64::from_bits(s1) / f64::from_bits(s2)).to_bits()),
+            FcmpLt => dst_value = Some((f64::from_bits(s1) < f64::from_bits(s2)) as u64),
+            Fcvti2f => dst_value = Some(((s1 as i64) as f64).to_bits()),
+            Fcvtf2i => {
+                let f = f64::from_bits(s1);
+                let v = if f.is_nan() { 0 } else { f as i64 };
+                dst_value = Some(v as u64);
+            }
+            Fmov => dst_value = Some(s1),
+            Ld | Fld => {
+                let addr = s1.wrapping_add(immu);
+                info.mem_addr = Some(addr);
+                info.mem_size = 8;
+                dst_value = Some(self.mem.read_le(addr, 8));
+            }
+            Ld32 => {
+                let addr = s1.wrapping_add(immu);
+                info.mem_addr = Some(addr);
+                info.mem_size = 4;
+                dst_value = Some(self.mem.read_le(addr, 4));
+            }
+            Ld16 => {
+                let addr = s1.wrapping_add(immu);
+                info.mem_addr = Some(addr);
+                info.mem_size = 2;
+                dst_value = Some(self.mem.read_le(addr, 2));
+            }
+            Ld8 => {
+                let addr = s1.wrapping_add(immu);
+                info.mem_addr = Some(addr);
+                info.mem_size = 1;
+                dst_value = Some(self.mem.read_le(addr, 1));
+            }
+            LdIdx => {
+                let addr =
+                    s1.wrapping_add(s2.wrapping_shl(inst.aux as u32)).wrapping_add(immu);
+                info.mem_addr = Some(addr);
+                info.mem_size = 8;
+                dst_value = Some(self.mem.read_le(addr, 8));
+            }
+            St | Fst => {
+                let addr = s1.wrapping_add(immu);
+                info.mem_addr = Some(addr);
+                info.mem_size = 8;
+                self.mem.write_le(addr, 8, s2);
+            }
+            St32 => {
+                let addr = s1.wrapping_add(immu);
+                info.mem_addr = Some(addr);
+                info.mem_size = 4;
+                self.mem.write_le(addr, 4, s2);
+            }
+            St16 => {
+                let addr = s1.wrapping_add(immu);
+                info.mem_addr = Some(addr);
+                info.mem_size = 2;
+                self.mem.write_le(addr, 2, s2);
+            }
+            St8 => {
+                let addr = s1.wrapping_add(immu);
+                info.mem_addr = Some(addr);
+                info.mem_size = 1;
+                self.mem.write_le(addr, 1, s2);
+            }
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+                let cond = match inst.op {
+                    Beq => s1 == s2,
+                    Bne => s1 != s2,
+                    Blt => (s1 as i64) < (s2 as i64),
+                    Bge => (s1 as i64) >= (s2 as i64),
+                    Bltu => s1 < s2,
+                    Bgeu => s1 >= s2,
+                    _ => unreachable!(),
+                };
+                info.taken = cond;
+                if cond {
+                    info.next_pc = imm as u32;
+                }
+            }
+            Jmp => {
+                info.taken = true;
+                info.next_pc = imm as u32;
+            }
+            JmpR => {
+                info.taken = true;
+                if s1 >= self.program.len() as u64 {
+                    return Err(IsaError::IndirectOutOfRange { pc, target: s1 });
+                }
+                info.next_pc = s1 as u32;
+            }
+            Call => {
+                info.taken = true;
+                dst_value = Some((pc + 1) as u64);
+                info.next_pc = imm as u32;
+            }
+            CallR => {
+                info.taken = true;
+                if s1 >= self.program.len() as u64 {
+                    return Err(IsaError::IndirectOutOfRange { pc, target: s1 });
+                }
+                dst_value = Some((pc + 1) as u64);
+                info.next_pc = s1 as u32;
+            }
+            Ret => {
+                info.taken = true;
+                if s1 >= self.program.len() as u64 {
+                    return Err(IsaError::IndirectOutOfRange { pc, target: s1 });
+                }
+                info.next_pc = s1 as u32;
+            }
+            Halt => {
+                self.halted = true;
+                info.halted = true;
+                info.next_pc = pc;
+            }
+        }
+
+        if let (Some(d), Some(v)) = (inst.dst, dst_value) {
+            self.write(d, v);
+        }
+        info.dst_value = dst_value;
+        self.pc = info.next_pc;
+        self.retired += 1;
+        debug_assert!(
+            !(inst.class() == InstClass::Branch && inst.dst.is_some()),
+            "branches must not write registers"
+        );
+        Ok(info)
+    }
+
+    /// Runs until `Halt` or until `max_steps` instructions retire.
+    ///
+    /// # Errors
+    ///
+    /// [`IsaError::StepBudgetExhausted`] if the budget runs out first, plus
+    /// any error from [`Machine::step`].
+    pub fn run(&mut self, max_steps: u64) -> Result<u64, IsaError> {
+        let start = self.retired;
+        while !self.halted {
+            if self.retired - start >= max_steps {
+                return Err(IsaError::StepBudgetExhausted);
+            }
+            self.step()?;
+        }
+        Ok(self.retired - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use proptest::prelude::*;
+
+    fn r(i: u8) -> IntReg {
+        IntReg::new(i)
+    }
+
+    #[test]
+    fn arithmetic_loop_sums_correctly() {
+        let mut b = ProgramBuilder::new();
+        b.movi(r(1), 0);
+        b.movi(r(2), 1);
+        b.movi(r(3), 101);
+        let top = b.label();
+        b.bind(top);
+        b.add(r(1), r(1), r(2));
+        b.addi(r(2), r(2), 1);
+        b.bne(r(2), r(3), top);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(10_000).unwrap();
+        assert_eq!(m.int_reg(r(1)), (1..=100).sum::<u64>());
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip() {
+        let mut b = ProgramBuilder::new();
+        let buf = b.add_data_u64(&[10, 20, 30]);
+        b.movi(r(1), buf as i64);
+        b.ld(r(2), r(1), 8);
+        b.addi(r(2), r(2), 5);
+        b.st(r(1), 16, r(2));
+        b.ld(r(3), r(1), 16);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(100).unwrap();
+        assert_eq!(m.int_reg(r(2)), 25);
+        assert_eq!(m.int_reg(r(3)), 25);
+    }
+
+    #[test]
+    fn indexed_load_and_lea_agree() {
+        let mut b = ProgramBuilder::new();
+        let buf = b.add_data_u64(&[7, 8, 9, 10]);
+        b.movi(r(1), buf as i64);
+        b.movi(r(2), 3);
+        b.ld_idx(r(3), r(1), r(2), 3, 0); // buf[3]
+        b.lea(r(4), r(1), r(2), 3, 0);
+        b.ld(r(5), r(4), 0);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(100).unwrap();
+        assert_eq!(m.int_reg(r(3)), 10);
+        assert_eq!(m.int_reg(r(5)), 10);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let mut b = ProgramBuilder::new();
+        let func = b.label();
+        b.movi(r(1), 5);
+        b.call(func);
+        b.addi(r(1), r(1), 100);
+        b.halt();
+        b.bind(func);
+        b.addi(r(1), r(1), 1);
+        b.ret();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(100).unwrap();
+        assert_eq!(m.int_reg(r(1)), 106);
+    }
+
+    #[test]
+    fn fp_pipeline_math() {
+        let f = FpReg::new;
+        let mut b = ProgramBuilder::new();
+        let data = b.add_data_f64(&[1.5, 2.5]);
+        b.movi(r(1), data as i64);
+        b.fld(f(1), r(1), 0);
+        b.fld(f(2), r(1), 8);
+        b.fadd(f(3), f(1), f(2));
+        b.fmul(f(4), f(3), f(2));
+        b.fdiv(f(5), f(4), f(1));
+        b.fcmplt(r(2), f(1), f(2));
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(100).unwrap();
+        assert_eq!(m.fp_reg(f(3)), 4.0);
+        assert_eq!(m.fp_reg(f(4)), 10.0);
+        assert!((m.fp_reg(f(5)) - 10.0 / 1.5).abs() < 1e-12);
+        assert_eq!(m.int_reg(r(2)), 1);
+    }
+
+    #[test]
+    fn division_by_zero_follows_riscv() {
+        let mut b = ProgramBuilder::new();
+        b.movi(r(1), 42);
+        b.movi(r(2), 0);
+        b.div(r(3), r(1), r(2));
+        b.rem(r(4), r(1), r(2));
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(100).unwrap();
+        assert_eq!(m.int_reg(r(3)), u64::MAX);
+        assert_eq!(m.int_reg(r(4)), 42);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.bind(top);
+        b.jmp(top);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p);
+        assert_eq!(m.run(10), Err(IsaError::StepBudgetExhausted));
+    }
+
+    #[test]
+    fn step_after_halt_errors() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(10).unwrap();
+        assert!(m.step().is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn alu_ops_match_rust_semantics(a: u64, b_: u64, sh in 0u32..64) {
+            let mut b = ProgramBuilder::new();
+            b.movi(r(1), a as i64);
+            b.movi(r(2), b_ as i64);
+            b.add(r(3), r(1), r(2));
+            b.sub(r(4), r(1), r(2));
+            b.xor(r(5), r(1), r(2));
+            b.shli(r(6), r(1), sh as i64);
+            b.sltu(r(7), r(1), r(2));
+            b.halt();
+            let p = b.build().unwrap();
+            let mut m = Machine::new(&p);
+            m.run(100).unwrap();
+            prop_assert_eq!(m.int_reg(r(3)), a.wrapping_add(b_));
+            prop_assert_eq!(m.int_reg(r(4)), a.wrapping_sub(b_));
+            prop_assert_eq!(m.int_reg(r(5)), a ^ b_);
+            prop_assert_eq!(m.int_reg(r(6)), a.wrapping_shl(sh));
+            prop_assert_eq!(m.int_reg(r(7)), (a < b_) as u64);
+        }
+    }
+}

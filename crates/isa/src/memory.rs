@@ -1,0 +1,155 @@
+//! Sparse 64-bit byte-addressable memory.
+//!
+//! Backed by 4 KiB pages allocated on demand; unwritten memory reads as
+//! zero. Accesses may straddle page boundaries.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const OFFSET_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// Sparse memory image used by the functional [`Machine`](crate::Machine).
+#[derive(Clone, Default)]
+pub struct SparseMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMemory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of 4 KiB pages currently materialized.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr & OFFSET_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte, materializing the page if needed.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr & OFFSET_MASK) as usize] = value;
+    }
+
+    /// Reads `N ≤ 8` bytes little-endian.
+    pub fn read_le(&self, addr: u64, size: usize) -> u64 {
+        debug_assert!(size <= 8);
+        let mut v = 0u64;
+        for i in 0..size {
+            v |= (self.read_u8(addr.wrapping_add(i as u64)) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes `N ≤ 8` bytes little-endian.
+    pub fn write_le(&mut self, addr: u64, size: usize, value: u64) {
+        debug_assert!(size <= 8);
+        for i in 0..size {
+            self.write_u8(addr.wrapping_add(i as u64), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads a 64-bit word.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read_le(addr, 8)
+    }
+
+    /// Writes a 64-bit word.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_le(addr, 8, value);
+    }
+
+    /// Copies a byte slice into memory starting at `base`.
+    pub fn load_bytes(&mut self, base: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(base.wrapping_add(i as u64), *b);
+        }
+    }
+}
+
+impl std::fmt::Debug for SparseMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SparseMemory({} pages)", self.pages.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let m = SparseMemory::new();
+        assert_eq!(m.read_u8(0), 0);
+        assert_eq!(m.read_u64(0xdead_beef), 0);
+        assert_eq!(m.page_count(), 0);
+    }
+
+    #[test]
+    fn round_trip_u64() {
+        let mut m = SparseMemory::new();
+        m.write_u64(64, 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_u64(64), 0x0123_4567_89ab_cdef);
+        // Little-endian byte order.
+        assert_eq!(m.read_u8(64), 0xef);
+        assert_eq!(m.read_u8(71), 0x01);
+    }
+
+    #[test]
+    fn page_straddling_access() {
+        let mut m = SparseMemory::new();
+        let addr = (1 << 12) - 4; // 4 bytes before a page boundary
+        m.write_u64(addr, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(addr), 0x1122_3344_5566_7788);
+        assert_eq!(m.page_count(), 2);
+    }
+
+    #[test]
+    fn partial_width_reads() {
+        let mut m = SparseMemory::new();
+        m.write_le(16, 4, 0xaabb_ccdd);
+        assert_eq!(m.read_le(16, 4), 0xaabb_ccdd);
+        assert_eq!(m.read_le(16, 2), 0xccdd);
+        assert_eq!(m.read_le(16, 8), 0xaabb_ccdd); // upper bytes untouched = 0
+    }
+
+    #[test]
+    fn load_bytes_places_slice() {
+        let mut m = SparseMemory::new();
+        m.load_bytes(100, &[1, 2, 3, 4]);
+        assert_eq!(m.read_le(100, 4), 0x0403_0201);
+    }
+
+    proptest! {
+        #[test]
+        fn write_then_read_any_width(addr in 0u64..1u64 << 40, size in 1usize..=8, value: u64) {
+            let mut m = SparseMemory::new();
+            m.write_le(addr, size, value);
+            let mask = if size == 8 { u64::MAX } else { (1u64 << (8 * size)) - 1 };
+            prop_assert_eq!(m.read_le(addr, size), value & mask);
+        }
+
+        #[test]
+        fn disjoint_writes_do_not_interfere(a in 0u64..1u64 << 32, v1: u64, v2: u64) {
+            let b = a.wrapping_add(8);
+            let mut m = SparseMemory::new();
+            m.write_u64(a, v1);
+            m.write_u64(b, v2);
+            prop_assert_eq!(m.read_u64(a), v1);
+            prop_assert_eq!(m.read_u64(b), v2);
+        }
+    }
+}

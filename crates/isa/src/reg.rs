@@ -1,0 +1,194 @@
+//! Architectural register names.
+//!
+//! The ISA has 32 integer registers (`r0`–`r31`) and 32 floating-point
+//! registers (`f0`–`f31`). None is hardwired to zero; constants come from
+//! immediates. By convention `r31` is the link register written by calls.
+
+/// Number of integer architectural registers.
+pub const NUM_INT_REGS: usize = 32;
+/// Number of floating-point architectural registers.
+pub const NUM_FP_REGS: usize = 32;
+/// Total architectural registers across both classes.
+pub const NUM_ARCH_REGS: usize = NUM_INT_REGS + NUM_FP_REGS;
+
+/// Register class: the two architectural register files.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// 64-bit integer registers.
+    Int,
+    /// 64-bit floating-point registers (IEEE-754 binary64 bit patterns).
+    Fp,
+}
+
+/// An integer architectural register (`r0`–`r31`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IntReg(u8);
+
+impl IntReg {
+    /// The link register written by `call` and read by `ret`.
+    pub const LINK: IntReg = IntReg(31);
+
+    /// Assembler scratch register clobbered by the builder's `*_imm` branch
+    /// conveniences (like MIPS `$at`).
+    pub const SCRATCH: IntReg = IntReg(30);
+
+    /// Creates `r{index}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> Self {
+        assert!((index as usize) < NUM_INT_REGS, "integer register index {index} out of range");
+        IntReg(index)
+    }
+
+    /// The register index (0–31).
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for IntReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A floating-point architectural register (`f0`–`f31`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FpReg(u8);
+
+impl FpReg {
+    /// Creates `f{index}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> Self {
+        assert!((index as usize) < NUM_FP_REGS, "fp register index {index} out of range");
+        FpReg(index)
+    }
+
+    /// The register index (0–31).
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for FpReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A register from either class, flattened to a dense 0–63 id.
+///
+/// Ids 0–31 are the integer registers, 32–63 the FP registers. The flat id
+/// is what renaming tables and the trace format index by.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArchReg(u8);
+
+impl ArchReg {
+    /// Wraps an integer register.
+    pub fn int(r: IntReg) -> Self {
+        ArchReg(r.index())
+    }
+
+    /// Wraps an FP register.
+    pub fn fp(r: FpReg) -> Self {
+        ArchReg(r.index() + NUM_INT_REGS as u8)
+    }
+
+    /// Reconstructs from a flat id (0–63).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat >= 64`.
+    pub fn from_flat(flat: u8) -> Self {
+        assert!((flat as usize) < NUM_ARCH_REGS, "flat register id {flat} out of range");
+        ArchReg(flat)
+    }
+
+    /// The dense 0–63 id.
+    pub fn flat(self) -> u8 {
+        self.0
+    }
+
+    /// Which register file this register lives in.
+    pub fn class(self) -> RegClass {
+        if (self.0 as usize) < NUM_INT_REGS {
+            RegClass::Int
+        } else {
+            RegClass::Fp
+        }
+    }
+
+    /// The index within its class (0–31).
+    pub fn index_in_class(self) -> u8 {
+        self.0 % NUM_INT_REGS as u8
+    }
+}
+
+impl From<IntReg> for ArchReg {
+    fn from(r: IntReg) -> Self {
+        ArchReg::int(r)
+    }
+}
+
+impl From<FpReg> for ArchReg {
+    fn from(r: FpReg) -> Self {
+        ArchReg::fp(r)
+    }
+}
+
+impl std::fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.class() {
+            RegClass::Int => write!(f, "r{}", self.index_in_class()),
+            RegClass::Fp => write!(f, "f{}", self.index_in_class()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_ids_round_trip() {
+        for i in 0..32u8 {
+            let a = ArchReg::int(IntReg::new(i));
+            assert_eq!(a.class(), RegClass::Int);
+            assert_eq!(a.index_in_class(), i);
+            assert_eq!(ArchReg::from_flat(a.flat()), a);
+        }
+        for i in 0..32u8 {
+            let a = ArchReg::fp(FpReg::new(i));
+            assert_eq!(a.class(), RegClass::Fp);
+            assert_eq!(a.index_in_class(), i);
+            assert_eq!(ArchReg::from_flat(a.flat()), a);
+        }
+    }
+
+    #[test]
+    fn int_and_fp_never_collide() {
+        let a = ArchReg::int(IntReg::new(5));
+        let b = ArchReg::fp(FpReg::new(5));
+        assert_ne!(a, b);
+        assert_ne!(a.flat(), b.flat());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(IntReg::new(3).to_string(), "r3");
+        assert_eq!(FpReg::new(7).to_string(), "f7");
+        assert_eq!(ArchReg::fp(FpReg::new(7)).to_string(), "f7");
+        assert_eq!(IntReg::LINK.index(), 31);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_int_reg_panics() {
+        let _ = IntReg::new(32);
+    }
+}

@@ -1,0 +1,221 @@
+//! Dynamic-trace generation for the timing model.
+//!
+//! The cycle-level simulator in `eole-core` is *trace driven*: the program
+//! is executed once by the functional [`Machine`] and every retired µ-op is
+//! recorded as a [`DynInst`]. The timing model replays this stream with a
+//! cursor; squash-and-refetch is a cursor rewind.
+//!
+//! Two things are precomputed here because they are pure functions of the
+//! (always correct-path) instruction stream:
+//!
+//! * the *conditional-branch outcome log* — predictors index their global
+//!   history through [`DynInst::bhist_pos`], which makes speculative-history
+//!   repair after a squash unnecessary (the history at a given trace position
+//!   never changes);
+//! * oracle results, effective addresses and branch targets.
+
+use crate::inst::{Inst, InstClass};
+use crate::machine::Machine;
+use crate::program::Program;
+use crate::reg::ArchReg;
+use crate::IsaError;
+
+/// One retired micro-op of the dynamic instruction stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DynInst {
+    /// Static instruction index (the pc).
+    pub pc: u32,
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Oracle value written to the destination register (0 if none).
+    pub result: u64,
+    /// Effective address for loads/stores (0 otherwise).
+    pub addr: u64,
+    /// Access size in bytes for loads/stores (0 otherwise).
+    pub size: u8,
+    /// For control µ-ops: taken?
+    pub taken: bool,
+    /// Pc of the next µ-op in the trace.
+    pub next_pc: u32,
+    /// Number of conditional-branch outcomes logged *before* this µ-op;
+    /// i.e. the predictor history position at fetch.
+    pub bhist_pos: u32,
+}
+
+impl DynInst {
+    /// Destination register, if any.
+    pub fn dst(&self) -> Option<ArchReg> {
+        self.inst.dst
+    }
+
+    /// Timing class.
+    pub fn class(&self) -> InstClass {
+        self.inst.class()
+    }
+
+    /// True if this µ-op is a load.
+    pub fn is_load(&self) -> bool {
+        self.class() == InstClass::Load
+    }
+
+    /// True if this µ-op is a store.
+    pub fn is_store(&self) -> bool {
+        self.class() == InstClass::Store
+    }
+}
+
+/// A complete dynamic trace plus the conditional-branch outcome log.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// Retired µ-ops in program order.
+    pub insts: Vec<DynInst>,
+    /// Outcome (taken?) of every conditional branch, in retirement order.
+    pub branch_outcomes: Vec<bool>,
+    /// True if the program reached `Halt` within the budget (otherwise the
+    /// trace is a truncated prefix, which is fine for timing studies).
+    pub halted: bool,
+}
+
+impl Trace {
+    /// Number of µ-ops in the trace.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+/// Runs `program` functionally and records up to `max_insts` retired µ-ops.
+///
+/// The `Halt` µ-op itself is *not* recorded (it never enters the paper's
+/// pipeline statistics).
+///
+/// # Errors
+///
+/// Propagates execution errors from the functional machine. Exhausting
+/// `max_insts` is *not* an error — the truncated trace is returned with
+/// `halted == false`.
+///
+/// # Example
+///
+/// ```
+/// use eole_isa::{generate_trace, ProgramBuilder, IntReg};
+///
+/// # fn main() -> Result<(), eole_isa::IsaError> {
+/// let mut b = ProgramBuilder::new();
+/// let r1 = IntReg::new(1);
+/// b.movi(r1, 3);
+/// b.addi(r1, r1, 4);
+/// b.halt();
+/// let trace = generate_trace(&b.build()?, 100)?;
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.insts[1].result, 7);
+/// # Ok(())
+/// # }
+/// ```
+pub fn generate_trace(program: &Program, max_insts: u64) -> Result<Trace, IsaError> {
+    let mut machine = Machine::new(program);
+    let mut insts = Vec::new();
+    let mut branch_outcomes = Vec::new();
+    let mut halted = false;
+    while (insts.len() as u64) < max_insts {
+        let info = machine.step()?;
+        if info.halted {
+            halted = true;
+            break;
+        }
+        let bhist_pos = branch_outcomes.len() as u32;
+        if info.inst.is_cond_branch() {
+            branch_outcomes.push(info.taken);
+        }
+        insts.push(DynInst {
+            pc: info.pc,
+            inst: info.inst,
+            result: info.dst_value.unwrap_or(0),
+            addr: info.mem_addr.unwrap_or(0),
+            size: info.mem_size,
+            taken: info.taken,
+            next_pc: info.next_pc,
+            bhist_pos,
+        });
+    }
+    Ok(Trace { insts, branch_outcomes, halted })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::Opcode;
+    use crate::reg::IntReg;
+
+    fn r(i: u8) -> IntReg {
+        IntReg::new(i)
+    }
+
+    fn loop_program(iters: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        b.movi(r(1), 0);
+        b.movi(r(2), iters);
+        let top = b.label();
+        b.bind(top);
+        b.addi(r(1), r(1), 1);
+        b.bne(r(1), r(2), top);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn trace_records_all_retired_uops_except_halt() {
+        let t = generate_trace(&loop_program(5), 10_000).unwrap();
+        // 2 movi + 5 * (addi + bne) = 12
+        assert_eq!(t.len(), 12);
+        assert!(t.halted);
+    }
+
+    #[test]
+    fn branch_outcomes_align_with_bhist_pos() {
+        let t = generate_trace(&loop_program(3), 10_000).unwrap();
+        assert_eq!(t.branch_outcomes, vec![true, true, false]);
+        let branches: Vec<&DynInst> =
+            t.insts.iter().filter(|d| d.inst.is_cond_branch()).collect();
+        for (i, br) in branches.iter().enumerate() {
+            // Each branch sees exactly the history produced by earlier branches.
+            assert_eq!(br.bhist_pos as usize, i);
+            assert_eq!(t.branch_outcomes[i], br.taken);
+        }
+    }
+
+    #[test]
+    fn truncation_is_not_an_error() {
+        let t = generate_trace(&loop_program(1_000_000), 100).unwrap();
+        assert_eq!(t.len(), 100);
+        assert!(!t.halted);
+    }
+
+    #[test]
+    fn oracle_values_and_next_pc_are_recorded() {
+        let t = generate_trace(&loop_program(2), 10_000).unwrap();
+        let first_addi = t.insts.iter().find(|d| d.inst.op == Opcode::AddI).unwrap();
+        assert_eq!(first_addi.result, 1);
+        let taken_branch = t.insts.iter().find(|d| d.taken).unwrap();
+        assert_eq!(taken_branch.next_pc, 2); // loop head
+    }
+
+    #[test]
+    fn store_addresses_are_recorded() {
+        let mut b = ProgramBuilder::new();
+        let buf = b.add_data_u64(&[0]);
+        b.movi(r(1), buf as i64);
+        b.movi(r(2), 9);
+        b.st(r(1), 0, r(2));
+        b.halt();
+        let t = generate_trace(&b.build().unwrap(), 100).unwrap();
+        let st = t.insts.iter().find(|d| d.is_store()).unwrap();
+        assert_eq!(st.addr, buf);
+        assert_eq!(st.size, 8);
+    }
+}

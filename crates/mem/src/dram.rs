@@ -1,0 +1,212 @@
+//! Open-row DRAM latency model.
+//!
+//! Table 1: "Single channel DDR3-1600 (11-11-11), 2 ranks, 8 banks/rank,
+//! 8K row-buffer … Min. Read Lat.: 75 cycles, Max. 185 cycles." We model
+//! exactly the observable envelope: per-bank open-row state gives 75-cycle
+//! row hits, 130-cycle closed-row accesses and 185-cycle row conflicts
+//! (precharge + activate + CAS), serialized per bank, plus a shared data-bus
+//! slot per 64 B transfer. A full DDR3 command scheduler is intentionally
+//! out of scope (the paper only exposes min/max latency).
+
+/// DRAM timing/geometry parameters (in CPU cycles, 4 GHz core).
+#[derive(Clone, Debug)]
+pub struct DramConfig {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Banks per rank.
+    pub banks_per_rank: usize,
+    /// Row-buffer size in bytes.
+    pub row_bytes: u64,
+    /// Load-to-use latency on a row hit.
+    pub t_row_hit: u64,
+    /// Latency when the bank has no open row.
+    pub t_row_closed: u64,
+    /// Latency when another row is open (precharge first).
+    pub t_row_conflict: u64,
+    /// Data-bus occupancy per 64 B transfer.
+    pub t_bus: u64,
+}
+
+impl DramConfig {
+    /// The paper's single-channel DDR3-1600 envelope.
+    pub fn paper() -> Self {
+        DramConfig {
+            ranks: 2,
+            banks_per_rank: 8,
+            row_bytes: 8192,
+            t_row_hit: 75,
+            t_row_closed: 130,
+            t_row_conflict: 185,
+            t_bus: 4,
+        }
+    }
+}
+
+/// DRAM access counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DramStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Row conflicts (had to precharge).
+    pub row_conflicts: u64,
+}
+
+/// The DRAM device model.
+#[derive(Clone, Debug)]
+pub struct Dram {
+    config: DramConfig,
+    open_row: Vec<Option<u64>>,
+    bank_free: Vec<u64>,
+    bus_free: u64,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Creates a DRAM with all banks idle.
+    pub fn new(config: DramConfig) -> Self {
+        let banks = config.ranks * config.banks_per_rank;
+        Dram {
+            config,
+            open_row: vec![None; banks],
+            bank_free: vec![0; banks],
+            bus_free: 0,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// Running counters.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    fn bank_of(&self, addr: u64) -> usize {
+        let banks = self.open_row.len() as u64;
+        // XOR-fold several row-bit groups into the bank index (standard
+        // controller trick) so power-of-two strides don't all land in one
+        // bank — including strides that are powers of the bank count.
+        let line = addr / self.config.row_bytes;
+        ((line ^ (line >> 4) ^ (line >> 8) ^ (line >> 12) ^ (line >> 16)) % banks) as usize
+    }
+
+    fn row_of(&self, addr: u64) -> u64 {
+        addr / self.config.row_bytes / self.open_row.len() as u64
+    }
+
+    /// Performs a read (or fill) of the line containing `addr`, issued at
+    /// `cycle`; returns the completion cycle.
+    pub fn access(&mut self, addr: u64, cycle: u64) -> u64 {
+        self.stats.accesses += 1;
+        let bank = self.bank_of(addr);
+        let row = self.row_of(addr);
+        let latency = match self.open_row[bank] {
+            Some(open) if open == row => {
+                self.stats.row_hits += 1;
+                self.config.t_row_hit
+            }
+            Some(_) => {
+                self.stats.row_conflicts += 1;
+                self.config.t_row_conflict
+            }
+            None => self.config.t_row_closed,
+        };
+        let start = cycle.max(self.bank_free[bank]).max(self.bus_free);
+        let done = start + latency;
+        self.open_row[bank] = Some(row);
+        self.bank_free[bank] = done;
+        self.bus_free = start + self.config.t_bus;
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_pays_closed_row_latency() {
+        let mut d = Dram::new(DramConfig::paper());
+        assert_eq!(d.access(0x0, 100), 100 + 130);
+    }
+
+    #[test]
+    fn second_access_to_same_row_hits() {
+        let mut d = Dram::new(DramConfig::paper());
+        let t1 = d.access(0x0, 0);
+        // Same row, after the bank frees.
+        let t2 = d.access(0x40, t1);
+        assert_eq!(t2, t1 + 75);
+        assert_eq!(d.stats().row_hits, 1);
+    }
+
+    #[test]
+    fn different_row_same_bank_conflicts() {
+        // With XOR bank hashing the colliding stride is not a fixed
+        // constant; search for an address that shares bank 0 with address
+        // 0 but sits in another row.
+        let cfg = DramConfig::paper();
+        let mut found = false;
+        for k in 1..4096u64 {
+            let mut d = Dram::new(cfg.clone());
+            let t1 = d.access(0x0, 0);
+            let addr = k * cfg.row_bytes;
+            let t2 = d.access(addr, t1);
+            if t2 == t1 + cfg.t_row_conflict {
+                assert_eq!(d.stats().row_conflicts, 1);
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "some stride must still collide (finite banks)");
+    }
+
+    #[test]
+    fn power_of_two_plane_strides_spread_across_banks() {
+        // Eight accesses 2 MB apart (the lbm plane stride) must not
+        // serialize on one bank.
+        let cfg = DramConfig::paper();
+        let mut d = Dram::new(cfg.clone());
+        let mut worst = 0;
+        for p in 0..8u64 {
+            let done = d.access(p * (2 << 20), 0);
+            worst = worst.max(done);
+        }
+        // Bank-parallel: bounded by bus slots + one access latency, far
+        // below 8 serialized row-misses.
+        assert!(worst < 2 * cfg.t_row_conflict, "worst completion {worst}");
+    }
+
+    #[test]
+    fn busy_bank_serializes() {
+        let mut d = Dram::new(DramConfig::paper());
+        let t1 = d.access(0x0, 0); // bank busy until t1
+        let t2 = d.access(0x40, 1); // issued while busy
+        assert_eq!(t2, t1 + 75, "second access waits for the bank");
+    }
+
+    #[test]
+    fn different_banks_overlap_except_bus() {
+        let cfg = DramConfig::paper();
+        let mut d = Dram::new(cfg.clone());
+        let t1 = d.access(0x0, 0);
+        let t2 = d.access(cfg.row_bytes, 0); // next bank
+        // Bank-parallel: both finish around t_closed, offset by bus slot.
+        assert_eq!(t1, 130);
+        assert_eq!(t2, cfg.t_bus + 130);
+    }
+
+    #[test]
+    fn latencies_stay_in_the_paper_envelope() {
+        let cfg = DramConfig::paper();
+        let mut d = Dram::new(cfg);
+        let mut addr = 0u64;
+        for i in 0..1000u64 {
+            let now = i * 200; // spaced out: no queueing
+            let done = d.access(addr, now);
+            let lat = done - now;
+            assert!((75..=185).contains(&lat), "latency {lat} out of envelope");
+            addr = addr.wrapping_add(0x1234_40);
+        }
+    }
+}

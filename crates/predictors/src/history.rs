@@ -1,0 +1,236 @@
+//! Global conditional-branch history, shared by TAGE and VTAGE.
+//!
+//! The trace-driven simulator precomputes the (always correct-path) outcome
+//! log once; predictors index it through a [`HistoryView`] anchored at the
+//! µ-op's fetch position. Because the log never changes, squash recovery
+//! needs no history repair — a refetched µ-op simply presents the same
+//! position again.
+//!
+//! Indices and tags are derived by hashing the most recent `L` outcome bits
+//! together with the pc and a per-component seed (instead of maintaining
+//! incrementally folded registers, which would need checkpointing).
+
+/// Append-only log of conditional-branch outcomes (bit-packed).
+#[derive(Clone, Debug, Default)]
+pub struct BranchHistory {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BranchHistory {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a log from a slice of outcomes (index 0 = oldest).
+    pub fn from_outcomes(outcomes: &[bool]) -> Self {
+        let mut h = Self::new();
+        for &o in outcomes {
+            h.push(o);
+        }
+        h
+    }
+
+    /// Appends one outcome.
+    pub fn push(&mut self, taken: bool) {
+        let word = self.len / 64;
+        let bit = self.len % 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if taken {
+            self.words[word] |= 1u64 << bit;
+        }
+        self.len += 1;
+    }
+
+    /// Number of logged outcomes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Outcome at absolute position `i` (0 = oldest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn outcome(&self, i: usize) -> bool {
+        assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// A view of the history as seen by a µ-op fetched after `pos` outcomes
+    /// had been logged (i.e. outcomes `[0, pos)` are visible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos > len()`.
+    pub fn view(&self, pos: usize) -> HistoryView<'_> {
+        assert!(pos <= self.len, "history position {pos} beyond log length {}", self.len);
+        HistoryView { hist: self, pos }
+    }
+}
+
+/// Maximum history length supported by [`HistoryView::fold`], in bits.
+pub const MAX_HISTORY_BITS: usize = 640;
+
+/// A read-only window over the most recent outcomes at some fetch position.
+#[derive(Clone, Copy, Debug)]
+pub struct HistoryView<'a> {
+    hist: &'a BranchHistory,
+    pos: usize,
+}
+
+impl HistoryView<'_> {
+    /// The number of outcomes visible to this view.
+    pub fn visible(&self) -> usize {
+        self.pos
+    }
+
+    /// Hashes the most recent `length` bits (zero-padded if fewer are
+    /// visible) with `seed`. Used to build table indices and tags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length > MAX_HISTORY_BITS`.
+    pub fn fold(&self, length: usize, seed: u64) -> u64 {
+        assert!(length <= MAX_HISTORY_BITS);
+        let mut h = seed ^ 0x9e37_79b9_7f4a_7c15;
+        if length == 0 {
+            return mix(h);
+        }
+        let take = length.min(self.pos);
+        let start = self.pos - take; // absolute bit index of the oldest taken bit
+        let mut remaining = take;
+        let mut idx = start;
+        while remaining > 0 {
+            let word = idx / 64;
+            let bit = idx % 64;
+            let chunk = (64 - bit).min(remaining);
+            let mut w = self.hist.words[word] >> bit;
+            if chunk < 64 {
+                w &= (1u64 << chunk) - 1;
+            }
+            h ^= w.wrapping_mul(0xff51_afd7_ed55_8ccd);
+            h = h.rotate_left(31).wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+            idx += chunk;
+            remaining -= chunk;
+        }
+        // Make the amount of history that was actually visible part of the
+        // hash so short prefixes don't alias full-length histories.
+        h ^= take as u64;
+        mix(h)
+    }
+}
+
+/// Final avalanche mix (from MurmurHash3's fmix64).
+fn mix(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    h
+}
+
+/// Hashes a pc with a seed (for tagless table indexing).
+pub fn hash_pc(pc: u64, seed: u64) -> u64 {
+    mix(pc.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut h = BranchHistory::new();
+        let pattern = [true, false, true, true, false];
+        for &p in &pattern {
+            h.push(p);
+        }
+        for (i, &p) in pattern.iter().enumerate() {
+            assert_eq!(h.outcome(i), p);
+        }
+        assert_eq!(h.len(), 5);
+    }
+
+    #[test]
+    fn fold_depends_only_on_visible_window() {
+        // Two logs that agree on the last 8 outcomes but differ before.
+        let mut a = BranchHistory::new();
+        let mut b = BranchHistory::new();
+        for i in 0..100 {
+            a.push(i % 3 == 0);
+            b.push(i % 7 == 0);
+        }
+        let tail = [true, true, false, true, false, false, true, false];
+        for &t in &tail {
+            a.push(t);
+            b.push(t);
+        }
+        let va = a.view(a.len());
+        let vb = b.view(b.len());
+        assert_eq!(va.fold(8, 1), vb.fold(8, 1));
+        assert_ne!(va.fold(64, 1), vb.fold(64, 1));
+    }
+
+    #[test]
+    fn fold_changes_with_seed_and_length() {
+        let h = BranchHistory::from_outcomes(&[true; 100]);
+        let v = h.view(100);
+        assert_ne!(v.fold(16, 1), v.fold(16, 2));
+        assert_ne!(v.fold(16, 1), v.fold(32, 1));
+    }
+
+    #[test]
+    fn view_at_old_position_is_stable_after_pushes() {
+        let mut h = BranchHistory::from_outcomes(&[true, false, true]);
+        let before = h.view(3).fold(64, 9);
+        h.push(true);
+        h.push(false);
+        assert_eq!(h.view(3).fold(64, 9), before);
+    }
+
+    #[test]
+    fn word_boundary_crossing() {
+        let mut h = BranchHistory::new();
+        for i in 0..130 {
+            h.push(i % 2 == 0);
+        }
+        // Should not panic and should see 130 outcomes.
+        let v = h.view(130);
+        assert_eq!(v.visible(), 130);
+        let _ = v.fold(128, 3);
+        let _ = v.fold(640, 3);
+    }
+
+    proptest! {
+        #[test]
+        fn fold_is_deterministic(outcomes in proptest::collection::vec(any::<bool>(), 0..300),
+                                 len in 0usize..256, seed: u64) {
+            let h = BranchHistory::from_outcomes(&outcomes);
+            let v = h.view(outcomes.len());
+            prop_assert_eq!(v.fold(len, seed), v.fold(len, seed));
+        }
+
+        #[test]
+        fn last_bit_always_matters(outcomes in proptest::collection::vec(any::<bool>(), 1..200)) {
+            let mut flipped = outcomes.clone();
+            let last = flipped.len() - 1;
+            flipped[last] = !flipped[last];
+            let a = BranchHistory::from_outcomes(&outcomes);
+            let b = BranchHistory::from_outcomes(&flipped);
+            let va = a.view(outcomes.len());
+            let vb = b.view(outcomes.len());
+            prop_assert_ne!(va.fold(4, 0), vb.fold(4, 0));
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Store Sets memory-dependence predictor (Chrysos & Emer, ISCA 1998; the
+//! paper's \[4\], Table 1: "1K-SSID/LFST Store Sets").
+//!
+//! Loads are allowed to issue speculatively past older stores with unknown
+//! addresses. When that speculation turns out wrong (a memory-order
+//! violation), the offending load and store are placed in the same *store
+//! set*; afterwards the load waits for any in-flight store of its set.
+//!
+//! This module owns the Store Set ID Table (SSIT) and the set-merge rules;
+//! the Last Fetched Store Table (LFST) is inherently dynamic pipeline state
+//! and lives in the core's load/store queue logic.
+
+use crate::history::hash_pc;
+
+const INVALID: u16 = u16::MAX;
+
+/// Store-set identifier.
+pub type Ssid = u16;
+
+/// The SSIT plus SSID allocation/merge policy.
+#[derive(Clone, Debug)]
+pub struct StoreSets {
+    ssit: Vec<u16>,
+    num_ssids: u16,
+    next_ssid: u16,
+}
+
+impl StoreSets {
+    /// The paper's configuration: 1K-entry SSIT, 128 SSIDs (bounded by the
+    /// LFST size).
+    pub fn paper() -> Self {
+        Self::new(1024, 128)
+    }
+
+    /// Creates a table with `ssit_entries` slots and `num_ssids` sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_ssids` is 0 or ≥ `u16::MAX`.
+    pub fn new(ssit_entries: usize, num_ssids: u16) -> Self {
+        assert!(num_ssids > 0 && num_ssids < u16::MAX);
+        StoreSets {
+            ssit: vec![INVALID; ssit_entries.next_power_of_two().max(1)],
+            num_ssids,
+            next_ssid: 0,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (hash_pc(pc, 0x5e75) as usize) & (self.ssit.len() - 1)
+    }
+
+    /// The store set the µ-op at `pc` belongs to, if any.
+    pub fn ssid(&self, pc: u64) -> Option<Ssid> {
+        let v = self.ssit[self.index(pc)];
+        (v != INVALID).then_some(v)
+    }
+
+    /// Number of distinct SSIDs (the LFST must have this many slots).
+    pub fn num_ssids(&self) -> u16 {
+        self.num_ssids
+    }
+
+    /// Records a memory-order violation between a load and the older store
+    /// it incorrectly bypassed, merging their store sets per Chrysos-Emer:
+    ///
+    /// * neither has a set → allocate a fresh SSID for both;
+    /// * one has a set → the other joins it;
+    /// * both have sets → both adopt the smaller SSID.
+    pub fn on_violation(&mut self, load_pc: u64, store_pc: u64) {
+        let li = self.index(load_pc);
+        let si = self.index(store_pc);
+        let (l, s) = (self.ssit[li], self.ssit[si]);
+        match (l != INVALID, s != INVALID) {
+            (false, false) => {
+                let id = self.next_ssid;
+                self.next_ssid = (self.next_ssid + 1) % self.num_ssids;
+                self.ssit[li] = id;
+                self.ssit[si] = id;
+            }
+            (true, false) => self.ssit[si] = l,
+            (false, true) => self.ssit[li] = s,
+            (true, true) => {
+                let id = l.min(s);
+                self.ssit[li] = id;
+                self.ssit[si] = id;
+            }
+        }
+    }
+
+    /// Forgets all assignments (periodic clearing lets stale sets decay).
+    pub fn clear(&mut self) {
+        self.ssit.fill(INVALID);
+    }
+
+    /// Storage in bits (one SSID per SSIT entry).
+    pub fn storage_bits(&self) -> u64 {
+        self.ssit.len() as u64 * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let ss = StoreSets::paper();
+        assert_eq!(ss.ssid(0x10), None);
+        assert_eq!(ss.ssid(0x20), None);
+    }
+
+    #[test]
+    fn violation_creates_a_shared_set() {
+        let mut ss = StoreSets::paper();
+        ss.on_violation(0x10, 0x20);
+        let a = ss.ssid(0x10).unwrap();
+        let b = ss.ssid(0x20).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn one_sided_membership_is_adopted() {
+        let mut ss = StoreSets::paper();
+        ss.on_violation(0x10, 0x20); // both get set 0
+        ss.on_violation(0x30, 0x20); // load 0x30 joins store 0x20's set
+        assert_eq!(ss.ssid(0x30), ss.ssid(0x20));
+    }
+
+    #[test]
+    fn double_membership_merges_to_min() {
+        let mut ss = StoreSets::paper();
+        ss.on_violation(0x10, 0x20); // set 0
+        ss.on_violation(0x30, 0x40); // set 1
+        let s0 = ss.ssid(0x10).unwrap();
+        let s1 = ss.ssid(0x30).unwrap();
+        assert_ne!(s0, s1);
+        ss.on_violation(0x10, 0x40); // merge: both become min(s0, s1)
+        assert_eq!(ss.ssid(0x10).unwrap(), s0.min(s1));
+        assert_eq!(ss.ssid(0x40).unwrap(), s0.min(s1));
+    }
+
+    #[test]
+    fn ssid_allocation_wraps() {
+        let mut ss = StoreSets::new(256, 2);
+        ss.on_violation(1, 2);
+        ss.on_violation(3, 4);
+        ss.on_violation(5, 6); // wraps to SSID 0 again
+        assert!(ss.ssid(5).unwrap() < 2);
+    }
+
+    #[test]
+    fn clear_forgets_everything() {
+        let mut ss = StoreSets::paper();
+        ss.on_violation(0x10, 0x20);
+        ss.clear();
+        assert_eq!(ss.ssid(0x10), None);
+    }
+}

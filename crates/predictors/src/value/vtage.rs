@@ -1,0 +1,345 @@
+//! VTAGE — the Value TAgged GEometric history length predictor
+//! (Perais & Seznec, HPCA 2014; the paper's [25]).
+//!
+//! Like the ITTAGE indirect-branch predictor, VTAGE selects a prediction
+//! with the *global branch history*: a tagless base table indexed by pc plus
+//! `N` tagged components indexed by `hash(pc, history[0..L_i])` with
+//! geometrically increasing `L_i`. The longest matching component provides
+//! the prediction.
+//!
+//! Its key property (quoted in §2): *"it does not require the previous value
+//! to predict the current one"* — so unlike stride/FCM predictors it needs
+//! no in-flight tracking and nothing must be repaired on a squash.
+//!
+//! Configuration from Table 2: 8192-entry base, 6 × 1024-entry tagged
+//! components, tags of `12 + rank` bits, FPC confidence.
+
+use crate::fpc::{Fpc, FpcPolicy};
+use crate::history::{hash_pc, HistoryView};
+use crate::rng::SimRng;
+use crate::value::{ValuePrediction, ValuePredictor};
+
+/// Geometry and sizing of a [`Vtage`] predictor.
+#[derive(Clone, Debug)]
+pub struct VtageConfig {
+    /// Entries in the tagless base component.
+    pub base_entries: usize,
+    /// Entries in each tagged component.
+    pub tagged_entries: usize,
+    /// History length per tagged component (ascending).
+    pub history_lengths: Vec<usize>,
+    /// Tag width of the shortest-history component; component `i` uses
+    /// `base_tag_bits + i` bits (the paper's "12 + rank").
+    pub base_tag_bits: u32,
+}
+
+impl VtageConfig {
+    /// The paper's Table 2 configuration.
+    pub fn paper() -> Self {
+        VtageConfig {
+            base_entries: 8192,
+            tagged_entries: 1024,
+            history_lengths: vec![2, 4, 8, 16, 32, 64],
+            base_tag_bits: 12,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct BaseEntry {
+    value: u64,
+    conf: Fpc,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct TaggedEntry {
+    valid: bool,
+    tag: u32,
+    value: u64,
+    conf: Fpc,
+    useful: u8, // 2-bit usefulness for the allocation policy
+}
+
+/// The VTAGE value predictor.
+#[derive(Clone, Debug)]
+pub struct Vtage {
+    config: VtageConfig,
+    base: Vec<BaseEntry>,
+    tagged: Vec<Vec<TaggedEntry>>,
+    policy: FpcPolicy,
+    rng: SimRng,
+    updates: u64,
+}
+
+/// How often the usefulness bits decay (graceful aging, as in TAGE).
+const USEFUL_RESET_PERIOD: u64 = 1 << 18;
+
+impl Vtage {
+    /// Creates a VTAGE with the paper's geometry.
+    pub fn paper(seed: u64) -> Self {
+        Self::new(VtageConfig::paper(), seed)
+    }
+
+    /// Creates a VTAGE from an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history_lengths` is empty or not strictly ascending.
+    pub fn new(config: VtageConfig, seed: u64) -> Self {
+        assert!(!config.history_lengths.is_empty());
+        assert!(
+            config.history_lengths.windows(2).all(|w| w[0] < w[1]),
+            "history lengths must be strictly ascending"
+        );
+        let base_n = config.base_entries.next_power_of_two().max(1);
+        let tagged_n = config.tagged_entries.next_power_of_two().max(1);
+        let comps = config.history_lengths.len();
+        Vtage {
+            base: vec![BaseEntry::default(); base_n],
+            tagged: vec![vec![TaggedEntry::default(); tagged_n]; comps],
+            config,
+            policy: FpcPolicy::eole(),
+            rng: SimRng::new(seed),
+            updates: 0,
+        }
+    }
+
+    fn base_index(&self, pc: u64) -> usize {
+        (hash_pc(pc, 0xb5e) as usize) & (self.base.len() - 1)
+    }
+
+    fn tagged_index(&self, comp: usize, pc: u64, hist: HistoryView<'_>) -> usize {
+        let folded = hist.fold(self.config.history_lengths[comp], 0x1d_0000 + comp as u64);
+        (hash_pc(pc ^ folded, 0x7a6e) as usize) & (self.tagged[comp].len() - 1)
+    }
+
+    fn tag_for(&self, comp: usize, pc: u64, hist: HistoryView<'_>) -> u32 {
+        let folded = hist.fold(self.config.history_lengths[comp], 0x7a_0000 + comp as u64);
+        let bits = self.config.base_tag_bits + comp as u32;
+        (hash_pc(pc ^ folded.rotate_left(17), 0x7a9) as u32) & ((1u32 << bits) - 1)
+    }
+
+    /// Longest matching tagged component and its entry index, if any.
+    fn provider(&self, pc: u64, hist: HistoryView<'_>) -> Option<(usize, usize)> {
+        for comp in (0..self.tagged.len()).rev() {
+            let idx = self.tagged_index(comp, pc, hist);
+            let e = &self.tagged[comp][idx];
+            if e.valid && e.tag == self.tag_for(comp, pc, hist) {
+                return Some((comp, idx));
+            }
+        }
+        None
+    }
+
+    fn allocate_above(&mut self, provider_comp: Option<usize>, pc: u64, hist: HistoryView<'_>, actual: u64) {
+        let start = provider_comp.map(|c| c + 1).unwrap_or(0);
+        if start >= self.tagged.len() {
+            return;
+        }
+        // Collect candidate slots with useful == 0.
+        let mut free: Vec<(usize, usize)> = Vec::new();
+        for comp in start..self.tagged.len() {
+            let idx = self.tagged_index(comp, pc, hist);
+            if self.tagged[comp][idx].useful == 0 {
+                free.push((comp, idx));
+            }
+        }
+        if free.is_empty() {
+            // Aging: make room for the future instead of thrashing now.
+            for comp in start..self.tagged.len() {
+                let idx = self.tagged_index(comp, pc, hist);
+                let e = &mut self.tagged[comp][idx];
+                e.useful = e.useful.saturating_sub(1);
+            }
+            return;
+        }
+        // Prefer shorter-history slots (cheaper to hit again), with a random
+        // tie-break among the two shortest so allocations spread out.
+        let pick = if free.len() >= 2 && self.rng.one_in(3) { 1 } else { 0 };
+        let (comp, idx) = free[pick.min(free.len() - 1)];
+        self.tagged[comp][idx] = TaggedEntry {
+            valid: true,
+            tag: self.tag_for(comp, pc, hist),
+            value: actual,
+            conf: Fpc::new(),
+            useful: 0,
+        };
+    }
+
+    /// True if any tagged component matches — used by the hybrid's
+    /// selection rule (tagged hit beats the stride side).
+    pub fn tagged_hit(&self, pc: u64, hist: HistoryView<'_>) -> bool {
+        self.provider(pc, hist).is_some()
+    }
+
+    fn maybe_age_useful(&mut self) {
+        self.updates += 1;
+        if self.updates % USEFUL_RESET_PERIOD == 0 {
+            for comp in &mut self.tagged {
+                for e in comp.iter_mut() {
+                    e.useful = e.useful.saturating_sub(1);
+                }
+            }
+        }
+    }
+}
+
+impl ValuePredictor for Vtage {
+    fn predict(&mut self, pc: u64, hist: HistoryView<'_>) -> Option<ValuePrediction> {
+        if let Some((comp, idx)) = self.provider(pc, hist) {
+            let e = &self.tagged[comp][idx];
+            Some(ValuePrediction::from_conf(e.value, e.conf))
+        } else {
+            let e = &self.base[self.base_index(pc)];
+            Some(ValuePrediction::from_conf(e.value, e.conf))
+        }
+    }
+
+    fn train(&mut self, pc: u64, hist: HistoryView<'_>, actual: u64) {
+        self.maybe_age_useful();
+        match self.provider(pc, hist) {
+            Some((comp, idx)) => {
+                let correct = self.tagged[comp][idx].value == actual;
+                if correct {
+                    let policy = self.policy.clone();
+                    let e = &mut self.tagged[comp][idx];
+                    e.useful = (e.useful + 1).min(3);
+                    e.conf.on_correct(&policy, &mut self.rng);
+                } else {
+                    let e = &mut self.tagged[comp][idx];
+                    e.useful = e.useful.saturating_sub(1);
+                    if e.conf.level() == 0 {
+                        e.value = actual;
+                    } else {
+                        e.conf.on_incorrect();
+                    }
+                    self.allocate_above(Some(comp), pc, hist, actual);
+                }
+            }
+            None => {
+                let bidx = self.base_index(pc);
+                let correct = self.base[bidx].value == actual;
+                if correct {
+                    let policy = self.policy.clone();
+                    self.base[bidx].conf.on_correct(&policy, &mut self.rng);
+                } else {
+                    if self.base[bidx].conf.level() == 0 {
+                        self.base[bidx].value = actual;
+                    } else {
+                        self.base[bidx].conf.on_incorrect();
+                    }
+                    self.allocate_above(None, pc, hist, actual);
+                }
+            }
+        }
+    }
+
+    fn squash(&mut self, _pc: u64) {
+        // Context-based on global branch history: nothing speculative kept.
+    }
+
+    fn storage_bits(&self) -> u64 {
+        let base = self.base.len() as u64 * (64 + Fpc::BITS);
+        let mut tagged = 0u64;
+        for (i, comp) in self.tagged.iter().enumerate() {
+            let tag_bits = self.config.base_tag_bits as u64 + i as u64;
+            tagged += comp.len() as u64 * (1 + tag_bits + 64 + Fpc::BITS + 2);
+        }
+        base + tagged
+    }
+
+    fn name(&self) -> &'static str {
+        "VTAGE"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::BranchHistory;
+    use crate::value::evaluate_stream;
+
+    #[test]
+    fn base_component_learns_constants() {
+        let hist = BranchHistory::new();
+        let mut p = Vtage::paper(1);
+        for _ in 0..3_000 {
+            p.train(0x40, hist.view(0), 123);
+        }
+        let pr = p.predict(0x40, hist.view(0)).unwrap();
+        assert_eq!(pr.value, 123);
+        assert!(pr.confident);
+    }
+
+    #[test]
+    fn history_correlated_values_use_tagged_components() {
+        // The value produced at pc 0x50 alternates with the last branch
+        // outcome: taken → 7, not-taken → 9. The base table alone cannot
+        // capture this; the tagged components can.
+        let mut hist = BranchHistory::new();
+        let mut p = Vtage::paper(2);
+        let mut correct_late = 0u64;
+        let total = 30_000;
+        for i in 0..total {
+            let taken = (i / 3) % 2 == 0;
+            hist.push(taken);
+            let pos = hist.len();
+            let actual = if taken { 7 } else { 9 };
+            let pred = p.predict(0x50, hist.view(pos)).unwrap();
+            if i > total / 2 && pred.value == actual {
+                correct_late += 1;
+            }
+            p.train(0x50, hist.view(pos), actual);
+        }
+        let rate = correct_late as f64 / (total / 2 - 1) as f64;
+        assert!(rate > 0.85, "history-correlated accuracy = {rate:.3}");
+    }
+
+    #[test]
+    fn confident_predictions_are_reliable_on_patterned_stream() {
+        let mut hist = BranchHistory::new();
+        for i in 0..1000 {
+            hist.push(i % 2 == 0);
+        }
+        let mut p = Vtage::paper(3);
+        let stream = (0..20_000u64).map(|i| (0x60, (i % 1000) as u32, (i % 4) * 10));
+        let s = evaluate_stream(&mut p, &hist, stream);
+        if s.confident > 0 {
+            assert!(
+                s.confident_correct as f64 / s.confident as f64 > 0.95,
+                "confident accuracy too low: {}/{}",
+                s.confident_correct,
+                s.confident
+            );
+        }
+    }
+
+    #[test]
+    fn storage_is_in_the_papers_ballpark() {
+        let p = Vtage::paper(1);
+        let kb = p.storage_bits() as f64 / 8.0 / 1024.0;
+        // Paper's Table 2 reports ~68.7 KB base + ~64.1 KB tagged ≈ 133 KB.
+        assert!((100.0..170.0).contains(&kb), "VTAGE storage = {kb:.1} KB");
+    }
+
+    #[test]
+    fn rejects_non_ascending_histories() {
+        let cfg = VtageConfig {
+            base_entries: 64,
+            tagged_entries: 64,
+            history_lengths: vec![8, 4],
+            base_tag_bits: 8,
+        };
+        assert!(std::panic::catch_unwind(|| Vtage::new(cfg, 1)).is_err());
+    }
+
+    #[test]
+    fn squash_is_a_no_op() {
+        let hist = BranchHistory::new();
+        let mut p = Vtage::paper(1);
+        p.train(0x40, hist.view(0), 5);
+        let before = p.predict(0x40, hist.view(0));
+        p.squash(0x40);
+        assert_eq!(p.predict(0x40, hist.view(0)), before);
+    }
+}

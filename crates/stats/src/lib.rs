@@ -1,0 +1,20 @@
+//! # eole-stats
+//!
+//! Reporting utilities for the EOLE reproduction: aligned/Markdown/CSV
+//! result tables ([`table::Table`]), geometric-mean speedup aggregation and
+//! occupancy histograms ([`summary`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use eole_stats::table::Table;
+//! use eole_stats::summary::geometric_mean;
+//!
+//! let mut t = Table::new("Fig. 6 — VP speedup", &["bench", "speedup"]);
+//! t.add_row(vec!["wupwise".into(), "1.25".into()]);
+//! assert!(t.to_markdown().contains("| wupwise | 1.25 |"));
+//! assert!((geometric_mean(&[1.2, 1.2]).unwrap() - 1.2).abs() < 1e-9);
+//! ```
+
+pub mod summary;
+pub mod table;

@@ -1,0 +1,142 @@
+//! Summary statistics used in the evaluation: geometric means for speedup
+//! aggregation and small formatting helpers.
+
+/// Geometric mean of strictly positive values; `None` if empty or any value
+/// is non-positive.
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|v| *v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Arithmetic mean; `None` if empty.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Formats a ratio with three decimals (the style of the paper's speedup
+/// axes).
+pub fn fmt_ratio(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// A streaming histogram over integer samples (occupancy tracking etc.).
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: usize) {
+        if value >= self.counts.len() {
+            self.counts.resize(value + 1, 0);
+        }
+        self.counts[value] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+    }
+
+    /// Number of samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest value `v` such that at least `q` (0..=1) of samples are ≤ v.
+    pub fn quantile(&self, q: f64) -> usize {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut acc = 0;
+        for (v, c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return v;
+            }
+        }
+        self.counts.len().saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmean_of_uniform_is_identity() {
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmean_of_reciprocals_is_one() {
+        let g = geometric_mean(&[4.0, 0.25]).unwrap();
+        assert!((g - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmean_rejects_empty_and_nonpositive() {
+        assert_eq!(geometric_mean(&[]), None);
+        assert_eq!(geometric_mean(&[1.0, 0.0]), None);
+        assert_eq!(geometric_mean(&[1.0, -2.0]), None);
+    }
+
+    #[test]
+    fn mean_works() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_ratio(1.04999), "1.050");
+        assert_eq!(fmt_pct(0.123), "12.3%");
+    }
+
+    #[test]
+    fn histogram_mean_and_quantiles() {
+        let mut h = Histogram::new();
+        for v in [1usize, 2, 2, 3, 10] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 5);
+        assert!((h.mean() - 3.6).abs() < 1e-12);
+        assert_eq!(h.quantile(0.5), 2);
+        assert_eq!(h.quantile(1.0), 10);
+        assert_eq!(h.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Result tables: aligned text, Markdown and CSV rendering.
+//!
+//! The experiment harness prints one table per paper figure/table; the same
+//! `Table` also serializes to Markdown for `EXPERIMENTS.md`.
+
+/// A rectangular results table.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Convenience: appends a row of displayable cells.
+    pub fn push_display(&mut self, cells: &[&dyn std::fmt::Display]) {
+        self.add_row(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.chars().count());
+            }
+        }
+        w
+    }
+
+    /// Renders an aligned plain-text table.
+    pub fn to_text(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", c, width = w[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers));
+        let total: usize = w.iter().sum::<usize>() + 2 * (w.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+        }
+        out
+    }
+
+    /// Renders a GitHub-flavored Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
+        for r in &self.rows {
+            out.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        out
+    }
+
+    /// Renders CSV (no quoting; cells must not contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Demo", &["bench", "ipc"]);
+        t.add_row(vec!["gzip".into(), "0.98".into()]);
+        t.add_row(vec!["mcf".into(), "0.11".into()]);
+        t
+    }
+
+    #[test]
+    fn text_rendering_is_aligned() {
+        let txt = sample().to_text();
+        assert!(txt.contains("== Demo =="));
+        assert!(txt.contains("gzip"));
+        let lines: Vec<&str> = txt.lines().collect();
+        // Header, rule, two rows, plus the title line.
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn markdown_has_separator_row() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| bench | ipc |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| mcf | 0.11 |"));
+    }
+
+    #[test]
+    fn csv_round_trip_row_count() {
+        let csv = sample().to_csv();
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.add_row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,25 @@
+//! The 19 synthetic kernels, one per program of the paper's Table 3.
+//!
+//! Each module's header documents the SPEC program it stands in for and
+//! the behavioural traits the kernel reproduces (value predictability,
+//! branch behaviour, memory-boundedness, ILP, EOLE offload potential).
+
+pub mod applu;
+pub mod art;
+pub mod bzip2;
+pub mod crafty;
+pub mod gamess;
+pub mod gcc;
+pub mod gobmk;
+pub mod gzip;
+pub mod h264;
+pub mod hmmer;
+pub mod lbm;
+pub mod mcf;
+pub mod milc;
+pub mod namd;
+pub mod parser;
+pub mod sjeng;
+pub mod vortex;
+pub mod vpr;
+pub mod wupwise;

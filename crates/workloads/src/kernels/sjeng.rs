@@ -1,0 +1,105 @@
+//! `sjeng`-like kernel (CPU2006 458.sjeng, INT; paper IPC ≈ 1.32).
+//!
+//! Reproduced traits: game-tree search — shallow recursion through
+//! call/ret, a hash-table probe per node (transposition table), and noisy
+//! alpha-beta style pruning branches. Mixed predictability: the recursion
+//! and loop structure predict well, the pruning decisions do not.
+
+use eole_isa::{IntReg, Program, ProgramBuilder};
+
+use crate::gen::{self, DataRng};
+
+const TT_ENTRIES: i64 = 32768;
+
+/// Builds the kernel.
+pub fn program() -> Program {
+    let r = IntReg::new;
+    let mut b = ProgramBuilder::new();
+    let mut rng = DataRng::new(0x53e6);
+
+    let tt = b.add_data_u64(&gen::random_u64(&mut rng, TT_ENTRIES as usize));
+    let stack = b.alloc_zeroed(4096);
+
+    let (ttb, seed, t, h, entry, score, depth, iter) =
+        (r(1), r(2), r(3), r(4), r(5), r(6), r(7), r(8));
+    let (alpha, nodes, sp) = (r(9), r(10), r(11));
+
+    let top = b.label();
+    let node_fn = b.label();
+    let leaf = b.label();
+    let no_cut = b.label();
+
+    b.movi(ttb, tt as i64);
+    b.movi(sp, stack as i64);
+    b.movi(seed, 0xbeef_cafe);
+    b.movi(alpha, 5000);
+    b.movi(iter, 0);
+    b.bind(top);
+    b.movi(depth, 3);
+    b.call(node_fn);
+    b.addi(iter, iter, 1);
+    b.blt_imm(iter, 2_000_000_000, top);
+    b.halt();
+
+    // fn node(depth): probe TT, evaluate, recurse once if not pruned.
+    b.bind(node_fn);
+    b.addi(nodes, nodes, 1);
+    // Advance the position hash.
+    b.shli(t, seed, 13);
+    b.xor(seed, seed, t);
+    b.shri(t, seed, 7);
+    b.xor(seed, seed, t);
+    b.shli(t, seed, 17);
+    b.xor(seed, seed, t);
+    b.andi(h, seed, TT_ENTRIES - 1);
+    b.ld_idx(entry, ttb, h, 3, 0);
+    b.andi(score, entry, 0x3fff);
+    // Pruning branch: near-random (score vs alpha).
+    b.blt(score, alpha, no_cut);
+    b.ret(); // beta cutoff
+    b.bind(no_cut);
+    b.beq_imm(depth, 0, leaf);
+    // Recurse, spilling the link register to a real stack (single-register
+    // saves break beyond depth 1).
+    b.subi(depth, depth, 1);
+    b.st(sp, 0, IntReg::LINK);
+    b.addi(sp, sp, 8);
+    b.call(node_fn);
+    b.subi(sp, sp, 8);
+    b.ld(IntReg::LINK, sp, 0);
+    b.addi(depth, depth, 1);
+    b.ret();
+    b.bind(leaf);
+    // Leaf evaluation: a little arithmetic.
+    b.xor(t, score, seed);
+    b.andi(t, t, 0xff);
+    b.add(alpha, alpha, t);
+    b.subi(alpha, alpha, 128); // keeps alpha wandering around 5000
+    b.ret();
+
+    b.build().expect("sjeng kernel assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eole_isa::{generate_trace, InstClass};
+
+    #[test]
+    fn recursion_produces_calls_and_returns() {
+        let t = generate_trace(&program(), 40_000).unwrap();
+        let calls = t.insts.iter().filter(|d| d.class() == InstClass::Call).count();
+        let rets = t.insts.iter().filter(|d| d.class() == InstClass::Return).count();
+        assert!(calls > 500);
+        // Truncation may leave up to one call chain (depth ≤ 4) open.
+        assert!(calls >= rets && calls - rets <= 8, "calls {calls} vs rets {rets}");
+    }
+
+    #[test]
+    fn pruning_branches_are_noisy() {
+        let t = generate_trace(&program(), 60_000).unwrap();
+        let taken = t.branch_outcomes.iter().filter(|x| **x).count();
+        let frac = taken as f64 / t.branch_outcomes.len() as f64;
+        assert!((0.25..0.95).contains(&frac), "taken fraction {frac:.2}");
+    }
+}

@@ -1,0 +1,116 @@
+//! `vortex`-like kernel (CPU2000 255.vortex, INT; paper IPC ≈ 1.78).
+//!
+//! Reproduced traits: an object-oriented in-memory database — method
+//! dispatch through calls/returns (exercising the RAS), heavily *biased*
+//! type-check branches, field loads/stores at constant offsets, and a
+//! strided object scan. High IPC when control flow predicts well, which
+//! it mostly does.
+
+use eole_isa::{IntReg, Program, ProgramBuilder};
+
+use crate::gen::DataRng;
+
+const OBJECTS: i64 = 8192; // × 32 B = 256 KB
+
+/// Builds the kernel.
+pub fn program() -> Program {
+    let r = IntReg::new;
+    let mut b = ProgramBuilder::new();
+    let mut rng = DataRng::new(0x0e7e);
+
+    // Object: [type, a, b, pad]; type 0 dominates (82 %).
+    let mut objs = Vec::with_capacity(OBJECTS as usize * 4);
+    for _ in 0..OBJECTS {
+        let ty = match rng.below(100) {
+            0..=81 => 0u64,
+            82..=91 => 1,
+            92..=97 => 2,
+            _ => 3,
+        };
+        objs.push(ty);
+        objs.push(rng.below(1000));
+        objs.push(rng.below(1000));
+        objs.push(0);
+    }
+    let base = b.add_data_u64(&objs);
+
+    let (ob, oid, addr, ty, fa, fb, iter, total) =
+        (r(1), r(2), r(3), r(4), r(5), r(6), r(7), r(8));
+
+    let top = b.label();
+    let not0 = b.label();
+    let not1 = b.label();
+    let done = b.label();
+    let m_update = b.label();
+    let m_sum = b.label();
+    let m_scale = b.label();
+
+    b.movi(ob, base as i64);
+    b.movi(oid, 0);
+    b.movi(iter, 0);
+    b.movi(total, 0);
+
+    b.bind(top);
+    b.addi(oid, oid, 1);
+    b.andi(oid, oid, OBJECTS - 1);
+    b.lea(addr, ob, oid, 5, 0);
+    b.ld(ty, addr, 0);
+    // Type switch: the common case (type 0) falls straight into its call.
+    b.bne_imm(ty, 0, not0);
+    b.call(m_update);
+    b.jmp(done);
+    b.bind(not0);
+    b.bne_imm(ty, 1, not1);
+    b.call(m_sum);
+    b.jmp(done);
+    b.bind(not1);
+    b.call(m_scale);
+    b.bind(done);
+    b.addi(iter, iter, 1);
+    b.blt_imm(iter, 2_000_000_000, top);
+    b.halt();
+
+    // Method bodies: field read-modify-write at fixed offsets.
+    b.bind(m_update);
+    b.ld(fa, addr, 8);
+    b.ld(fb, addr, 16);
+    b.add(fa, fa, fb);
+    b.st(addr, 8, fa);
+    b.ret();
+    b.bind(m_sum);
+    b.ld(fa, addr, 8);
+    b.add(total, total, fa);
+    b.ret();
+    b.bind(m_scale);
+    b.ld(fb, addr, 16);
+    b.shli(fb, fb, 1);
+    b.st(addr, 16, fb);
+    b.ret();
+
+    b.build().expect("vortex kernel assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eole_isa::{generate_trace, InstClass};
+
+    #[test]
+    fn calls_and_returns_are_frequent() {
+        let t = generate_trace(&program(), 40_000).unwrap();
+        let calls = t.insts.iter().filter(|d| d.class() == InstClass::Call).count();
+        let rets = t.insts.iter().filter(|d| d.class() == InstClass::Return).count();
+        assert!(calls > 1000, "calls = {calls}");
+        // At most one call may be outstanding at truncation time.
+        assert!(calls.abs_diff(rets) <= 1, "calls {calls} vs rets {rets}");
+    }
+
+    #[test]
+    fn type_checks_are_biased_not_taken() {
+        let t = generate_trace(&program(), 40_000).unwrap();
+        let not_taken = t.branch_outcomes.iter().filter(|x| !**x).count();
+        let frac = not_taken as f64 / t.branch_outcomes.len() as f64;
+        // The common type-0 check falls through (not taken); loop branch taken.
+        assert!((0.2..0.6).contains(&frac), "not-taken fraction {frac:.2}");
+    }
+}

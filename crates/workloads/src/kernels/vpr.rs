@@ -1,0 +1,107 @@
+//! `vpr`-like kernel (CPU2000 175.vpr, INT; paper IPC ≈ 1.33).
+//!
+//! Reproduced traits: simulated-annealing placement — pick two pseudo-
+//! random cells, evaluate a bounding-box cost, conditionally swap. The
+//! in-program xorshift makes cell indices (and therefore load addresses
+//! and the accept/reject branch) data-dependent; cost arithmetic is
+//! branchless absolute-value code. Moderate ILP, moderate value
+//! predictability, noticeable branch misprediction rate.
+
+use eole_isa::{IntReg, Program, ProgramBuilder};
+
+use crate::gen::DataRng;
+
+const CELLS: i64 = 16384;
+
+/// Emits `dst ^= dst << a; dst ^= dst >> b; dst ^= dst << c` (xorshift).
+fn emit_xorshift(b: &mut ProgramBuilder, x: IntReg, t: IntReg) {
+    b.shli(t, x, 13);
+    b.xor(x, x, t);
+    b.shri(t, x, 7);
+    b.xor(x, x, t);
+    b.shli(t, x, 17);
+    b.xor(x, x, t);
+}
+
+/// Emits branchless `dst = |a - b|` (clobbers `t`).
+fn emit_absdiff(b: &mut ProgramBuilder, dst: IntReg, a: IntReg, c: IntReg, t: IntReg) {
+    b.sub(dst, a, c);
+    b.sari(t, dst, 63);
+    b.xor(dst, dst, t);
+    b.sub(dst, dst, t);
+}
+
+/// Builds the kernel.
+pub fn program() -> Program {
+    let r = IntReg::new;
+    let mut b = ProgramBuilder::new();
+    let mut rng = DataRng::new(0x09e2);
+
+    let xs: Vec<u64> = (0..CELLS).map(|_| rng.below(4096)).collect();
+    let ys: Vec<u64> = (0..CELLS).map(|_| rng.below(4096)).collect();
+    let xb = b.add_data_u64(&xs);
+    let yb = b.add_data_u64(&ys);
+
+    let (xbase, ybase, seed, t, n1, n2) = (r(1), r(2), r(3), r(4), r(5), r(6));
+    let (x1, y1, x2, y2, dx, dy, cost, iter) = (r(7), r(8), r(9), r(10), r(11), r(12), r(13), r(14));
+    let (a1, a2) = (r(15), r(16));
+
+    b.movi(xbase, xb as i64);
+    b.movi(ybase, yb as i64);
+    b.movi(seed, 0x2545_f491);
+    b.movi(iter, 0);
+    let top = b.label();
+    b.bind(top);
+    emit_xorshift(&mut b, seed, t);
+    b.andi(n1, seed, CELLS - 1);
+    emit_xorshift(&mut b, seed, t);
+    b.andi(n2, seed, CELLS - 1);
+    b.ld_idx(x1, xbase, n1, 3, 0);
+    b.ld_idx(y1, ybase, n1, 3, 0);
+    b.ld_idx(x2, xbase, n2, 3, 0);
+    b.ld_idx(y2, ybase, n2, 3, 0);
+    emit_absdiff(&mut b, dx, x1, x2, t);
+    emit_absdiff(&mut b, dy, y1, y2, t);
+    b.add(cost, dx, dy);
+    // Accept (swap) when the cost has its low bits clear: ~25 % taken,
+    // data dependent — vpr's annealing accept branch.
+    let reject = b.label();
+    b.andi(t, cost, 3);
+    b.bne_imm(t, 0, reject);
+    b.lea(a1, xbase, n1, 3, 0);
+    b.lea(a2, xbase, n2, 3, 0);
+    b.st(a1, 0, x2);
+    b.st(a2, 0, x1);
+    b.lea(a1, ybase, n1, 3, 0);
+    b.lea(a2, ybase, n2, 3, 0);
+    b.st(a1, 0, y2);
+    b.st(a2, 0, y1);
+    b.bind(reject);
+    b.addi(iter, iter, 1);
+    b.blt_imm(iter, 2_000_000_000, top);
+    b.halt();
+    b.build().expect("vpr kernel assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eole_isa::generate_trace;
+
+    #[test]
+    fn accept_branch_is_noisy() {
+        let t = generate_trace(&program(), 60_000).unwrap();
+        // Outcomes mix loop back-edges (taken) with accepts; there must be
+        // a meaningful minority of each.
+        let taken = t.branch_outcomes.iter().filter(|x| **x).count();
+        let frac = taken as f64 / t.branch_outcomes.len() as f64;
+        assert!((0.5..0.98).contains(&frac), "taken fraction {frac:.2}");
+    }
+
+    #[test]
+    fn swap_stores_happen_sometimes() {
+        let t = generate_trace(&program(), 60_000).unwrap();
+        let stores = t.insts.iter().filter(|d| d.is_store()).count();
+        assert!(stores > 100, "accepted swaps must store: {stores}");
+    }
+}

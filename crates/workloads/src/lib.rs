@@ -1,0 +1,25 @@
+//! # eole-workloads
+//!
+//! A 19-program synthetic benchmark suite mirroring the paper's Table 3
+//! (12 INT + 7 FP, named after their SPEC CPU2000/2006 counterparts).
+//! SPEC sources and reference inputs are not redistributable, so each
+//! kernel reproduces the *behavioural profile* the paper reports for its
+//! namesake — see `DESIGN.md` §1 for the substitution argument and each
+//! kernel module for its specific targets.
+//!
+//! ## Example
+//!
+//! ```
+//! use eole_workloads::{all_workloads, workload_by_name};
+//!
+//! assert_eq!(all_workloads().len(), 19);
+//! let namd = workload_by_name("namd").expect("namd exists");
+//! let trace = namd.trace(10_000).expect("kernel runs");
+//! assert!(trace.len() >= 9_999);
+//! ```
+
+pub mod gen;
+pub mod kernels;
+mod registry;
+
+pub use registry::{all_workloads, workload_by_name, Kind, Suite, Workload};

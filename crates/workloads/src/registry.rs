@@ -1,0 +1,259 @@
+//! The benchmark registry: one synthetic kernel per program in the paper's
+//! Table 3, in the paper's order.
+//!
+//! Each kernel is *named after* and *tuned to qualitatively resemble* the
+//! SPEC program the paper evaluates (see each kernel module's header for
+//! the traits being reproduced); none is a re-implementation of SPEC code.
+//! The suite's purpose is to span the same behavioural axes the paper's
+//! figures exercise: value predictability, branch predictability, memory-
+//! boundedness, ILP, and the fraction of single-cycle ALU µ-ops EOLE can
+//! offload.
+
+use eole_isa::{generate_trace, IsaError, Program, Trace};
+
+use crate::kernels;
+
+/// SPEC suite of the namesake program (Table 3 top/bottom split).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Suite {
+    /// CPU2000.
+    Cpu2000,
+    /// CPU2006.
+    Cpu2006,
+}
+
+/// Integer or floating-point program (Table 3's INT/FP tags).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Integer benchmark.
+    Int,
+    /// Floating-point benchmark.
+    Fp,
+}
+
+/// One entry of the benchmark suite.
+#[derive(Clone)]
+pub struct Workload {
+    /// Short name (the SPEC program it mimics, e.g. `"gzip"`).
+    pub name: &'static str,
+    /// Source suite of the namesake.
+    pub suite: Suite,
+    /// INT or FP.
+    pub kind: Kind,
+    /// One-line description of the behaviour being reproduced.
+    pub description: &'static str,
+    build: fn() -> Program,
+}
+
+impl Workload {
+    /// Builds the kernel's program (deterministic).
+    pub fn program(&self) -> Program {
+        (self.build)()
+    }
+
+    /// Generates up to `max_insts` retired µ-ops of trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates functional-execution errors (none are expected from the
+    /// shipped kernels; a failure indicates a kernel bug).
+    pub fn trace(&self, max_insts: u64) -> Result<Trace, IsaError> {
+        generate_trace(&self.program(), max_insts)
+    }
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("suite", &self.suite)
+            .field("kind", &self.kind)
+            .finish()
+    }
+}
+
+/// All 19 workloads in the paper's Table 3 order.
+pub fn all_workloads() -> Vec<Workload> {
+    use Kind::*;
+    use Suite::*;
+    vec![
+        Workload {
+            name: "gzip",
+            suite: Cpu2000,
+            kind: Int,
+            description: "LZ-style hashing + match loops over compressible text",
+            build: kernels::gzip::program,
+        },
+        Workload {
+            name: "wupwise",
+            suite: Cpu2000,
+            kind: Fp,
+            description: "complex-arithmetic sweeps behind a VP-breakable index chain",
+            build: kernels::wupwise::program,
+        },
+        Workload {
+            name: "applu",
+            suite: Cpu2000,
+            kind: Fp,
+            description: "2-D stencil sweeps with constant coefficients",
+            build: kernels::applu::program,
+        },
+        Workload {
+            name: "vpr",
+            suite: Cpu2000,
+            kind: Int,
+            description: "placement cost evaluation with data-dependent accepts",
+            build: kernels::vpr::program,
+        },
+        Workload {
+            name: "art",
+            suite: Cpu2000,
+            kind: Fp,
+            description: "neural-net scan dominated by predictable index arithmetic",
+            build: kernels::art::program,
+        },
+        Workload {
+            name: "crafty",
+            suite: Cpu2000,
+            kind: Int,
+            description: "bitboard logic chains rich in immediates (EE-friendly)",
+            build: kernels::crafty::program,
+        },
+        Workload {
+            name: "parser",
+            suite: Cpu2000,
+            kind: Int,
+            description: "randomized dictionary pointer chases, low ILP",
+            build: kernels::parser::program,
+        },
+        Workload {
+            name: "vortex",
+            suite: Cpu2000,
+            kind: Int,
+            description: "call-heavy object store with biased type checks",
+            build: kernels::vortex::program,
+        },
+        Workload {
+            name: "bzip2",
+            suite: Cpu2006,
+            kind: Int,
+            description: "run-length walking with a VP-breakable position chain",
+            build: kernels::bzip2::program,
+        },
+        Workload {
+            name: "gcc",
+            suite: Cpu2006,
+            kind: Int,
+            description: "indirect-dispatch interpreter over an IR buffer",
+            build: kernels::gcc::program,
+        },
+        Workload {
+            name: "gamess",
+            suite: Cpu2006,
+            kind: Fp,
+            description: "dense FP tiles with strided integer addressing",
+            build: kernels::gamess::program,
+        },
+        Workload {
+            name: "mcf",
+            suite: Cpu2006,
+            kind: Int,
+            description: "DRAM-bound random pointer chase over a 32 MB arena",
+            build: kernels::mcf::program,
+        },
+        Workload {
+            name: "milc",
+            suite: Cpu2006,
+            kind: Fp,
+            description: "memory-bound streaming complex multiplies",
+            build: kernels::milc::program,
+        },
+        Workload {
+            name: "namd",
+            suite: Cpu2006,
+            kind: Fp,
+            description: "pair-list force loop dominated by predictable ALU work",
+            build: kernels::namd::program,
+        },
+        Workload {
+            name: "gobmk",
+            suite: Cpu2006,
+            kind: Int,
+            description: "board-pattern scans with hard-to-predict branches",
+            build: kernels::gobmk::program,
+        },
+        Workload {
+            name: "hmmer",
+            suite: Cpu2006,
+            kind: Int,
+            description: "wide branchless Viterbi row with data-dependent values",
+            build: kernels::hmmer::program,
+        },
+        Workload {
+            name: "sjeng",
+            suite: Cpu2006,
+            kind: Int,
+            description: "recursive search with noisy evaluation branches",
+            build: kernels::sjeng::program,
+        },
+        Workload {
+            name: "h264",
+            suite: Cpu2006,
+            kind: Int,
+            description: "SAD block matching with branchless absolute differences",
+            build: kernels::h264::program,
+        },
+        Workload {
+            name: "lbm",
+            suite: Cpu2006,
+            kind: Fp,
+            description: "long-stride streaming stencil, memory bound",
+            build: kernels::lbm::program,
+        },
+    ]
+}
+
+/// Looks a workload up by name.
+pub fn workload_by_name(name: &str) -> Option<Workload> {
+    all_workloads().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nineteen_workloads_in_paper_order() {
+        let all = all_workloads();
+        assert_eq!(all.len(), 19);
+        assert_eq!(all[0].name, "gzip");
+        assert_eq!(all[18].name, "lbm");
+        let ints = all.iter().filter(|w| w.kind == Kind::Int).count();
+        let fps = all.iter().filter(|w| w.kind == Kind::Fp).count();
+        assert_eq!((ints, fps), (12, 7), "Table 3: 12 INT + 7 FP");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(workload_by_name("namd").is_some());
+        assert!(workload_by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn every_kernel_assembles_and_traces() {
+        for w in all_workloads() {
+            let t = w.trace(20_000).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert!(t.len() >= 10_000, "{}: trace too short ({})", w.name, t.len());
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        for w in all_workloads().into_iter().take(4) {
+            let a = w.trace(5_000).unwrap();
+            let b = w.trace(5_000).unwrap();
+            assert_eq!(a.insts.len(), b.insts.len());
+            assert_eq!(a.branch_outcomes, b.branch_outcomes, "{}", w.name);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! The paper's §5.2 in miniature: how much does shrinking the OoO issue
+//! width hurt, with and without EOLE?
+//!
+//! Expected shape (paper Fig. 7): the VP baseline loses noticeably at
+//! 4-issue; EOLE at 4-issue stays close to the 6-issue baseline because
+//! 10–60 % of µ-ops bypass the OoO engine entirely.
+//!
+//! Run with: `cargo run --release --example issue_width_study [workload ...]`
+
+use eole::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<String> = if args.is_empty() {
+        vec!["applu".into(), "namd".into(), "crafty".into(), "hmmer".into()]
+    } else {
+        args
+    };
+
+    let mut table = Table::new(
+        "issue-width study (speedup over Baseline_VP_6_64)",
+        &["bench", "Baseline_VP_4_64", "EOLE_4_64", "EOLE_6_64", "offload@EOLE"],
+    );
+    for name in &names {
+        let workload = workload_by_name(name).expect("known workload");
+        let trace = PreparedTrace::new(workload.trace(150_000)?);
+        let ipc = |config: CoreConfig| -> Result<(f64, f64), SimError> {
+            let mut sim = Simulator::new(&trace, config)?;
+            sim.run(30_000)?;
+            sim.begin_measurement();
+            sim.run(u64::MAX)?;
+            Ok((sim.stats().ipc(), sim.stats().offload_fraction()))
+        };
+        let (base, _) = ipc(CoreConfig::baseline_vp_6_64())?;
+        let (vp4, _) = ipc(CoreConfig::baseline_vp_4_64())?;
+        let (eole4, off) = ipc(CoreConfig::eole_4_64())?;
+        let (eole6, _) = ipc(CoreConfig::eole_6_64())?;
+        table.add_row(vec![
+            name.clone(),
+            format!("{:.3}", vp4 / base),
+            format!("{:.3}", eole4 / base),
+            format!("{:.3}", eole6 / base),
+            format!("{:.1}%", off * 100.0),
+        ]);
+    }
+    println!("{}", table.to_text());
+    Ok(())
+}

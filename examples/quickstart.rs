@@ -1,0 +1,48 @@
+//! Quickstart: simulate one workload on the paper's three headline
+//! configurations and print IPC plus the EOLE offload breakdown.
+//!
+//! Run with: `cargo run --release --example quickstart [workload]`
+
+use eole::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "namd".to_string());
+    let workload = workload_by_name(&name)
+        .unwrap_or_else(|| panic!("unknown workload {name}; try one of Table 3's names"));
+    println!("workload: {} — {}", workload.name, workload.description);
+
+    let trace = PreparedTrace::new(workload.trace(150_000)?);
+    println!("trace: {} µ-ops\n", trace.len());
+
+    let configs = [
+        CoreConfig::baseline_6_64(),
+        CoreConfig::baseline_vp_6_64(),
+        CoreConfig::eole_4_64(),
+    ];
+
+    let mut table = Table::new(
+        format!("{name}: baseline vs VP vs EOLE"),
+        &["config", "IPC", "VP coverage", "VP accuracy", "early", "late ALU", "late br", "offload"],
+    );
+    for config in configs {
+        let label = config.name.clone();
+        let mut sim = Simulator::new(&trace, config)?;
+        sim.run(50_000)?; // warmup
+        sim.begin_measurement();
+        sim.run(u64::MAX)?;
+        let s = sim.stats();
+        table.add_row(vec![
+            label,
+            format!("{:.3}", s.ipc()),
+            format!("{:.1}%", s.vp_coverage() * 100.0),
+            format!("{:.3}%", s.vp_accuracy() * 100.0),
+            format!("{:.1}%", s.early_exec_fraction() * 100.0),
+            format!("{:.1}%", s.late_alu_fraction() * 100.0),
+            format!("{:.1}%", s.late_branch_fraction() * 100.0),
+            format!("{:.1}%", s.offload_fraction() * 100.0),
+        ]);
+    }
+    println!("{}", table.to_text());
+    println!("(EOLE_4_64 runs a 33% narrower out-of-order engine than Baseline_VP_6_64.)");
+    Ok(())
+}

@@ -1,0 +1,136 @@
+//! Behavioural invariants of the EOLE mechanism itself, checked end-to-end
+//! against real workload traces.
+
+use eole::prelude::*;
+
+fn stats_for(name: &str, config: CoreConfig, insts: u64) -> SimStats {
+    let w = workload_by_name(name).unwrap();
+    let trace = PreparedTrace::new(w.trace(insts).unwrap());
+    let mut sim = Simulator::new(&trace, config).expect("valid config");
+    sim.run(u64::MAX).expect("completes");
+    sim.stats()
+}
+
+#[test]
+fn offload_fraction_sits_in_the_papers_band() {
+    // §3.4: "a total of 10% to 60% of the retired instructions can be
+    // offloaded from the OoO core" — workload dependent.
+    let mut seen_high = false;
+    for name in ["namd", "art", "applu", "gzip", "crafty"] {
+        let s = stats_for(name, CoreConfig::eole_6_64(), 40_000);
+        let off = s.offload_fraction();
+        assert!(off > 0.05, "{name}: offload {off:.3} too low");
+        assert!(off < 0.75, "{name}: offload {off:.3} implausibly high");
+        if off > 0.4 {
+            seen_high = true;
+        }
+    }
+    assert!(seen_high, "at least one workload should offload >40%");
+}
+
+#[test]
+fn memory_bound_workloads_offload_little() {
+    for name in ["milc", "lbm"] {
+        let s = stats_for(name, CoreConfig::eole_6_64(), 30_000);
+        assert!(
+            s.offload_fraction() < 0.35,
+            "{name}: offload {:.3} should be small",
+            s.offload_fraction()
+        );
+    }
+}
+
+#[test]
+fn early_and_late_sets_are_disjoint() {
+    for name in ["namd", "gzip", "vortex"] {
+        let s = stats_for(name, CoreConfig::eole_4_64(), 30_000);
+        assert!(
+            s.early_executed + s.late_executed_alu + s.late_executed_branches <= s.committed,
+            "{name}: offload categories overlap"
+        );
+        // A µ-op is executed once at most: late ALU µ-ops are predicted and
+        // not early-executed by construction.
+        assert!(s.late_executed_alu <= s.vp_used, "{name}: LE ALU ⊆ used predictions");
+    }
+}
+
+#[test]
+fn high_confidence_branches_are_reliable() {
+    // §3.3 rests on saturated-counter branches mispredicting < ~1%.
+    for name in ["applu", "art", "vortex", "h264"] {
+        let s = stats_for(name, CoreConfig::eole_6_64(), 60_000);
+        if s.hc_branches > 1_000 {
+            assert!(
+                s.hc_branch_misrate() < 0.02,
+                "{name}: HC misrate {:.4}",
+                s.hc_branch_misrate()
+            );
+        }
+    }
+}
+
+#[test]
+fn two_stage_early_execution_captures_no_less() {
+    // Fig. 2: the 2-deep EE block can only add same-group chaining.
+    for name in ["crafty", "namd"] {
+        let one = stats_for(name, CoreConfig::eole_6_64(), 30_000);
+        let mut cfg = CoreConfig::eole_6_64();
+        cfg.eole.ee_stages = 2;
+        let two = stats_for(name, cfg, 30_000);
+        assert!(
+            two.early_executed >= one.early_executed,
+            "{name}: 2-stage EE ({}) < 1-stage ({})",
+            two.early_executed,
+            one.early_executed
+        );
+    }
+}
+
+#[test]
+fn disabling_early_or_late_reduces_that_category_to_zero() {
+    let ole = stats_for("namd", CoreConfig::ole_4_64_ports(4, 4), 20_000);
+    assert_eq!(ole.early_executed, 0, "OLE has no EE");
+    assert!(ole.late_executed_alu > 0, "OLE still late-executes");
+
+    let eoe = stats_for("namd", CoreConfig::eoe_4_64_ports(4, 4), 20_000);
+    assert_eq!(eoe.late_executed_alu + eoe.late_executed_branches, 0, "EOE has no LE");
+    assert!(eoe.early_executed > 0, "EOE still early-executes");
+}
+
+#[test]
+fn eole_4_issue_stays_close_to_vp_6_issue() {
+    // The headline claim, on the friendliest workload: EOLE_4_64 within a
+    // few percent of Baseline_VP_6_64.
+    for name in ["namd", "applu"] {
+        let w = workload_by_name(name).unwrap();
+        let trace = PreparedTrace::new(w.trace(60_000).unwrap());
+        let ipc = |config| {
+            let mut sim = Simulator::new(&trace, config).unwrap();
+            sim.run(20_000).unwrap();
+            sim.begin_measurement();
+            sim.run(u64::MAX).unwrap();
+            sim.stats().ipc()
+        };
+        let base = ipc(CoreConfig::baseline_vp_6_64());
+        let eole = ipc(CoreConfig::eole_4_64());
+        assert!(
+            eole > 0.9 * base,
+            "{name}: EOLE_4_64 {eole:.3} vs Baseline_VP_6_64 {base:.3}"
+        );
+    }
+}
+
+#[test]
+fn banked_prf_with_four_banks_is_nearly_free() {
+    // Fig. 10: 4 banks ≈ single bank.
+    let w = workload_by_name("gzip").unwrap();
+    let trace = PreparedTrace::new(w.trace(50_000).unwrap());
+    let ipc = |config| {
+        let mut sim = Simulator::new(&trace, config).unwrap();
+        sim.run(u64::MAX).unwrap();
+        sim.stats().ipc()
+    };
+    let mono = ipc(CoreConfig::eole_4_64());
+    let banked = ipc(CoreConfig::eole_4_64_banked(4));
+    assert!(banked > 0.95 * mono, "4-bank {banked:.3} vs monolithic {mono:.3}");
+}

@@ -1,0 +1,173 @@
+//! Squash-and-recovery stress tests: the paper's whole premise is that
+//! squashing (not selective replay) is an acceptable recovery mechanism
+//! because FPC makes value mispredictions rare. These tests hammer the
+//! recovery paths and check architectural bookkeeping survives.
+
+use eole::prelude::*;
+
+fn r(i: u8) -> IntReg {
+    IntReg::new(i)
+}
+
+/// A program whose loaded value flips between long stable phases, forcing
+/// periodic value-misprediction squashes once the FPC saturates.
+fn phase_flip_program(phase_len: i64, phases: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let cell = b.add_data_u64(&[1]);
+    let (base, i, v, acc, phase, cur) = (r(1), r(2), r(3), r(4), r(5), r(6));
+    b.movi(base, cell as i64);
+    b.movi(phase, 0);
+    b.movi(cur, 1);
+    let phase_top = b.label();
+    b.bind(phase_top);
+    b.movi(i, 0);
+    let top = b.label();
+    b.bind(top);
+    b.ld(v, base, 0);
+    b.add(acc, acc, v);
+    b.addi(i, i, 1);
+    b.blt_imm(i, phase_len, top);
+    // Flip the cell to a new constant: the next saturated prediction of
+    // the load is wrong exactly once per phase.
+    b.shli(cur, cur, 1);
+    b.ori(cur, cur, 1);
+    b.st(base, 0, cur);
+    b.addi(phase, phase, 1);
+    b.blt_imm(phase, phases, phase_top);
+    b.halt();
+    b.build().unwrap()
+}
+
+#[test]
+fn periodic_value_mispredictions_squash_and_recover() {
+    let program = phase_flip_program(2_000, 10);
+    let trace = PreparedTrace::new(generate_trace(&program, 1_000_000).unwrap());
+    let mut sim = Simulator::new(&trace, CoreConfig::baseline_vp_6_64()).unwrap();
+    sim.run(u64::MAX).unwrap();
+    assert!(sim.finished());
+    assert_eq!(sim.committed_total(), trace.len() as u64, "exactly-once commit");
+    let s = sim.stats();
+    // Each flip must be discovered; the hybrid may squash a few times per
+    // flip (each saturated component — stride, VTAGE base, VTAGE tagged —
+    // is proven wrong separately before confidence drains).
+    assert!(
+        (5..=60).contains(&s.vp_squashes),
+        "a handful of squashes per phase flip: {}",
+        s.vp_squashes
+    );
+    assert!(s.vp_accuracy() > 0.995, "accuracy {:.4}", s.vp_accuracy());
+}
+
+#[test]
+fn squashes_do_not_break_determinism() {
+    let program = phase_flip_program(1_000, 6);
+    let trace = PreparedTrace::new(generate_trace(&program, 200_000).unwrap());
+    let run = || {
+        let mut sim = Simulator::new(&trace, CoreConfig::eole_4_64()).unwrap();
+        sim.run(u64::MAX).unwrap();
+        let s = sim.stats();
+        (s.cycles, s.vp_squashes, s.squashed, s.early_executed, s.late_executed_alu)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn eole_squashes_cost_more_but_stay_rare() {
+    // With EOLE, a squash also flushes early/late-executed work; the IPC
+    // hit must stay bounded because squashes are rare by construction.
+    let program = phase_flip_program(3_000, 8);
+    let trace = PreparedTrace::new(generate_trace(&program, 500_000).unwrap());
+    let mut base = Simulator::new(&trace, CoreConfig::baseline_6_64()).unwrap();
+    base.run(u64::MAX).unwrap();
+    let mut eole = Simulator::new(&trace, CoreConfig::eole_4_64()).unwrap();
+    eole.run(u64::MAX).unwrap();
+    let b = base.stats();
+    let e = eole.stats();
+    assert!(e.vp_squashes > 0, "the flips must actually mispredict");
+    assert!(
+        e.ipc() > 0.8 * b.ipc(),
+        "squash overhead bounded: eole {:.3} vs base {:.3}",
+        e.ipc(),
+        b.ipc()
+    );
+}
+
+#[test]
+fn memory_order_violations_recover_architecturally() {
+    // Store address produced by a slow divide; a younger load to the same
+    // address speculates past it. After the squash storm settles, the
+    // committed count must still be exact and store sets must have cut the
+    // violation rate.
+    let mut b = ProgramBuilder::new();
+    let buf = b.add_data_u64(&[0; 8]);
+    let (base, i, n, d3, addr, v) = (r(1), r(2), r(3), r(4), r(5), r(6));
+    b.movi(base, buf as i64);
+    b.movi(i, 0);
+    b.movi(n, 2_000);
+    b.movi(d3, 3);
+    let top = b.label();
+    b.bind(top);
+    b.movi(v, 24);
+    b.div(v, v, d3); // 8, slowly
+    b.add(addr, base, v);
+    b.st(addr, 0, i);
+    b.ld(v, base, 8);
+    b.add(v, v, i);
+    b.addi(i, i, 1);
+    b.bne(i, n, top);
+    b.halt();
+    let trace = PreparedTrace::new(generate_trace(&b.build().unwrap(), 200_000).unwrap());
+    let mut sim = Simulator::new(&trace, CoreConfig::baseline_vp_6_64()).unwrap();
+    sim.run(u64::MAX).unwrap();
+    assert!(sim.finished());
+    assert_eq!(sim.committed_total(), trace.len() as u64);
+    let s = sim.stats();
+    assert!(s.memory_order_squashes >= 1);
+    assert!(
+        s.memory_order_squashes < 500,
+        "store sets must bound recurrence: {}",
+        s.memory_order_squashes
+    );
+}
+
+#[test]
+fn mixed_squash_sources_interleave_safely() {
+    // Value mispredictions + memory-order violations in one program.
+    let mut b = ProgramBuilder::new();
+    let cell = b.add_data_u64(&[5]);
+    let buf = b.add_data_u64(&[0; 8]);
+    let (cbase, bbase, i, n, v, d3, addr, acc) =
+        (r(1), r(2), r(3), r(4), r(5), r(6), r(7), r(8));
+    b.movi(cbase, cell as i64);
+    b.movi(bbase, buf as i64);
+    b.movi(i, 0);
+    b.movi(n, 3_000);
+    b.movi(d3, 3);
+    let top = b.label();
+    b.bind(top);
+    // Value-predictable load that flips at iteration 1500.
+    b.ld(v, cbase, 0);
+    b.add(acc, acc, v);
+    // Slow-address store + racing load.
+    b.movi(addr, 24);
+    b.div(addr, addr, d3);
+    b.add(addr, addr, bbase);
+    b.st(addr, 0, i);
+    b.ld(v, bbase, 8);
+    b.addi(i, i, 1);
+    let noflip = b.label();
+    b.bne_imm(i, 1_500, noflip);
+    b.movi(v, 99);
+    b.st(cbase, 0, v);
+    b.bind(noflip);
+    b.bne(i, n, top);
+    b.halt();
+    let trace = PreparedTrace::new(generate_trace(&b.build().unwrap(), 300_000).unwrap());
+    for config in [CoreConfig::baseline_vp_6_64(), CoreConfig::eole_4_64_ports(4, 4)] {
+        let name = config.name.clone();
+        let mut sim = Simulator::new(&trace, config).unwrap();
+        sim.run(u64::MAX).unwrap();
+        assert!(sim.finished(), "{name}");
+        assert_eq!(sim.committed_total(), trace.len() as u64, "{name}");
+    }
+}

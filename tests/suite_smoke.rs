@@ -1,0 +1,90 @@
+//! Cross-crate integration: every workload runs to completion on the main
+//! configurations, deterministically, with sane statistics.
+
+use eole::prelude::*;
+
+fn run(trace: &PreparedTrace, config: CoreConfig) -> SimStats {
+    let mut sim = Simulator::new(trace, config).expect("valid config");
+    sim.run(u64::MAX).expect("no deadlock");
+    assert!(sim.finished());
+    assert_eq!(sim.committed_total(), trace.len() as u64, "every µ-op commits exactly once");
+    sim.stats()
+}
+
+#[test]
+fn all_workloads_complete_on_baseline_vp() {
+    for w in all_workloads() {
+        let trace = PreparedTrace::new(w.trace(12_000).expect("kernel runs"));
+        let s = run(&trace, CoreConfig::baseline_vp_6_64());
+        assert!(s.ipc() > 0.02, "{}: ipc {:.3}", w.name, s.ipc());
+        assert!(s.ipc() < 8.0, "{}: ipc {:.3} exceeds machine width", w.name, s.ipc());
+    }
+}
+
+#[test]
+fn all_workloads_complete_on_eole_with_banked_ports() {
+    for w in all_workloads() {
+        let trace = PreparedTrace::new(w.trace(10_000).expect("kernel runs"));
+        let s = run(&trace, CoreConfig::eole_4_64_ports(4, 4));
+        assert!(s.ipc() > 0.02, "{}: ipc {:.3}", w.name, s.ipc());
+    }
+}
+
+#[test]
+fn simulation_is_reproducible_end_to_end() {
+    for name in ["gzip", "mcf", "namd", "gobmk"] {
+        let w = workload_by_name(name).unwrap();
+        let t1 = PreparedTrace::new(w.trace(8_000).unwrap());
+        let t2 = PreparedTrace::new(w.trace(8_000).unwrap());
+        let a = run(&t1, CoreConfig::eole_4_64());
+        let b = run(&t2, CoreConfig::eole_4_64());
+        assert_eq!(a.cycles, b.cycles, "{name}: cycle counts differ");
+        assert_eq!(a.vp_used, b.vp_used, "{name}");
+        assert_eq!(a.squashed, b.squashed, "{name}");
+    }
+}
+
+#[test]
+fn used_value_predictions_are_nearly_always_correct() {
+    // The FPC design contract (§4.2): used predictions must be reliable
+    // enough that squash recovery is affordable.
+    for name in ["wupwise", "bzip2", "art", "namd"] {
+        let w = workload_by_name(name).unwrap();
+        let trace = PreparedTrace::new(w.trace(60_000).unwrap());
+        let s = run(&trace, CoreConfig::baseline_vp_6_64());
+        if s.vp_used > 500 {
+            assert!(
+                s.vp_accuracy() > 0.99,
+                "{name}: used-prediction accuracy {:.4}",
+                s.vp_accuracy()
+            );
+        }
+    }
+}
+
+#[test]
+fn mcf_is_memory_bound_and_slow() {
+    let w = workload_by_name("mcf").unwrap();
+    let trace = PreparedTrace::new(w.trace(12_000).unwrap());
+    let s = run(&trace, CoreConfig::baseline_6_64());
+    assert!(s.ipc() < 0.5, "mcf must crawl: ipc {:.3}", s.ipc());
+    assert!(s.mem.dram.accesses > 500, "mcf must hammer DRAM");
+}
+
+#[test]
+fn hmmer_has_high_ipc_and_low_vp_coverage() {
+    let w = workload_by_name("hmmer").unwrap();
+    let trace = PreparedTrace::new(w.trace(40_000).unwrap());
+    let s = run(&trace, CoreConfig::baseline_vp_6_64());
+    let all: Vec<f64> = all_workloads()
+        .iter()
+        .take(4)
+        .map(|w2| {
+            let t = PreparedTrace::new(w2.trace(12_000).unwrap());
+            run(&t, CoreConfig::baseline_vp_6_64()).ipc()
+        })
+        .collect();
+    let _ = all;
+    assert!(s.ipc() > 1.5, "hmmer is the suite's IPC champion: {:.3}", s.ipc());
+    assert!(s.vp_coverage() < 0.45, "hmmer coverage {:.3} should be low", s.vp_coverage());
+}

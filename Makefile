@@ -1,0 +1,24 @@
+# Tier-1 and friends as one-word commands. `make check` = the full gate.
+
+.PHONY: build test bench lint check experiments clean
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q
+
+bench:
+	cargo bench --workspace
+
+lint:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+check: build test lint
+
+# Regenerate every table/figure of the paper quickly.
+experiments:
+	cargo run --release -p eole-bench --bin experiments -- all --quick
+
+clean:
+	cargo clean

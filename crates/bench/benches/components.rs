@@ -22,7 +22,7 @@ fn bench(c: &mut Criterion) {
             let pc = 0x40 + (i % 32) * 4;
             let view = hist.view(1024);
             let p = tage.predict(pc, view);
-            tage.update(pc, view, p.taken ^ (i % 13 == 0));
+            tage.update(pc, view, p.taken ^ i.is_multiple_of(13));
             i += 1;
         })
     });

@@ -1,0 +1,415 @@
+//! A minimal, dependency-free stand-in for the
+//! [proptest](https://crates.io/crates/proptest) property-testing framework,
+//! providing the subset of the API this workspace uses: the [`Strategy`]
+//! trait with [`Strategy::prop_map`], integer-range and tuple strategies,
+//! [`collection::vec`], [`Arbitrary`]/[`any`], [`ProptestConfig`], and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! The build environment has no crates.io access, so the real framework
+//! cannot be fetched. Differences from real proptest: inputs are drawn from
+//! a fixed-seed deterministic RNG (no persisted failure corpus) and failing
+//! cases are **not shrunk** — on failure the runner prints the case index
+//! (re-runnable via [`TestRng::for_case`]) so a failure is still
+//! reproducible. Swap it out by pointing the workspace `proptest`
+//! dependency back at crates.io.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+pub mod sample;
+
+/// Everything a `proptest!`-based test file usually imports.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Test-runner settings (subset: just the case count).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each property must pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Marker returned by `prop_assume!` when a drawn case is rejected.
+#[derive(Clone, Copy, Debug)]
+pub struct CaseRejected;
+
+/// Drop guard that reports the failing case index when a property body
+/// panics, so the case can be re-run via [`TestRng::for_case`].
+#[doc(hidden)]
+pub struct CaseGuard(pub u64);
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest stand-in: property failed on case index {} \
+                 (reproduce with TestRng::for_case({}))",
+                self.0, self.0
+            );
+        }
+    }
+}
+
+/// Deterministic splitmix64 RNG: every case index maps to one input stream,
+/// so failures reproduce without a persisted corpus.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    const GOLDEN_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+    /// The RNG for one numbered test case.
+    pub fn for_case(case: u64) -> Self {
+        TestRng { state: case.wrapping_mul(0xff51_afd7_ed55_8ccd) ^ Self::GOLDEN_SEED }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A recipe for generating random values of an output type.
+///
+/// Real proptest separates value *trees* (for shrinking) from strategies;
+/// this stand-in generates values directly and does not shrink.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % width) as $t
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! int_range_inclusive_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64; // span + 1 overflows for full-width ranges
+                    let draw = if span == u64::MAX {
+                        rng.next_u64()
+                    } else {
+                        rng.next_u64() % (span + 1)
+                    };
+                    lo + draw as $t
+                }
+            }
+        )*
+    };
+}
+
+int_range_inclusive_strategy!(u8, u16, u32, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // Widen to i64 before subtracting/adding: narrow-type
+                    // wrapping arithmetic would corrupt widths larger than
+                    // the type's positive max (e.g. -100i8..100).
+                    let width = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                    (self.start as i64).wrapping_add((rng.next_u64() % width) as i64) as $t
+                }
+            }
+        )*
+    };
+}
+
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {
+        $(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Types with a canonical "draw any value" strategy (subset of real
+/// proptest's `Arbitrary`: primitives only).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {
+        $(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*
+    };
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The canonical strategy for a type: any value at all.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Defines property tests: each `#[test] fn name(inputs) { body }` runs the
+/// body over many generated inputs. Inputs are either `pattern in strategy`
+/// or `name: Type` (drawn via [`Arbitrary`]).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut passed: u32 = 0;
+                let mut rejected: u32 = 0;
+                let mut case: u64 = 0;
+                while passed < cfg.cases {
+                    let mut __rng = $crate::TestRng::for_case(case);
+                    let __guard = $crate::CaseGuard(case);
+                    let outcome: ::std::result::Result<(), $crate::CaseRejected> =
+                        (|| {
+                            $crate::__proptest_bind!(__rng; $($params)*);
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    ::std::mem::forget(__guard);
+                    match outcome {
+                        Ok(()) => passed += 1,
+                        Err($crate::CaseRejected) => {
+                            rejected += 1;
+                            assert!(
+                                rejected < 4096,
+                                "prop_assume! rejected {rejected} cases — strategy too narrow"
+                            );
+                        }
+                    }
+                    case += 1;
+                }
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $i:ident : $t:ty, $($rest:tt)*) => {
+        let $i: $t = <$t as $crate::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $i:ident : $t:ty) => {
+        let $i: $t = <$t as $crate::Arbitrary>::arbitrary(&mut $rng);
+    };
+    ($rng:ident; $p:pat in $s:expr, $($rest:tt)*) => {
+        let $p = $crate::Strategy::generate(&($s), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $p:pat in $s:expr) => {
+        let $p = $crate::Strategy::generate(&($s), &mut $rng);
+    };
+}
+
+/// Asserts a property holds for the current case (panics on failure; this
+/// stand-in does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { ::std::assert!($cond); };
+    ($cond:expr, $($fmt:tt)+) => { ::std::assert!($cond, $($fmt)+); };
+}
+
+/// Asserts two expressions are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { ::std::assert_eq!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { ::std::assert_eq!($a, $b, $($fmt)+); };
+}
+
+/// Asserts two expressions are unequal for the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { ::std::assert_ne!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { ::std::assert_ne!($a, $b, $($fmt)+); };
+}
+
+/// Rejects the current case (drawn inputs don't satisfy a precondition);
+/// the runner draws a replacement case instead.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::CaseRejected);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case(7);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3u8..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let s = Strategy::generate(&(-5i64..5), &mut rng);
+            assert!((-5..5).contains(&s));
+            // Width wider than the type's positive max must still respect
+            // the declared bounds.
+            let w = Strategy::generate(&(-100i8..100), &mut rng);
+            assert!((-100..100).contains(&w));
+            let f = Strategy::generate(&(i64::MIN..i64::MAX), &mut rng);
+            assert!(f < i64::MAX);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let strat = (0u8..200, 1usize..50).prop_map(|(a, b)| a as usize + b);
+        let a = Strategy::generate(&strat, &mut TestRng::for_case(3));
+        let b = Strategy::generate(&strat, &mut TestRng::for_case(3));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_binds_strategies_and_arbitraries(xs in crate::collection::vec(0u8..10, 2..6), flag: bool) {
+            prop_assume!(!xs.is_empty());
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert!(xs.iter().all(|x| *x < 10));
+            let _ = flag;
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Sampling strategies (subset: [`select`]).
+
+use crate::{Strategy, TestRng};
+
+/// Strategy returned by [`select`].
+#[derive(Clone, Debug)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+/// Picks one of the given options uniformly at random.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select needs at least one option");
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[(rng.next_u64() % self.options.len() as u64) as usize].clone()
+    }
+}

@@ -287,7 +287,7 @@ impl CoreConfig {
         if !self.prf_banks.is_power_of_two() {
             return Err(format!("prf_banks {} must be a power of two", self.prf_banks));
         }
-        if self.int_prf % self.prf_banks != 0 || self.fp_prf % self.prf_banks != 0 {
+        if !self.int_prf.is_multiple_of(self.prf_banks) || !self.fp_prf.is_multiple_of(self.prf_banks) {
             return Err("PRF size must divide evenly across banks".into());
         }
         if (self.eole.early || self.eole.late) && self.vp.is_none() {

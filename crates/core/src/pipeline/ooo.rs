@@ -1,0 +1,426 @@
+//! The out-of-order engine: rename/dispatch (with the EOLE designation
+//! decisions and the EE/prediction write-port budget) and the issue/execute
+//! stage with its functional-unit pools, load/store queues, and
+//! memory-dependence speculation via store sets.
+
+use std::collections::VecDeque;
+
+use eole_isa::{InstClass, RegClass};
+
+use crate::config::latency;
+use crate::prf::NOT_READY;
+
+use super::state::{
+    contains, overlap, pck, Avail, DstReg, LoadEntry, RobEntry, Simulator, SrcReg, StoreEntry,
+    Writer,
+};
+
+impl Simulator<'_> {
+    // ------------------------------------------------------------------
+    // Rename / Early Execution / Dispatch
+    // ------------------------------------------------------------------
+
+    pub(super) fn do_dispatch(&mut self) {
+        let now = self.cycle;
+        let mut dispatched = 0usize;
+        // EE/prediction PRF writes per (class, bank) this dispatch group.
+        let mut ee_writes = vec![[0usize; 2]; self.config.prf_banks];
+        while dispatched < self.config.rename_width {
+            let Some(fu) = self.front_q.front().copied() else { break };
+            if fu.at_rename > now {
+                break;
+            }
+            let di = &self.trace.insts()[fu.trace_idx];
+            let cls = di.class();
+            if self.rob.len() >= self.config.rob_entries {
+                self.stats.stall_rob_full += 1;
+                break;
+            }
+            if cls == InstClass::Load && self.lq.len() >= self.config.lq_entries {
+                self.stats.stall_lsq_full += 1;
+                break;
+            }
+            if cls == InstClass::Store && self.sq.len() >= self.config.sq_entries {
+                self.stats.stall_lsq_full += 1;
+                break;
+            }
+            // EOLE designations.
+            let ee_kind = self.decide_early(di, now);
+            let ee = ee_kind.is_some();
+            let le_alu = !ee
+                && self.config.eole.late
+                && fu.pred_used
+                && di.inst.is_single_cycle_alu();
+            let le_branch = self.config.eole.late && fu.hc && cls == InstClass::Branch;
+            let needs_iq =
+                !(ee || le_alu || le_branch || matches!(cls, InstClass::Jump | InstClass::Call));
+            if needs_iq && self.iq.len() >= self.config.iq_entries {
+                self.stats.stall_iq_full += 1;
+                break;
+            }
+            // EE/prediction write-port budget (§6.3 ablation).
+            let writes_prediction = (ee || fu.pred_used) && di.inst.dst.is_some();
+            if writes_prediction {
+                if let Some(cap) = self.config.eole.ee_writes_per_bank {
+                    let class = di.inst.dst.map(|d| d.class()).unwrap_or(RegClass::Int);
+                    let bank = self.prf.peek_alloc_bank(class);
+                    let ci = if class == RegClass::Int { 0 } else { 1 };
+                    if ee_writes[bank][ci] + 1 > cap {
+                        self.stats.ee_write_stalls += 1;
+                        break;
+                    }
+                }
+            }
+            // Rename: sources first, then the destination.
+            let mut srcs: [Option<SrcReg>; 2] = [None, None];
+            for (i, src) in di.inst.sources().enumerate() {
+                let preg = self.spec_rat[src.flat() as usize];
+                srcs[i] = Some(SrcReg { class: src.class(), preg });
+            }
+            let dst = match di.inst.dst {
+                Some(d) => {
+                    let class = d.class();
+                    match self.prf.alloc(class) {
+                        Some(new) => {
+                            let old = self.spec_rat[d.flat() as usize];
+                            self.spec_rat[d.flat() as usize] = new;
+                            Some(DstReg { arch_flat: d.flat(), class, new, old })
+                        }
+                        None => {
+                            self.stats.stall_prf += 1;
+                            break;
+                        }
+                    }
+                }
+                None => None,
+            };
+            if writes_prediction {
+                if let Some(d) = dst {
+                    let ci = if d.class == RegClass::Int { 0 } else { 1 };
+                    ee_writes[self.prf.bank_of(d.new)][ci] += 1;
+                }
+            }
+            self.front_q.pop_front();
+
+            // Destination readiness + completion.
+            let mut done_cycle = NOT_READY;
+            if let Some(d) = dst {
+                if ee || fu.pred_used || matches!(cls, InstClass::Call | InstClass::CallIndirect)
+                {
+                    // EE result / used prediction / statically-known link
+                    // value is written to the PRF at dispatch.
+                    self.prf.set_ready_min(d.class, d.new, now);
+                }
+            }
+            if ee || matches!(cls, InstClass::Jump | InstClass::Call) {
+                done_cycle = now;
+            }
+            // Writer availability for the EE operand rules.
+            if let Some(d) = dst {
+                let avail = if fu.pred_used
+                    || matches!(cls, InstClass::Call | InstClass::CallIndirect)
+                {
+                    Avail::Pred
+                } else if let Some(k) = ee_kind {
+                    k
+                } else {
+                    Avail::No
+                };
+                self.writer_info[d.arch_flat as usize] =
+                    Some(Writer { renamed_cycle: now, avail });
+            }
+
+            // Queue occupancy.
+            if needs_iq {
+                self.iq.push_back(fu.seq);
+            }
+            if cls == InstClass::Load {
+                let dep_store = self
+                    .store_sets
+                    .ssid(pck(di.pc))
+                    .and_then(|s| self.lfst[s as usize]);
+                self.lq.push_back(LoadEntry {
+                    seq: fu.seq,
+                    trace_idx: fu.trace_idx,
+                    addr: di.addr,
+                    size: di.size,
+                    dep_store,
+                    issued_at: NOT_READY,
+                });
+            }
+            if cls == InstClass::Store {
+                if let Some(s) = self.store_sets.ssid(pck(di.pc)) {
+                    self.lfst[s as usize] = Some(fu.seq);
+                }
+                self.sq.push_back(StoreEntry {
+                    seq: fu.seq,
+                    trace_idx: fu.trace_idx,
+                    addr: di.addr,
+                    size: di.size,
+                    issued_at: NOT_READY,
+                });
+            }
+
+            self.rob.push_back(RobEntry {
+                seq: fu.seq,
+                trace_idx: fu.trace_idx,
+                dispatch_cycle: now,
+                class: cls,
+                dst,
+                srcs,
+                done_cycle,
+                ee,
+                le_alu,
+                le_branch,
+                vp_eligible: di.inst.is_vp_eligible(),
+                vp_queried: fu.vp_queried,
+                pred_some: fu.pred_some,
+                pred_used: fu.pred_used,
+                pred_correct: fu.pred_correct,
+                hc: fu.hc,
+                awaited: fu.awaited,
+                ind_mispredict: fu.ind_mispredict,
+            });
+            dispatched += 1;
+        }
+        if dispatched > 0 {
+            self.prev_group_cycle = now;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue / Execute
+    // ------------------------------------------------------------------
+
+    fn rob_index(&self, seq: u64) -> usize {
+        let front = self.rob.front().expect("rob empty").seq;
+        (seq - front) as usize
+    }
+
+    fn srcs_ready(&self, e: &RobEntry) -> bool {
+        e.srcs.iter().flatten().all(|s| self.prf.ready_at(s.class, s.preg) <= self.cycle)
+    }
+
+    /// Decides whether the load with sequence number `seq` can go:
+    /// `None` = wait, `Some(done_cycle)` = issue now.
+    fn try_load(&mut self, seq: u64) -> Option<u64> {
+        let now = self.cycle;
+        let le = *self.lq.iter().find(|l| l.seq == seq).expect("load in LQ");
+        // Store-set dependence: wait until the flagged store has issued.
+        if let Some(dep) = le.dep_store {
+            if let Some(st) = self.sq.iter().find(|s| s.seq == dep) {
+                if st.issued_at == NOT_READY {
+                    return None;
+                }
+            }
+        }
+        // Youngest older store with a known address that overlaps decides.
+        for st in self.sq.iter().rev() {
+            if st.seq >= le.seq {
+                continue;
+            }
+            if st.issued_at != NOT_READY && overlap(st.addr, st.size, le.addr, le.size) {
+                return if contains(st.addr, st.size, le.addr, le.size) {
+                    self.stats.sq_forwards += 1;
+                    Some(now + latency::SQ_FORWARD)
+                } else {
+                    None // partial overlap: wait for the store to drain
+                };
+            }
+            // Unknown address: speculate past it (store sets permitting).
+        }
+        let di = &self.trace.insts()[le.trace_idx];
+        Some(self.mem.load(pck(di.pc), le.addr, now))
+    }
+
+    /// Returns true if a memory-order violation squash happened.
+    pub(super) fn do_issue(&mut self) -> bool {
+        let now = self.cycle;
+        let mut issued = 0usize;
+        let mut alu_used = 0usize;
+        let mut fp_used = 0usize;
+        let mut mul_used = 0usize;
+        let mut fmul_used = 0usize;
+        let mut mem_used = 0usize;
+        let mut violation: Option<(u64, u64)> = None; // (load_seq, store_seq)
+        let mut remaining: VecDeque<u64> = VecDeque::with_capacity(self.iq.len());
+        let iq = std::mem::take(&mut self.iq);
+        for seq in iq {
+            if issued >= self.config.issue_width || violation.is_some() {
+                remaining.push_back(seq);
+                continue;
+            }
+            let idx = self.rob_index(seq);
+            let ready = self.srcs_ready(&self.rob[idx]);
+            if !ready {
+                remaining.push_back(seq);
+                continue;
+            }
+            let class = self.rob[idx].class;
+            let done = match class {
+                InstClass::IntAlu
+                | InstClass::Branch
+                | InstClass::Return
+                | InstClass::JumpIndirect
+                | InstClass::CallIndirect => {
+                    if alu_used >= self.config.fu.int_alu {
+                        remaining.push_back(seq);
+                        continue;
+                    }
+                    alu_used += 1;
+                    now + latency::INT_ALU
+                }
+                InstClass::IntMul => {
+                    if mul_used >= self.config.fu.int_muldiv
+                        || !self.muldiv_busy.iter().any(|b| *b <= now)
+                    {
+                        remaining.push_back(seq);
+                        continue;
+                    }
+                    mul_used += 1;
+                    now + latency::INT_MUL
+                }
+                InstClass::IntDiv => {
+                    let Some(unit) = self.muldiv_busy.iter_mut().find(|b| **b <= now) else {
+                        remaining.push_back(seq);
+                        continue;
+                    };
+                    if mul_used >= self.config.fu.int_muldiv {
+                        remaining.push_back(seq);
+                        continue;
+                    }
+                    mul_used += 1;
+                    *unit = now + latency::INT_DIV; // unpipelined
+                    now + latency::INT_DIV
+                }
+                InstClass::FpAlu => {
+                    if fp_used >= self.config.fu.fp_alu {
+                        remaining.push_back(seq);
+                        continue;
+                    }
+                    fp_used += 1;
+                    now + latency::FP_ALU
+                }
+                InstClass::FpMul => {
+                    if fmul_used >= self.config.fu.fp_muldiv
+                        || !self.fpmuldiv_busy.iter().any(|b| *b <= now)
+                    {
+                        remaining.push_back(seq);
+                        continue;
+                    }
+                    fmul_used += 1;
+                    now + latency::FP_MUL
+                }
+                InstClass::FpDiv => {
+                    let Some(unit) = self.fpmuldiv_busy.iter_mut().find(|b| **b <= now)
+                    else {
+                        remaining.push_back(seq);
+                        continue;
+                    };
+                    if fmul_used >= self.config.fu.fp_muldiv {
+                        remaining.push_back(seq);
+                        continue;
+                    }
+                    fmul_used += 1;
+                    *unit = now + latency::FP_DIV;
+                    now + latency::FP_DIV
+                }
+                InstClass::Load => {
+                    if mem_used >= self.config.fu.mem_ports {
+                        remaining.push_back(seq);
+                        continue;
+                    }
+                    match self.try_load(seq) {
+                        Some(done) => {
+                            mem_used += 1;
+                            let le =
+                                self.lq.iter_mut().find(|l| l.seq == seq).expect("load");
+                            le.issued_at = now;
+                            done
+                        }
+                        None => {
+                            remaining.push_back(seq);
+                            continue;
+                        }
+                    }
+                }
+                InstClass::Store => {
+                    if mem_used >= self.config.fu.mem_ports {
+                        remaining.push_back(seq);
+                        continue;
+                    }
+                    mem_used += 1;
+                    let (st_addr, st_size, st_seq, st_tidx) = {
+                        let st =
+                            self.sq.iter_mut().find(|s| s.seq == seq).expect("store");
+                        st.issued_at = now;
+                        (st.addr, st.size, st.seq, st.trace_idx)
+                    };
+                    // The store's address is now known: detect any younger
+                    // load that already executed against the same bytes.
+                    let mut bad: Option<u64> = None;
+                    for l in self.lq.iter() {
+                        if l.seq > st_seq
+                            && l.issued_at != NOT_READY
+                            && l.issued_at <= now
+                            && overlap(st_addr, st_size, l.addr, l.size)
+                        {
+                            bad = Some(bad.map_or(l.seq, |b: u64| b.min(l.seq)));
+                        }
+                    }
+                    if let Some(load_seq) = bad {
+                        violation = Some((load_seq, st_seq));
+                    }
+                    // Release the LFST entry if we are still its tail.
+                    if let Some(s) = self
+                        .store_sets
+                        .ssid(pck(self.trace.insts()[st_tidx].pc))
+                    {
+                        if self.lfst[s as usize] == Some(st_seq) {
+                            self.lfst[s as usize] = None;
+                        }
+                    }
+                    now + latency::INT_ALU // address generation
+                }
+                InstClass::Jump | InstClass::Call | InstClass::Halt => {
+                    unreachable!("{class:?} never enters the IQ")
+                }
+            };
+            issued += 1;
+            let idx = self.rob_index(seq);
+            let (dst, awaited) = {
+                let e = &mut self.rob[idx];
+                e.done_cycle = done;
+                (e.dst, e.awaited)
+            };
+            if let Some(d) = dst {
+                self.prf.set_ready_min(d.class, d.new, done);
+            }
+            if awaited && self.pending_redirect == Some(seq) {
+                // Mispredicted control µ-op resolves at `done`: fetch
+                // restarts on the correct path then.
+                self.pending_redirect = None;
+                self.fetch_stall_until = done;
+                self.last_fetch_line = u64::MAX;
+            }
+        }
+        self.iq = remaining;
+
+        if let Some((load_seq, store_seq)) = violation {
+            let (load_pc, store_pc) = {
+                let l = self.lq.iter().find(|l| l.seq == load_seq).expect("load");
+                let s = self.sq.iter().find(|s| s.seq == store_seq).expect("store");
+                (
+                    pck(self.trace.insts()[l.trace_idx].pc),
+                    pck(self.trace.insts()[s.trace_idx].pc),
+                )
+            };
+            self.store_sets.on_violation(load_pc, store_pc);
+            self.stats.memory_order_squashes += 1;
+            self.squash_from(load_seq);
+            self.fetch_stall_until = now + 1;
+            return true;
+        }
+        false
+    }
+}

@@ -1,0 +1,441 @@
+//! Shared simulator state: [`PreparedTrace`], [`SimError`], the
+//! [`Simulator`] struct itself, the in-flight µ-op bookkeeping records, and
+//! the cycle loop that sequences the stage modules.
+
+use std::collections::VecDeque;
+
+use eole_isa::{InstClass, Program, RegClass, Trace};
+use eole_mem::hierarchy::MemoryHierarchy;
+use eole_predictors::branch::{Btb, ReturnStack, Tage};
+use eole_predictors::history::BranchHistory;
+use eole_predictors::storesets::StoreSets;
+use eole_predictors::value::{
+    Fcm, LastValue, StridePredictor, TwoDeltaStride, ValuePredictor, Vtage,
+    VtageTwoDeltaStride,
+};
+
+use crate::config::{CoreConfig, ValuePredictorKind};
+use crate::prf::{PhysReg, Prf};
+use crate::stats::SimStats;
+
+/// A dynamic trace plus the precomputed branch-history log, shareable
+/// across many simulator instances (one per configuration).
+#[derive(Clone, Debug)]
+pub struct PreparedTrace {
+    insts: Vec<eole_isa::DynInst>,
+    pub(super) history: BranchHistory,
+}
+
+impl PreparedTrace {
+    /// Prepares a raw trace for timing simulation.
+    pub fn new(trace: Trace) -> Self {
+        let history = BranchHistory::from_outcomes(&trace.branch_outcomes);
+        PreparedTrace { insts: trace.insts, history }
+    }
+
+    /// Number of µ-ops.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if the trace holds no µ-ops.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The µ-ops.
+    pub fn insts(&self) -> &[eole_isa::DynInst] {
+        &self.insts
+    }
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The pipeline stopped retiring (internal invariant broken).
+    Deadlock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Instructions committed up to that point.
+        committed: u64,
+    },
+    /// Configuration rejected by [`CoreConfig::validate`].
+    BadConfig(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { cycle, committed } => {
+                write!(f, "pipeline deadlock at cycle {cycle} after {committed} commits")
+            }
+            SimError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// How a value becomes available to the Early Execution block's operand
+/// sources (paper §3.2: immediate, local bypass, or the value predictor —
+/// never the PRF).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(super) enum Avail {
+    /// Producer's *used prediction* travels with the rename group.
+    Pred,
+    /// Early-executed in EE stage 1.
+    Ee1,
+    /// Early-executed in EE stage 2 (2-deep EE only).
+    Ee2,
+    /// Result only exists in the PRF / OoO engine: not EE-consumable.
+    No,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(super) struct Writer {
+    pub(super) renamed_cycle: u64,
+    pub(super) avail: Avail,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(super) struct SrcReg {
+    pub(super) class: RegClass,
+    pub(super) preg: PhysReg,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(super) struct DstReg {
+    pub(super) arch_flat: u8,
+    pub(super) class: RegClass,
+    pub(super) new: PhysReg,
+    pub(super) old: PhysReg,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(super) struct FrontUop {
+    pub(super) trace_idx: usize,
+    pub(super) seq: u64,
+    pub(super) at_rename: u64,
+    pub(super) vp_queried: bool,
+    pub(super) pred_some: bool,
+    pub(super) pred_used: bool,
+    pub(super) pred_correct: bool,
+    /// Very-high-confidence conditional branch (storage-free TAGE conf).
+    pub(super) hc: bool,
+    /// Fetch stalls until this µ-op resolves (mispredicted control).
+    pub(super) awaited: bool,
+    /// Mispredicted indirect/return (for stats).
+    pub(super) ind_mispredict: bool,
+}
+
+#[derive(Clone, Debug)]
+pub(super) struct RobEntry {
+    pub(super) seq: u64,
+    pub(super) trace_idx: usize,
+    pub(super) dispatch_cycle: u64,
+    pub(super) class: InstClass,
+    pub(super) dst: Option<DstReg>,
+    pub(super) srcs: [Option<SrcReg>; 2],
+    pub(super) done_cycle: u64,
+    pub(super) ee: bool,
+    pub(super) le_alu: bool,
+    pub(super) le_branch: bool,
+    pub(super) vp_eligible: bool,
+    pub(super) vp_queried: bool,
+    pub(super) pred_some: bool,
+    pub(super) pred_used: bool,
+    pub(super) pred_correct: bool,
+    pub(super) hc: bool,
+    pub(super) awaited: bool,
+    pub(super) ind_mispredict: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(super) struct LoadEntry {
+    pub(super) seq: u64,
+    pub(super) trace_idx: usize,
+    pub(super) addr: u64,
+    pub(super) size: u8,
+    pub(super) dep_store: Option<u64>,
+    pub(super) issued_at: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(super) struct StoreEntry {
+    pub(super) seq: u64,
+    pub(super) trace_idx: usize,
+    pub(super) addr: u64,
+    pub(super) size: u8,
+    pub(super) issued_at: u64,
+}
+
+pub(super) fn overlap(a_addr: u64, a_size: u8, b_addr: u64, b_size: u8) -> bool {
+    a_addr < b_addr + b_size as u64 && b_addr < a_addr + a_size as u64
+}
+
+pub(super) fn contains(
+    outer_addr: u64,
+    outer_size: u8,
+    inner_addr: u64,
+    inner_size: u8,
+) -> bool {
+    outer_addr <= inner_addr
+        && inner_addr + inner_size as u64 <= outer_addr + outer_size as u64
+}
+
+pub(super) fn pck(pc: u32) -> u64 {
+    Program::inst_addr(pc)
+}
+
+fn make_value_predictor(kind: ValuePredictorKind, seed: u64) -> Box<dyn ValuePredictor> {
+    match kind {
+        ValuePredictorKind::VtageTwoDeltaStride => Box::new(VtageTwoDeltaStride::paper(seed)),
+        ValuePredictorKind::Vtage => Box::new(Vtage::paper(seed)),
+        ValuePredictorKind::TwoDeltaStride => Box::new(TwoDeltaStride::paper(seed)),
+        ValuePredictorKind::Stride => Box::new(StridePredictor::new(8192, seed)),
+        ValuePredictorKind::LastValue => Box::new(LastValue::new(8192, seed)),
+        ValuePredictorKind::Fcm => Box::new(Fcm::new(8192, 8192, seed)),
+    }
+}
+
+/// The cycle-level simulator for one core configuration over one trace.
+pub struct Simulator<'t> {
+    pub(super) trace: &'t PreparedTrace,
+    pub(super) config: CoreConfig,
+    pub(super) cycle: u64,
+    pub(super) cursor: usize,
+    pub(super) next_seq: u64,
+    pub(super) total_committed: u64,
+    pub(super) last_commit_cycle: u64,
+
+    // Front end.
+    pub(super) fetch_stall_until: u64,
+    pub(super) pending_redirect: Option<u64>,
+    pub(super) last_fetch_line: u64,
+    pub(super) front_q: VecDeque<FrontUop>,
+    pub(super) front_cap: usize,
+    pub(super) tage: Tage,
+    pub(super) btb: Btb,
+    pub(super) ras: ReturnStack,
+    pub(super) vp: Option<Box<dyn ValuePredictor>>,
+
+    // Rename.
+    pub(super) spec_rat: [PhysReg; 64],
+    pub(super) commit_rat: [PhysReg; 64],
+    pub(super) prf: Prf,
+    pub(super) writer_info: [Option<Writer>; 64],
+    pub(super) prev_group_cycle: u64,
+
+    // Window.
+    pub(super) rob: VecDeque<RobEntry>,
+    pub(super) iq: VecDeque<u64>,
+    pub(super) lq: VecDeque<LoadEntry>,
+    pub(super) sq: VecDeque<StoreEntry>,
+    pub(super) store_sets: StoreSets,
+    pub(super) lfst: Vec<Option<u64>>,
+
+    // Execute.
+    pub(super) muldiv_busy: Vec<u64>,
+    pub(super) fpmuldiv_busy: Vec<u64>,
+    pub(super) mem: MemoryHierarchy,
+
+    pub(super) stats: SimStats,
+}
+
+impl<'t> Simulator<'t> {
+    /// Builds a simulator over a prepared trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] if the configuration is inconsistent.
+    pub fn new(trace: &'t PreparedTrace, config: CoreConfig) -> Result<Self, SimError> {
+        config.validate().map_err(SimError::BadConfig)?;
+        let mut spec_rat = [0 as PhysReg; 64];
+        for (i, r) in spec_rat.iter_mut().enumerate() {
+            *r = (i % 32) as PhysReg;
+        }
+        let store_sets = StoreSets::paper();
+        let lfst = vec![None; store_sets.num_ssids() as usize];
+        let front_cap = config.fetch_width * (config.frontend_depth as usize + 4);
+        Ok(Simulator {
+            cycle: 0,
+            cursor: 0,
+            next_seq: 0,
+            total_committed: 0,
+            last_commit_cycle: 0,
+            fetch_stall_until: 0,
+            pending_redirect: None,
+            last_fetch_line: u64::MAX,
+            front_q: VecDeque::new(),
+            front_cap,
+            tage: Tage::paper(config.branch_seed),
+            btb: Btb::paper(),
+            ras: ReturnStack::paper(),
+            vp: config.vp.as_ref().map(|v| make_value_predictor(v.kind, v.seed)),
+            spec_rat,
+            commit_rat: spec_rat,
+            prf: Prf::new(config.int_prf, config.fp_prf, config.prf_banks),
+            writer_info: [None; 64],
+            prev_group_cycle: u64::MAX,
+            rob: VecDeque::new(),
+            iq: VecDeque::new(),
+            lq: VecDeque::new(),
+            sq: VecDeque::new(),
+            store_sets,
+            lfst,
+            muldiv_busy: vec![0; config.fu.int_muldiv],
+            fpmuldiv_busy: vec![0; config.fu.fp_muldiv],
+            mem: MemoryHierarchy::new(&config.mem),
+            stats: SimStats::default(),
+            trace,
+            config,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Total µ-ops committed since construction (not reset by
+    /// [`Simulator::begin_measurement`]).
+    pub fn committed_total(&self) -> u64 {
+        self.total_committed
+    }
+
+    /// True once every trace µ-op has committed.
+    pub fn finished(&self) -> bool {
+        self.cursor >= self.trace.len() && self.front_q.is_empty() && self.rob.is_empty()
+    }
+
+    /// Snapshot of the counters (memory counters are cumulative).
+    pub fn stats(&self) -> SimStats {
+        let mut s = self.stats.clone();
+        s.mem = self.mem.stats();
+        s
+    }
+
+    /// Zeroes the pipeline counters — call at the end of warmup so the
+    /// measurement window starts clean (predictor/cache state is kept).
+    pub fn begin_measurement(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Runs until `insts` more µ-ops commit, the trace drains, or the
+    /// deadlock watchdog fires.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] if no commit happens for 100k cycles.
+    pub fn run(&mut self, insts: u64) -> Result<(), SimError> {
+        let target = self.total_committed.saturating_add(insts);
+        while self.total_committed < target && !self.finished() {
+            self.step();
+            if self.cycle - self.last_commit_cycle > 100_000 {
+                return Err(SimError::Deadlock {
+                    cycle: self.cycle,
+                    committed: self.total_committed,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances the pipeline by one cycle.
+    pub fn step(&mut self) {
+        let squashed = self.do_commit();
+        if !squashed {
+            let violated = self.do_issue();
+            if !violated {
+                self.do_dispatch();
+                self.do_fetch();
+            }
+        }
+        self.cycle += 1;
+        self.stats.cycles += 1;
+    }
+}
+
+impl std::fmt::Debug for Simulator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("config", &self.config.name)
+            .field("cycle", &self.cycle)
+            .field("committed", &self.total_committed)
+            .field("rob", &self.rob.len())
+            .field("iq", &self.iq.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eole_isa::{generate_trace, IntReg, ProgramBuilder};
+
+    fn tiny_trace(iters: i64) -> Trace {
+        let r = IntReg::new;
+        let mut b = ProgramBuilder::new();
+        b.movi(r(1), 0);
+        b.movi(r(2), iters);
+        let top = b.label();
+        b.bind(top);
+        b.addi(r(1), r(1), 1);
+        b.bne(r(1), r(2), top);
+        b.halt();
+        generate_trace(&b.build().unwrap(), 100_000).unwrap()
+    }
+
+    #[test]
+    fn prepared_trace_round_trips_the_raw_trace() {
+        let raw = tiny_trace(10);
+        let raw_insts = raw.insts.clone();
+        let prepared = PreparedTrace::new(raw);
+        assert_eq!(prepared.len(), raw_insts.len());
+        assert!(!prepared.is_empty());
+        // `insts()` exposes the same µ-ops in the same order.
+        assert_eq!(prepared.insts().len(), raw_insts.len());
+        for (a, b) in prepared.insts().iter().zip(raw_insts.iter()) {
+            assert_eq!(a.pc, b.pc);
+            assert_eq!(a.result, b.result);
+            assert_eq!(a.next_pc, b.next_pc);
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_empty_and_finishes_immediately() {
+        let prepared = PreparedTrace::new(Trace {
+            insts: Vec::new(),
+            branch_outcomes: Vec::new(),
+            halted: false,
+        });
+        assert_eq!(prepared.len(), 0);
+        assert!(prepared.is_empty());
+        assert!(prepared.insts().is_empty());
+        let mut sim =
+            Simulator::new(&prepared, crate::config::CoreConfig::baseline_6_64()).unwrap();
+        assert!(sim.finished());
+        sim.run(u64::MAX).unwrap();
+        assert_eq!(sim.committed_total(), 0);
+    }
+
+    #[test]
+    fn prepared_trace_is_cloneable_and_shareable() {
+        let prepared = PreparedTrace::new(tiny_trace(50));
+        let cloned = prepared.clone();
+        assert_eq!(prepared.len(), cloned.len());
+        // Two simulators over the same prepared trace agree exactly.
+        let run = |t: &PreparedTrace| {
+            let mut sim =
+                Simulator::new(t, crate::config::CoreConfig::baseline_6_64()).unwrap();
+            sim.run(u64::MAX).unwrap();
+            sim.stats().cycles
+        };
+        assert_eq!(run(&prepared), run(&cloned));
+    }
+}

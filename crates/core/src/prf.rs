@@ -50,7 +50,7 @@ impl Prf {
     /// architectural registers.
     pub fn new(int_regs: usize, fp_regs: usize, banks: usize) -> Self {
         assert!(banks >= 1);
-        assert!(int_regs % banks == 0 && fp_regs % banks == 0);
+        assert!(int_regs.is_multiple_of(banks) && fp_regs.is_multiple_of(banks));
         assert!(int_regs >= 64 && fp_regs >= 64, "need headroom beyond the 32 arch regs");
         let build = |n: usize| -> ClassFile {
             let mut ready = vec![NOT_READY; n];

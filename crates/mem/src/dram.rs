@@ -206,7 +206,7 @@ mod tests {
             let done = d.access(addr, now);
             let lat = done - now;
             assert!((75..=185).contains(&lat), "latency {lat} out of envelope");
-            addr = addr.wrapping_add(0x1234_40);
+            addr = addr.wrapping_add(0x0012_3440);
         }
     }
 }

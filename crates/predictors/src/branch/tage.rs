@@ -215,7 +215,7 @@ impl DirectionPredictor for Tage {
 
     fn update(&mut self, pc: u64, hist: HistoryView<'_>, taken: bool) {
         self.updates += 1;
-        if self.updates % USEFUL_RESET_PERIOD == 0 {
+        if self.updates.is_multiple_of(USEFUL_RESET_PERIOD) {
             for comp in &mut self.tagged {
                 for e in comp.iter_mut() {
                     e.useful >>= 1;

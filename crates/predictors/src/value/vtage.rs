@@ -174,7 +174,7 @@ impl Vtage {
 
     fn maybe_age_useful(&mut self) {
         self.updates += 1;
-        if self.updates % USEFUL_RESET_PERIOD == 0 {
+        if self.updates.is_multiple_of(USEFUL_RESET_PERIOD) {
             for comp in &mut self.tagged {
                 for e in comp.iter_mut() {
                     e.useful = e.useful.saturating_sub(1);

@@ -67,7 +67,7 @@ pub fn program() -> Program {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eole_isa::{generate_trace, InstClass};
+    use eole_isa::generate_trace;
 
     #[test]
     fn memory_traffic_dominates() {

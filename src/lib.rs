@@ -14,7 +14,7 @@
 //!
 //! ## Quickstart
 //!
-//! ```
+//! ```no_run
 //! use eole::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {

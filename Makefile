@@ -1,6 +1,6 @@
 # Tier-1 and friends as one-word commands. `make check` = the full gate.
 
-.PHONY: build test bench lint check experiments clean
+.PHONY: build test bench lint check experiments experiments-json clean
 
 build:
 	cargo build --release
@@ -19,6 +19,10 @@ check: build test lint
 # Regenerate every table/figure of the paper quickly.
 experiments:
 	cargo run --release -p eole-bench --bin experiments -- all --quick
+
+# Same, as a machine-readable report set (schema in EXPERIMENTS.md).
+experiments-json:
+	cargo run --release -p eole-bench --bin experiments -- all --quick --format json --out results.json
 
 clean:
 	cargo clean

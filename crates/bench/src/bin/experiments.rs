@@ -2,39 +2,107 @@
 //!
 //! ```text
 //! cargo run --release -p eole-bench --bin experiments -- all
-//! cargo run --release -p eole-bench --bin experiments -- fig7 fig12 --md results.md
+//! cargo run --release -p eole-bench --bin experiments -- all --format json --out results.json
+//! cargo run --release -p eole-bench --bin experiments -- fig7 fig12 --format csv
 //! cargo run --release -p eole-bench --bin experiments -- fig6 --warmup 50000 --measure 100000
 //! cargo run --release -p eole-bench --bin experiments -- table3 --quick
 //! ```
+//!
+//! Default output is Markdown on stdout; `--format json` emits one
+//! `eole-report-set/v1` object covering every selected report (schema in
+//! `EXPERIMENTS.md`); `--out FILE` redirects the payload to a file, with
+//! a progress line on stderr either way.
 
 use std::io::Write as _;
 
-use eole_bench::experiments::ExperimentSet;
+use eole_bench::experiments::{ExperimentSet, EXPERIMENT_NAMES};
 use eole_bench::Runner;
+use eole_stats::report::{reports_to_json, ExperimentReport};
 
-const USAGE: &str = "usage: experiments [names...|all] [--quick] [--warmup N] [--measure N] [--md FILE]
-experiments: table1 table2 table3 fig2 fig4 offload fig6 fig7 fig8 fig10 fig11 fig12 fig13 vp_ablation ee_writes complexity";
+const USAGE: &str = "usage: experiments [names...|all] [--quick] [--warmup N] [--measure N] \
+[--format md|json|csv] [--out FILE] [--md FILE]
+experiments: table1 table2 table3 fig2 fig4 offload fig6 fig7 fig8 fig10 fig11 fig12 fig13 \
+vp_ablation ee_writes squash_cost complexity";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Markdown,
+    Json,
+    Csv,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(1);
+}
+
+fn render(reports: &[ExperimentReport], format: Format, runner: &Runner) -> String {
+    match format {
+        Format::Markdown => {
+            let mut out = String::new();
+            for r in reports {
+                out.push_str(&r.render_markdown());
+                out.push('\n');
+            }
+            out
+        }
+        Format::Json => format!(
+            "{{\"schema\":\"eole-report-set/v1\",\"runner\":{{\"warmup\":{},\"measure\":{}}},\"reports\":{}}}",
+            runner.warmup,
+            runner.measure,
+            reports_to_json(reports)
+        ),
+        Format::Csv => {
+            // One CSV block per report, separated by `# id: title` comment
+            // lines (split on `^#` to recover the individual tables).
+            let mut out = String::new();
+            for r in reports {
+                out.push_str(&format!("# {}: {}\n", r.id(), r.title()));
+                out.push_str(&r.to_csv());
+                out.push('\n');
+            }
+            out
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut names: Vec<String> = Vec::new();
     let mut runner = Runner::default();
-    let mut md_out: Option<String> = None;
+    let mut format = Format::Markdown;
+    let mut out_path: Option<String> = None;
+    let take = |args: &[String], i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i).unwrap_or_else(|| fail(&format!("{flag} needs a value"))).clone()
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => runner = Runner::quick(),
             "--warmup" => {
-                i += 1;
-                runner.warmup = args[i].parse().expect("--warmup takes a number");
+                runner.warmup = take(&args, &mut i, "--warmup")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--warmup takes a number"));
             }
             "--measure" => {
-                i += 1;
-                runner.measure = args[i].parse().expect("--measure takes a number");
+                runner.measure = take(&args, &mut i, "--measure")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--measure takes a number"));
             }
+            "--format" => {
+                format = match take(&args, &mut i, "--format").as_str() {
+                    "md" | "markdown" => Format::Markdown,
+                    "json" => Format::Json,
+                    "csv" => Format::Csv,
+                    other => fail(&format!("unknown format {other} (md|json|csv)")),
+                };
+            }
+            "--out" => out_path = Some(take(&args, &mut i, "--out")),
+            // Back-compat alias from the pre-redesign CLI.
             "--md" => {
-                i += 1;
-                md_out = Some(args[i].clone());
+                format = Format::Markdown;
+                out_path = Some(take(&args, &mut i, "--md"));
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -49,33 +117,41 @@ fn main() {
         return;
     }
 
+    // Fail fast on an unwritable --out before hours of simulation.
+    let mut out_file = out_path.as_ref().map(|path| {
+        std::fs::File::create(path).unwrap_or_else(|e| fail(&format!("create {path}: {e}")))
+    });
+
     let set = ExperimentSet::new(runner);
     let start = std::time::Instant::now();
-    let tables = if names.iter().any(|n| n == "all") {
-        set.all()
+    let selected: Vec<String> = if names.iter().any(|n| n == "all") {
+        EXPERIMENT_NAMES.iter().map(|n| n.to_string()).collect()
     } else {
         names
-            .iter()
-            .map(|n| set.by_name(n).unwrap_or_else(|| panic!("unknown experiment {n}\n{USAGE}")))
-            .collect()
     };
+    let mut reports = Vec::with_capacity(selected.len());
+    for name in &selected {
+        match set.by_name(name) {
+            Ok(report) => reports.push(report),
+            Err(e) => fail(&e.to_string()),
+        }
+    }
 
-    for t in &tables {
-        println!("{}", t.to_text());
+    let payload = render(&reports, format, &runner);
+    match (&mut out_file, &out_path) {
+        (Some(f), Some(path)) => {
+            f.write_all(payload.as_bytes())
+                .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+            eprintln!("[written to {path}]");
+        }
+        _ => print!("{payload}"),
     }
     eprintln!(
-        "[{} experiment(s), warmup {} + measure {} µ-ops per run, {:.1}s]",
-        tables.len(),
+        "[{} report(s), warmup {} + measure {} µ-ops per run, {} trace(s) prepared, {:.1}s]",
+        reports.len(),
         runner.warmup,
         runner.measure,
+        set.executor().cache().generated(),
         start.elapsed().as_secs_f64()
     );
-
-    if let Some(path) = md_out {
-        let mut f = std::fs::File::create(&path).expect("create markdown output");
-        for t in &tables {
-            writeln!(f, "{}", t.to_markdown()).expect("write markdown");
-        }
-        eprintln!("[markdown written to {path}]");
-    }
 }

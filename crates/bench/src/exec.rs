@@ -1,0 +1,392 @@
+//! The executor layer: running many [`RunSpec`]s, fast and fallibly.
+//!
+//! * [`RunError`] — every way a run can fail, as data instead of a panic.
+//! * [`TraceCache`] — prepared traces keyed by (workload, trace length);
+//!   each trace is generated exactly once and shared across every
+//!   configuration and seed that needs it.
+//! * [`Executor`] — a work-stealing thread pool that schedules individual
+//!   runs (not whole workloads) and returns results in grid order.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use eole_core::pipeline::{PreparedTrace, SimError};
+use eole_core::stats::SimStats;
+use eole_workloads::Workload;
+
+use crate::spec::{Grid, RunSpec};
+use crate::Runner;
+
+/// Which phase of a run failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunPhase {
+    /// Simulator construction (configuration validation).
+    Build,
+    /// The warmup window.
+    Warmup,
+    /// The measurement window.
+    Measure,
+}
+
+impl std::fmt::Display for RunPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunPhase::Build => write!(f, "build"),
+            RunPhase::Warmup => write!(f, "warmup"),
+            RunPhase::Measure => write!(f, "measure"),
+        }
+    }
+}
+
+/// A failed run, as a value (the redesign of the old `panic!`/`unwrap`
+/// paths in the harness).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// The workload kernel failed to generate a trace.
+    Kernel {
+        /// Workload name.
+        workload: String,
+        /// The functional-execution error, rendered.
+        reason: String,
+    },
+    /// The simulator rejected the configuration or stopped retiring.
+    Sim {
+        /// Configuration name.
+        config: String,
+        /// Workload name.
+        workload: String,
+        /// Phase that failed.
+        phase: RunPhase,
+        /// Underlying simulator error.
+        source: SimError,
+    },
+    /// An experiment name not in the harness registry (CLI lookups).
+    UnknownExperiment(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Kernel { workload, reason } => {
+                write!(f, "{workload}: kernel failed to trace: {reason}")
+            }
+            RunError::Sim { config, workload, phase, source } => {
+                write!(f, "{config}/{workload}: {phase} failed: {source}")
+            }
+            RunError::UnknownExperiment(name) => write!(f, "unknown experiment {name}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// The trace-sharing key: runs agreeing on workload and trace length
+/// replay the same trace. Single definition — [`RunSpec::trace_key`]
+/// delegates here so spec and cache can never disagree.
+pub(crate) fn trace_key(workload: &Workload, runner: &Runner) -> (String, u64) {
+    (workload.name.to_string(), runner.trace_len())
+}
+
+type TraceKey = (String, u64);
+type TraceSlot = Arc<Mutex<Option<Result<Arc<PreparedTrace>, RunError>>>>;
+
+/// A keyed cache of prepared traces.
+///
+/// The key is `(workload name, trace length)`: every configuration and
+/// seed in a grid replays the same trace, so it is generated **exactly
+/// once per key** — under concurrency, the first thread to claim a key
+/// generates while later threads for the same key block on that slot
+/// (other keys proceed in parallel).
+#[derive(Debug, Default)]
+pub struct TraceCache {
+    slots: Mutex<HashMap<TraceKey, TraceSlot>>,
+    generated: AtomicUsize,
+    hits: AtomicUsize,
+}
+
+impl TraceCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the prepared trace for `(workload, runner.trace_len())`,
+    /// generating it on first use and sharing it afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Kernel`] if the kernel fails to trace; the failure is
+    /// cached too (a broken kernel is not retried per config).
+    pub fn get_or_prepare(
+        &self,
+        workload: &Workload,
+        runner: &Runner,
+    ) -> Result<Arc<PreparedTrace>, RunError> {
+        let key = trace_key(workload, runner);
+        let slot = {
+            let mut slots = self.slots.lock().expect("trace cache poisoned");
+            Arc::clone(slots.entry(key).or_default())
+        };
+        let mut guard = slot.lock().expect("trace slot poisoned");
+        match &*guard {
+            Some(cached) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                cached.clone()
+            }
+            None => {
+                let result = runner.try_prepare(workload).map(Arc::new);
+                if result.is_ok() {
+                    self.generated.fetch_add(1, Ordering::Relaxed);
+                }
+                *guard = Some(result.clone());
+                result
+            }
+        }
+    }
+
+    /// Number of traces actually generated (one per distinct key).
+    pub fn generated(&self) -> usize {
+        self.generated.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups served from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+/// One completed run: the spec it came from plus its outcome.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The run description.
+    pub spec: RunSpec,
+    /// Statistics, or the typed failure.
+    pub outcome: Result<SimStats, RunError>,
+}
+
+impl RunResult {
+    /// The statistics of a successful run.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the run label and the typed error if the run failed —
+    /// for harness contexts where failure is a bug, not a condition.
+    pub fn expect_stats(&self) -> &SimStats {
+        match &self.outcome {
+            Ok(s) => s,
+            Err(e) => panic!("{}: {e}", self.spec.label()),
+        }
+    }
+}
+
+/// A work-stealing executor over run grids.
+///
+/// Individual [`RunSpec`]s — not whole workloads — are the unit of
+/// scheduling: each worker owns a deque of runs and, when its own
+/// drains, steals from the back of the first other worker's deque that
+/// still has work, so a slow workload (e.g. `mcf`'s DRAM-bound chase)
+/// never serializes the tail of an experiment. Prepared traces are shared through a
+/// [`TraceCache`], which can itself be shared across executors (the
+/// `ExperimentSet` shares one across all experiments).
+#[derive(Debug)]
+pub struct Executor {
+    threads: usize,
+    cache: Arc<TraceCache>,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Executor {
+    /// An executor sized to the machine with a fresh trace cache.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        Self::with_threads(threads)
+    }
+
+    /// An executor with an explicit worker count (≥ 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Executor { threads: threads.max(1), cache: Arc::new(TraceCache::new()) }
+    }
+
+    /// Replaces the trace cache with a shared one.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<TraceCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The trace cache (inspectable: generation/hit counters).
+    pub fn cache(&self) -> &TraceCache {
+        &self.cache
+    }
+
+    fn execute(&self, spec: &RunSpec) -> Result<SimStats, RunError> {
+        let trace = self.cache.get_or_prepare(&spec.workload, &spec.runner)?;
+        spec.runner.try_run(&trace, spec.effective_config()).map_err(|e| match e {
+            // Attribute the workload: `try_run` cannot know it.
+            RunError::Sim { config, phase, source, .. } => RunError::Sim {
+                config,
+                workload: spec.workload.name.to_string(),
+                phase,
+                source,
+            },
+            other => other,
+        })
+    }
+
+    /// Runs every spec of the grid; `results[i]` corresponds to
+    /// `grid.specs()[i]` regardless of scheduling.
+    pub fn run(&self, grid: &Grid) -> Vec<RunResult> {
+        self.run_specs(grid.specs())
+    }
+
+    /// Runs an explicit spec list; results keep the input order.
+    pub fn run_specs(&self, specs: Vec<RunSpec>) -> Vec<RunResult> {
+        let n = specs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(n);
+        // Deal indices round-robin so every worker starts with a spread of
+        // workloads (specs of one workload are adjacent in grid order).
+        let queues: Vec<Mutex<std::collections::VecDeque<usize>>> = (0..workers)
+            .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+            .collect();
+        let mut results: Vec<Option<RunResult>> = (0..n).map(|_| None).collect();
+        let results_mutex = Mutex::new(&mut results);
+        std::thread::scope(|scope| {
+            for me in 0..workers {
+                let queues = &queues;
+                let specs = &specs;
+                let results_mutex = &results_mutex;
+                scope.spawn(move || loop {
+                    // Own work first (front), then steal from the back of
+                    // the other workers' deques.
+                    let job = queues[me].lock().expect("queue poisoned").pop_front().or_else(|| {
+                        (0..queues.len())
+                            .filter(|w| *w != me)
+                            .find_map(|w| queues[w].lock().expect("queue poisoned").pop_back())
+                    });
+                    let Some(i) = job else { break };
+                    let outcome = self.execute(&specs[i]);
+                    let result = RunResult { spec: specs[i].clone(), outcome };
+                    results_mutex.lock().expect("no poisoned workers")[i] = Some(result);
+                });
+            }
+        });
+        results.into_iter().map(|r| r.expect("all specs executed")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eole_core::config::CoreConfig;
+    use eole_workloads::workload_by_name;
+
+    #[test]
+    fn trace_cache_generates_exactly_once_per_key() {
+        let cache = Arc::new(TraceCache::new());
+        let runner = Runner::quick();
+        let w = workload_by_name("gzip").unwrap();
+        let threads = 8;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let cache = Arc::clone(&cache);
+                let w = w.clone();
+                scope.spawn(move || {
+                    let t = cache.get_or_prepare(&w, &runner).unwrap();
+                    assert!(!t.is_empty());
+                });
+            }
+        });
+        assert_eq!(cache.generated(), 1, "one generation per key, ever");
+        assert_eq!(cache.hits(), threads - 1);
+        // A different trace length is a different key.
+        let longer = Runner { warmup: 20_000, measure: 30_000 };
+        cache.get_or_prepare(&w, &longer).unwrap();
+        assert_eq!(cache.generated(), 2);
+    }
+
+    #[test]
+    fn cache_is_shared_across_configs_in_a_grid() {
+        let grid = Grid::new()
+            .runner(Runner::quick())
+            .configs([
+                CoreConfig::baseline_6_64(),
+                CoreConfig::baseline_vp_6_64(),
+                CoreConfig::eole_4_64(),
+            ])
+            .workload_names(&["gzip", "namd"]);
+        let exec = Executor::with_threads(4);
+        let results = exec.run(&grid);
+        assert_eq!(results.len(), 6);
+        assert!(results.iter().all(|r| r.outcome.is_ok()));
+        assert_eq!(exec.cache().generated(), 2, "one trace per workload, not per run");
+        assert_eq!(exec.cache().hits(), 4);
+    }
+
+    #[test]
+    fn results_keep_grid_order_under_concurrency() {
+        let grid = Grid::new()
+            .runner(Runner::quick())
+            .configs([CoreConfig::baseline_6_64(), CoreConfig::eole_4_64()])
+            .workload_names(&["gzip", "namd", "hmmer"]);
+        let expected: Vec<String> = grid.specs().iter().map(RunSpec::label).collect();
+        for threads in [1, 2, 7] {
+            let results = Executor::with_threads(threads).run(&grid);
+            let got: Vec<String> = results.iter().map(|r| r.spec.label()).collect();
+            assert_eq!(got, expected, "order must be stable with {threads} threads");
+            for r in &results {
+                assert!(r.expect_stats().ipc() > 0.1, "{}", r.spec.label());
+            }
+        }
+    }
+
+    #[test]
+    fn bad_configs_become_typed_errors_not_panics() {
+        let mut bad = CoreConfig::baseline_6_64();
+        bad.prf_banks = 3; // fails validation inside Simulator::new
+        let grid = Grid::new()
+            .runner(Runner::quick())
+            .configs([bad, CoreConfig::baseline_6_64()])
+            .workload_names(&["gzip"]);
+        let results = Executor::with_threads(2).run(&grid);
+        assert_eq!(results.len(), 2);
+        match &results[0].outcome {
+            Err(RunError::Sim { phase, source, workload, .. }) => {
+                assert_eq!(*phase, RunPhase::Build);
+                assert_eq!(workload, "gzip");
+                assert!(matches!(source, SimError::BadConfig(_)));
+            }
+            other => panic!("expected a Build error, got {other:?}"),
+        }
+        assert!(results[1].outcome.is_ok(), "one bad run must not poison the grid");
+    }
+
+    #[test]
+    fn executor_runs_seed_replicates() {
+        let grid = Grid::new()
+            .runner(Runner::quick())
+            .config(CoreConfig::baseline_vp_6_64())
+            .workload_names(&["gzip"])
+            .seeds([0, 1, 2]);
+        let exec = Executor::new();
+        let results = exec.run(&grid);
+        assert_eq!(results.len(), 3);
+        assert_eq!(exec.cache().generated(), 1, "replicates share the trace");
+        for r in &results {
+            assert!(r.expect_stats().committed > 0);
+        }
+    }
+}

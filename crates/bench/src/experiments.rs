@@ -1,17 +1,25 @@
 //! One function per table/figure of the paper's evaluation.
 //!
-//! Each returns an [`eole_stats::table::Table`] whose rows follow the
-//! paper's benchmark order; speedup figures append a geometric-mean row.
-//! `EXPERIMENTS.md` records the paper-vs-measured comparison for each.
+//! Each experiment builds a [`Grid`], hands it to the shared
+//! [`Executor`] (one [`TraceCache`](crate::TraceCache) across the whole
+//! set, so a workload's trace is generated once no matter how many
+//! experiments replay it), and folds the per-run statistics into an
+//! [`ExperimentReport`] whose rows follow the paper's benchmark order;
+//! speedup figures append a geometric-mean row. `EXPERIMENTS.md` records
+//! the paper-vs-measured comparison for each, plus the JSON schema the
+//! reports serialize to.
 
 use eole_core::complexity::PrfPortModel;
 use eole_core::config::{CoreConfig, ValuePredictorKind};
+use eole_core::stats::SimStats;
 use eole_predictors::value::{TwoDeltaStride, ValuePredictor, Vtage, VtageTwoDeltaStride};
+use eole_stats::report::{Cell, ExperimentReport};
 use eole_stats::summary::geometric_mean;
-use eole_stats::table::Table;
 use eole_workloads::{all_workloads, Workload};
 
-use crate::{per_workload, Runner};
+use crate::exec::{Executor, RunError};
+use crate::spec::Grid;
+use crate::Runner;
 
 /// Paper Table 3 baseline IPCs, in suite order (for shape comparison).
 pub const PAPER_IPC: [(&str, f64); 19] = [
@@ -36,67 +44,104 @@ pub const PAPER_IPC: [(&str, f64); 19] = [
     ("lbm", 0.748),
 ];
 
+/// Every experiment name the harness knows, in paper order.
+pub const EXPERIMENT_NAMES: [&str; 17] = [
+    "table1", "table2", "table3", "fig2", "fig4", "offload", "fig6", "fig7", "fig8",
+    "fig10", "fig11", "fig12", "fig13", "vp_ablation", "ee_writes", "squash_cost",
+    "complexity",
+];
+
 /// Driver for the full experiment suite.
 pub struct ExperimentSet {
     /// Methodology shared by all runs.
     pub runner: Runner,
     workloads: Vec<Workload>,
+    executor: Executor,
 }
 
 impl ExperimentSet {
     /// Builds a set over the full Table 3 suite.
     pub fn new(runner: Runner) -> Self {
-        ExperimentSet { runner, workloads: all_workloads() }
+        Self::over(runner, all_workloads())
     }
 
     /// Restricts the suite (used by Criterion benches and smoke tests).
     pub fn with_workloads(runner: Runner, names: &[&str]) -> Self {
-        let workloads = all_workloads()
-            .into_iter()
-            .filter(|w| names.contains(&w.name))
-            .collect();
-        ExperimentSet { runner, workloads }
+        let workloads =
+            all_workloads().into_iter().filter(|w| names.contains(&w.name)).collect();
+        Self::over(runner, workloads)
     }
 
-    /// Per-workload speedup table: `configs` normalized to `baseline`.
-    fn speedup_table(&self, title: &str, baseline: CoreConfig, configs: &[CoreConfig]) -> Table {
-        let mut headers: Vec<&str> = vec!["bench"];
-        let names: Vec<String> = configs.iter().map(|c| c.name.clone()).collect();
-        for n in &names {
-            headers.push(n);
-        }
-        let mut table = Table::new(title, &headers);
-        let runner = self.runner;
-        let rows = per_workload(&self.workloads, |w| {
-            let trace = runner.prepare(w);
-            let base = runner.run(&trace, baseline.clone()).ipc();
-            let speeds: Vec<f64> = configs
-                .iter()
-                .map(|c| runner.run(&trace, c.clone()).ipc() / base)
-                .collect();
-            (w.name.to_string(), speeds)
-        });
-        let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
-        for (name, speeds) in rows {
-            let mut cells = vec![name];
-            for (i, s) in speeds.iter().enumerate() {
-                cells.push(format!("{s:.3}"));
-                per_config[i].push(*s);
+    fn over(runner: Runner, workloads: Vec<Workload>) -> Self {
+        ExperimentSet { runner, workloads, executor: Executor::new() }
+    }
+
+    /// The executor (its [`crate::TraceCache`] counters show trace
+    /// sharing across experiments).
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// Runs `configs` over every workload of the set and returns, per
+    /// workload (suite order), the statistics per config (input order).
+    fn run_grid(&self, configs: Vec<CoreConfig>) -> Result<Vec<Vec<SimStats>>, RunError> {
+        let n_configs = configs.len();
+        let grid = Grid::new()
+            .runner(self.runner)
+            .workloads(self.workloads.iter().cloned())
+            .configs(configs);
+        let results = self.executor.run(&grid);
+        let mut per_workload = Vec::with_capacity(self.workloads.len());
+        for chunk in results.chunks(n_configs) {
+            let mut stats = Vec::with_capacity(n_configs);
+            for r in chunk {
+                stats.push(r.outcome.clone()?);
             }
-            table.add_row(cells);
+            per_workload.push(stats);
         }
-        let mut gm = vec!["gmean".to_string()];
+        Ok(per_workload)
+    }
+
+    /// Per-workload speedup report: `configs` normalized to `baseline`.
+    fn speedup_report(
+        &self,
+        id: &str,
+        title: &str,
+        baseline: CoreConfig,
+        configs: &[CoreConfig],
+    ) -> Result<ExperimentReport, RunError> {
+        let names: Vec<String> = configs.iter().map(|c| c.name.clone()).collect();
+        let mut report = ExperimentReport::new(id, title)
+            .column("bench")
+            .columns_unit(names, "×");
+        let mut all = vec![baseline];
+        all.extend_from_slice(configs);
+        let rows = self.run_grid(all)?;
+        let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+        for (w, stats) in self.workloads.iter().zip(&rows) {
+            let base = stats[0].ipc();
+            let mut cells: Vec<Cell> = vec![w.name.into()];
+            for (i, s) in stats[1..].iter().enumerate() {
+                let speed = s.ipc() / base;
+                cells.push(Cell::Num(speed));
+                per_config[i].push(speed);
+            }
+            report.add_row(cells);
+        }
+        let mut gm: Vec<Cell> = vec!["gmean".into()];
         for col in &per_config {
-            gm.push(format!("{:.3}", geometric_mean(col).unwrap_or(0.0)));
+            gm.push(Cell::Num(geometric_mean(col).unwrap_or(0.0)));
         }
-        table.add_row(gm);
-        table
+        report.add_row(gm);
+        Ok(report)
     }
 
     /// Table 1: the simulated configuration (static dump for the record).
-    pub fn table1(&self) -> Table {
+    pub fn table1(&self) -> Result<ExperimentReport, RunError> {
         let c = CoreConfig::baseline_6_64();
-        let mut t = Table::new("Table 1 — simulator configuration", &["parameter", "value"]);
+        let mut t = ExperimentReport::new("table1", "Table 1 — simulator configuration")
+            .column("parameter")
+            .column("value");
         let rows: Vec<(&str, String)> = vec![
             ("fetch/rename/commit width", format!("{}/{}/{} µ-ops", c.fetch_width, c.rename_width, c.commit_width)),
             ("issue width", format!("{} (4 in EOLE_4_*)", c.issue_width)),
@@ -112,21 +157,23 @@ impl ExperimentSet {
             ("value predictor", "VTAGE-2DStride hybrid + 3-bit FPC {1,1/32×4,1/64×2}".into()),
         ];
         for (k, v) in rows {
-            t.add_row(vec![k.to_string(), v]);
+            t.add_row(vec![k.into(), v.into()]);
         }
-        t
+        Ok(t)
     }
 
     /// Table 2: predictor layout summary.
-    pub fn table2(&self) -> Table {
-        let mut t = Table::new(
-            "Table 2 — predictor layout",
-            &["predictor", "#entries", "tag", "size (KB)", "paper (KB)"],
-        );
+    pub fn table2(&self) -> Result<ExperimentReport, RunError> {
+        let mut t = ExperimentReport::new("table2", "Table 2 — predictor layout")
+            .column("predictor")
+            .column("#entries")
+            .column("tag")
+            .column_unit("size", "KB")
+            .column_unit("paper", "KB");
         let stride = TwoDeltaStride::paper(1);
         let vtage = Vtage::paper(1);
         let hybrid = VtageTwoDeltaStride::paper(1);
-        let kb = |bits: u64| format!("{:.1}", bits as f64 / 8.0 / 1024.0);
+        let kb = |bits: u64| Cell::Num(bits as f64 / 8.0 / 1024.0);
         t.add_row(vec![
             "2D-Stride".into(),
             "8192".into(),
@@ -148,115 +195,107 @@ impl ExperimentSet {
             kb(hybrid.storage_bits()),
             "~385".into(),
         ]);
-        t
+        Ok(t)
     }
 
     /// Table 3: per-benchmark baseline IPC (ours vs the paper's, for shape).
-    pub fn table3(&self) -> Table {
-        let runner = self.runner;
-        let mut t = Table::new(
-            "Table 3 — benchmarks and Baseline_6_64 IPC",
-            &["bench", "kind", "IPC (ours)", "IPC (paper)"],
-        );
-        let rows = per_workload(&self.workloads, |w| {
-            let trace = runner.prepare(w);
-            let ipc = runner.run(&trace, CoreConfig::baseline_6_64()).ipc();
-            (w.name.to_string(), w.kind, ipc)
-        });
-        for (name, kind, ipc) in rows {
+    pub fn table3(&self) -> Result<ExperimentReport, RunError> {
+        let mut t = ExperimentReport::new("table3", "Table 3 — benchmarks and Baseline_6_64 IPC")
+            .column("bench")
+            .column("kind")
+            .column_unit("ours", "IPC")
+            .column_unit("paper", "IPC");
+        let rows = self.run_grid(vec![CoreConfig::baseline_6_64()])?;
+        for (w, stats) in self.workloads.iter().zip(&rows) {
             let paper = PAPER_IPC
                 .iter()
-                .find(|(n, _)| *n == name)
-                .map(|(_, v)| format!("{v:.3}"))
+                .find(|(n, _)| *n == w.name)
+                .map(|(_, v)| Cell::Num(*v))
                 .unwrap_or_else(|| "-".into());
             t.add_row(vec![
-                name,
-                format!("{:?}", kind).to_uppercase(),
-                format!("{ipc:.3}"),
+                w.name.into(),
+                format!("{:?}", w.kind).to_uppercase().into(),
+                Cell::Num(stats[0].ipc()),
                 paper,
             ]);
         }
-        t
+        Ok(t)
     }
 
     /// Fig. 2: fraction of committed µ-ops early-executable, 1 vs 2 EE
     /// stages (measured on the 6-issue EOLE pipeline, as in the paper).
-    pub fn fig2(&self) -> Table {
-        let runner = self.runner;
-        let mut t = Table::new(
-            "Fig. 2 — early-executed fraction of committed µ-ops",
-            &["bench", "1 ALU stage", "2 ALU stages"],
-        );
-        let rows = per_workload(&self.workloads, |w| {
-            let trace = runner.prepare(w);
-            let one = runner.run(&trace, CoreConfig::eole_6_64()).early_exec_fraction();
-            let mut cfg2 = CoreConfig::eole_6_64();
-            cfg2.eole.ee_stages = 2;
-            let two = runner.run(&trace, cfg2).early_exec_fraction();
-            (w.name.to_string(), one, two)
-        });
-        for (name, one, two) in rows {
-            t.add_row(vec![name, format!("{one:.3}"), format!("{two:.3}")]);
+    pub fn fig2(&self) -> Result<ExperimentReport, RunError> {
+        let ee2 = CoreConfig::eole_6_64()
+            .to_builder()
+            .name("EOLE_6_64_2ee")
+            .ee_stages(2)
+            .build()
+            .expect("preset variant is valid");
+        let mut t = ExperimentReport::new("fig2", "Fig. 2 — early-executed fraction of committed µ-ops")
+            .column("bench")
+            .column_unit("1 ALU stage", "fraction")
+            .column_unit("2 ALU stages", "fraction");
+        let rows = self.run_grid(vec![CoreConfig::eole_6_64(), ee2])?;
+        for (w, stats) in self.workloads.iter().zip(&rows) {
+            t.add_row(vec![
+                w.name.into(),
+                Cell::Num(stats[0].early_exec_fraction()),
+                Cell::Num(stats[1].early_exec_fraction()),
+            ]);
         }
-        t
+        Ok(t)
     }
 
     /// Fig. 4: fraction of committed µ-ops late-executable, split into
     /// high-confidence branches and value-predicted ALU µ-ops.
-    pub fn fig4(&self) -> Table {
-        let runner = self.runner;
-        let mut t = Table::new(
-            "Fig. 4 — late-executed fraction of committed µ-ops",
-            &["bench", "HC branches", "value-predicted ALU", "total"],
-        );
-        let rows = per_workload(&self.workloads, |w| {
-            let trace = runner.prepare(w);
-            let s = runner.run(&trace, CoreConfig::eole_6_64());
-            (w.name.to_string(), s.late_branch_fraction(), s.late_alu_fraction())
-        });
-        for (name, br, alu) in rows {
+    pub fn fig4(&self) -> Result<ExperimentReport, RunError> {
+        let mut t = ExperimentReport::new("fig4", "Fig. 4 — late-executed fraction of committed µ-ops")
+            .column("bench")
+            .column_unit("HC branches", "fraction")
+            .column_unit("value-predicted ALU", "fraction")
+            .column_unit("total", "fraction");
+        let rows = self.run_grid(vec![CoreConfig::eole_6_64()])?;
+        for (w, stats) in self.workloads.iter().zip(&rows) {
+            let s = &stats[0];
             t.add_row(vec![
-                name,
-                format!("{br:.3}"),
-                format!("{alu:.3}"),
-                format!("{:.3}", br + alu),
+                w.name.into(),
+                Cell::Num(s.late_branch_fraction()),
+                Cell::Num(s.late_alu_fraction()),
+                Cell::Num(s.late_branch_fraction() + s.late_alu_fraction()),
             ]);
         }
-        t
+        Ok(t)
     }
 
     /// §3.4: total OoO-engine offload (Fig. 2 + Fig. 4, disjoint sets).
-    pub fn offload(&self) -> Table {
-        let runner = self.runner;
-        let mut t = Table::new(
+    pub fn offload(&self) -> Result<ExperimentReport, RunError> {
+        let mut t = ExperimentReport::new(
+            "offload",
             "§3.4 — µ-ops bypassing the OoO engine (paper: 10%–60%)",
-            &["bench", "early", "late ALU", "late branch", "total"],
-        );
-        let rows = per_workload(&self.workloads, |w| {
-            let trace = runner.prepare(w);
-            let s = runner.run(&trace, CoreConfig::eole_6_64());
-            (
-                w.name.to_string(),
-                s.early_exec_fraction(),
-                s.late_alu_fraction(),
-                s.late_branch_fraction(),
-            )
-        });
-        for (name, e, a, b) in rows {
+        )
+        .column("bench")
+        .column_unit("early", "fraction")
+        .column_unit("late ALU", "fraction")
+        .column_unit("late branch", "fraction")
+        .column_unit("total", "fraction");
+        let rows = self.run_grid(vec![CoreConfig::eole_6_64()])?;
+        for (w, stats) in self.workloads.iter().zip(&rows) {
+            let s = &stats[0];
             t.add_row(vec![
-                name,
-                format!("{e:.3}"),
-                format!("{a:.3}"),
-                format!("{b:.3}"),
-                format!("{:.3}", e + a + b),
+                w.name.into(),
+                Cell::Num(s.early_exec_fraction()),
+                Cell::Num(s.late_alu_fraction()),
+                Cell::Num(s.late_branch_fraction()),
+                Cell::Num(s.offload_fraction()),
             ]);
         }
-        t
+        Ok(t)
     }
 
     /// Fig. 6: speedup from adding the VTAGE-2DStride predictor.
-    pub fn fig6(&self) -> Table {
-        self.speedup_table(
+    pub fn fig6(&self) -> Result<ExperimentReport, RunError> {
+        self.speedup_report(
+            "fig6",
             "Fig. 6 — Baseline_VP_6_64 speedup over Baseline_6_64",
             CoreConfig::baseline_6_64(),
             &[CoreConfig::baseline_vp_6_64()],
@@ -264,8 +303,9 @@ impl ExperimentSet {
     }
 
     /// Fig. 7: issue-width study, normalized to Baseline_VP_6_64.
-    pub fn fig7(&self) -> Table {
-        self.speedup_table(
+    pub fn fig7(&self) -> Result<ExperimentReport, RunError> {
+        self.speedup_report(
+            "fig7",
             "Fig. 7 — issue width (normalized to Baseline_VP_6_64)",
             CoreConfig::baseline_vp_6_64(),
             &[
@@ -277,8 +317,9 @@ impl ExperimentSet {
     }
 
     /// Fig. 8: IQ-size study, normalized to Baseline_VP_6_64.
-    pub fn fig8(&self) -> Table {
-        self.speedup_table(
+    pub fn fig8(&self) -> Result<ExperimentReport, RunError> {
+        self.speedup_report(
+            "fig8",
             "Fig. 8 — IQ size (normalized to Baseline_VP_6_64)",
             CoreConfig::baseline_vp_6_64(),
             &[
@@ -290,8 +331,9 @@ impl ExperimentSet {
     }
 
     /// Fig. 10: PRF banking, normalized to single-bank EOLE_4_64.
-    pub fn fig10(&self) -> Table {
-        self.speedup_table(
+    pub fn fig10(&self) -> Result<ExperimentReport, RunError> {
+        self.speedup_report(
+            "fig10",
             "Fig. 10 — PRF banking (normalized to 1-bank EOLE_4_64)",
             CoreConfig::eole_4_64(),
             &[
@@ -304,8 +346,9 @@ impl ExperimentSet {
 
     /// Fig. 11: LE/VT read ports per bank, normalized to unconstrained
     /// EOLE_4_64.
-    pub fn fig11(&self) -> Table {
-        self.speedup_table(
+    pub fn fig11(&self) -> Result<ExperimentReport, RunError> {
+        self.speedup_report(
+            "fig11",
             "Fig. 11 — LE/VT read ports per bank (4-bank PRF, normalized to EOLE_4_64)",
             CoreConfig::eole_4_64(),
             &[
@@ -317,8 +360,9 @@ impl ExperimentSet {
     }
 
     /// Fig. 12: the headline summary.
-    pub fn fig12(&self) -> Table {
-        self.speedup_table(
+    pub fn fig12(&self) -> Result<ExperimentReport, RunError> {
+        self.speedup_report(
+            "fig12",
             "Fig. 12 — headline (normalized to Baseline_VP_6_64)",
             CoreConfig::baseline_vp_6_64(),
             &[
@@ -330,8 +374,9 @@ impl ExperimentSet {
     }
 
     /// Fig. 13: modularity — EOLE vs OLE (late only) vs EOE (early only).
-    pub fn fig13(&self) -> Table {
-        self.speedup_table(
+    pub fn fig13(&self) -> Result<ExperimentReport, RunError> {
+        self.speedup_report(
+            "fig13",
             "Fig. 13 — EOLE vs OLE vs EOE (4 ports, 4 banks; normalized to Baseline_VP_6_64)",
             CoreConfig::baseline_vp_6_64(),
             &[
@@ -346,7 +391,7 @@ impl ExperimentSet {
     /// `Baseline_VP_6_64` and report the speedup over the no-VP baseline —
     /// computational (stride family) vs context-based (FCM/VTAGE) vs the
     /// evaluated hybrid.
-    pub fn vp_ablation(&self) -> Table {
+    pub fn vp_ablation(&self) -> Result<ExperimentReport, RunError> {
         let kinds = [
             ("LVP", ValuePredictorKind::LastValue),
             ("Stride", ValuePredictorKind::Stride),
@@ -358,13 +403,16 @@ impl ExperimentSet {
         let configs: Vec<CoreConfig> = kinds
             .iter()
             .map(|(label, kind)| {
-                let mut c = CoreConfig::baseline_vp_6_64();
-                c.name = (*label).to_string();
-                c.vp = Some(eole_core::config::VpConfig { kind: *kind, seed: 0xe01e });
-                c
+                CoreConfig::baseline_vp_6_64()
+                    .to_builder()
+                    .name(*label)
+                    .vp(eole_core::config::VpConfig { kind: *kind, seed: 0xe01e })
+                    .build()
+                    .expect("predictor swap keeps the preset valid")
             })
             .collect();
-        self.speedup_table(
+        self.speedup_report(
+            "vp_ablation",
             "VP ablation — predictor kind (speedup over Baseline_6_64)",
             CoreConfig::baseline_6_64(),
             &configs,
@@ -374,31 +422,75 @@ impl ExperimentSet {
     /// §6.3 "further possible hardware optimizations": cap EE/prediction
     /// PRF writes per bank per dispatch group (the paper suggests ~4 per
     /// group of 8 suffices — i.e. 1 per bank with 4 banks).
-    pub fn ablation_ee_writes(&self) -> Table {
+    pub fn ablation_ee_writes(&self) -> Result<ExperimentReport, RunError> {
         let mut configs = Vec::new();
         for cap in [1usize, 2] {
-            let mut c = CoreConfig::eole_4_64_banked(4);
-            c.name = format!("EOLE_4_64_4banks_eewr{cap}");
-            c.eole.ee_writes_per_bank = Some(cap);
-            configs.push(c);
+            configs.push(
+                CoreConfig::eole_4_64_banked(4)
+                    .to_builder()
+                    .name(format!("EOLE_4_64_4banks_eewr{cap}"))
+                    .ee_writes_per_bank(Some(cap))
+                    .build()
+                    .expect("write cap keeps the preset valid"),
+            );
         }
         configs.push(CoreConfig::eole_4_64_banked(4));
-        self.speedup_table(
+        self.speedup_report(
+            "ee_writes",
             "§6.3 ablation — EE/prediction writes per bank per group (normalized to EOLE_4_64)",
             CoreConfig::eole_4_64(),
             &configs,
         )
     }
 
+    /// Squash-cost probe: where do value-misprediction squash cycles go,
+    /// per workload, for the VP baseline vs the 6-issue EOLE pipeline?
+    /// First instrumented look at the ROADMAP's h264 anomaly (baseline
+    /// IPC > EOLE IPC on h264 in quick runs).
+    pub fn squash_cost(&self) -> Result<ExperimentReport, RunError> {
+        let mut t = ExperimentReport::new(
+            "squash_cost",
+            "VP squash cost by stage depth (Baseline_VP_6_64 vs EOLE_6_64)",
+        )
+        .column("bench")
+        .column_unit("squashes (VP)", "count")
+        .column_unit("cost (VP)", "% cycles")
+        .column_unit("squashes (EOLE)", "count")
+        .column_unit("frontend (EOLE)", "cycles")
+        .column_unit("LE/VT (EOLE)", "cycles")
+        .column_unit("window (EOLE)", "cycles")
+        .column_unit("cost (EOLE)", "% cycles");
+        let rows =
+            self.run_grid(vec![CoreConfig::baseline_vp_6_64(), CoreConfig::eole_6_64()])?;
+        for (w, stats) in self.workloads.iter().zip(&rows) {
+            let (vp, eole) = (&stats[0], &stats[1]);
+            t.add_row(vec![
+                w.name.into(),
+                Cell::Int(vp.vp_squashes),
+                Cell::Num(vp.vp_squash_cost_fraction() * 100.0),
+                Cell::Int(eole.vp_squashes),
+                Cell::Int(eole.vp_squash_cycles_frontend),
+                Cell::Int(eole.vp_squash_cycles_levt),
+                Cell::Int(eole.vp_squash_cycles_window),
+                Cell::Num(eole.vp_squash_cost_fraction() * 100.0),
+            ]);
+        }
+        Ok(t)
+    }
+
     /// §6.2–6.3: register-file ports and relative area.
-    pub fn complexity(&self) -> Table {
+    pub fn complexity(&self) -> Result<ExperimentReport, RunError> {
         let base6 = PrfPortModel::new(6, 8, 8, false, false);
         let vp6 = PrfPortModel::new(6, 8, 8, true, false);
         let eole4 = PrfPortModel::new(4, 8, 8, true, true);
-        let mut t = Table::new(
+        let mut t = ExperimentReport::new(
+            "complexity",
             "§6 — PRF ports and (R+W)(R+2W) area, relative to Baseline_6_64",
-            &["organization", "reads", "writes", "area ratio"],
-        );
+        )
+        .column("organization")
+        .column_unit("reads", "ports")
+        .column_unit("writes", "ports")
+        .column_unit("area", "ratio");
         let base_area = base6.monolithic().relative_area();
         for (label, pc) in [
             ("Baseline_6_64 (monolithic)", base6.monolithic()),
@@ -408,40 +500,32 @@ impl ExperimentSet {
             ("EOLE_4_64 per bank (4 banks, 3 LE/VT ports)", eole4.banked(4, 3)),
         ] {
             t.add_row(vec![
-                label.to_string(),
-                pc.reads.to_string(),
-                pc.writes.to_string(),
-                format!("{:.2}", pc.relative_area() / base_area),
+                label.into(),
+                Cell::Int(pc.reads as u64),
+                Cell::Int(pc.writes as u64),
+                Cell::Num(pc.relative_area() / base_area),
             ]);
         }
-        t
+        Ok(t)
     }
 
     /// Everything, in paper order.
-    pub fn all(&self) -> Vec<Table> {
-        vec![
-            self.table1(),
-            self.table2(),
-            self.table3(),
-            self.fig2(),
-            self.fig4(),
-            self.offload(),
-            self.fig6(),
-            self.fig7(),
-            self.fig8(),
-            self.fig10(),
-            self.fig11(),
-            self.fig12(),
-            self.fig13(),
-            self.vp_ablation(),
-            self.ablation_ee_writes(),
-            self.complexity(),
-        ]
+    ///
+    /// # Errors
+    ///
+    /// The first [`RunError`] encountered, if any run fails.
+    pub fn all(&self) -> Result<Vec<ExperimentReport>, RunError> {
+        EXPERIMENT_NAMES.iter().map(|n| self.by_name(n)).collect()
     }
 
-    /// Runs one experiment by name (`table1`, `fig2`, … `complexity`).
-    pub fn by_name(&self, name: &str) -> Option<Table> {
-        Some(match name {
+    /// Runs one experiment by name (see [`EXPERIMENT_NAMES`]).
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::UnknownExperiment`] for names outside the registry;
+    /// otherwise any failure of the underlying runs.
+    pub fn by_name(&self, name: &str) -> Result<ExperimentReport, RunError> {
+        match name {
             "table1" => self.table1(),
             "table2" => self.table2(),
             "table3" => self.table3(),
@@ -457,9 +541,10 @@ impl ExperimentSet {
             "fig13" => self.fig13(),
             "vp_ablation" => self.vp_ablation(),
             "ee_writes" => self.ablation_ee_writes(),
+            "squash_cost" => self.squash_cost(),
             "complexity" => self.complexity(),
-            _ => return None,
-        })
+            other => Err(RunError::UnknownExperiment(other.to_string())),
+        }
     }
 }
 
@@ -474,33 +559,48 @@ mod tests {
     #[test]
     fn static_tables_have_expected_shape() {
         let set = quick_set();
-        assert!(set.table1().num_rows() >= 10);
-        assert_eq!(set.table2().num_rows(), 3);
-        assert_eq!(set.complexity().num_rows(), 5);
+        assert!(set.table1().unwrap().num_rows() >= 10);
+        assert_eq!(set.table2().unwrap().num_rows(), 3);
+        assert_eq!(set.complexity().unwrap().num_rows(), 5);
     }
 
     #[test]
     fn fig7_produces_one_row_per_workload_plus_gmean() {
         let set = quick_set();
-        let t = set.fig7();
+        let t = set.fig7().unwrap();
         assert_eq!(t.num_rows(), 3); // 2 workloads + gmean
-        assert_eq!(t.headers().len(), 4);
-        // Speedups parse as positive numbers.
-        for row in t.rows() {
-            for cell in &row[1..] {
-                let v: f64 = cell.parse().unwrap();
+        assert_eq!(t.columns().len(), 4);
+        assert!(t.columns()[1..].iter().all(|c| c.unit.as_deref() == Some("×")));
+        // Speedups are positive numbers.
+        for row in 0..t.num_rows() {
+            for col in 1..t.columns().len() {
+                let v = t.value(row, col).expect("numeric cell");
                 assert!(v > 0.0);
             }
         }
     }
 
     #[test]
-    fn by_name_covers_every_experiment() {
+    fn by_name_covers_every_experiment_and_rejects_unknowns() {
         let set = quick_set();
-        for name in ["table1", "table2", "complexity", "vp_ablation", "ee_writes"] {
-            assert!(set.by_name(name).is_some());
+        for name in ["table1", "table2", "complexity", "squash_cost"] {
+            assert!(set.by_name(name).is_ok(), "{name}");
         }
-        assert!(set.by_name("fig99").is_none());
+        match set.by_name("fig99") {
+            Err(RunError::UnknownExperiment(n)) => assert_eq!(n, "fig99"),
+            other => panic!("expected UnknownExperiment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn traces_are_shared_across_experiments_in_a_set() {
+        let set = quick_set();
+        set.fig4().unwrap();
+        set.offload().unwrap();
+        set.table3().unwrap();
+        // Three experiments over 2 workloads: 2 trace generations total.
+        assert_eq!(set.executor().cache().generated(), 2);
+        assert!(set.executor().cache().hits() > 0);
     }
 
     #[test]
@@ -508,11 +608,11 @@ mod tests {
         // The hybrid should never be meaningfully worse than either of its
         // halves (it subsumes both).
         let set = ExperimentSet::with_workloads(Runner::quick(), &["wupwise", "bzip2"]);
-        let t = set.vp_ablation();
-        let gmean = t.rows().last().unwrap();
-        let stride2d: f64 = gmean[3].parse().unwrap();
-        let vtage: f64 = gmean[5].parse().unwrap();
-        let hybrid: f64 = gmean[6].parse().unwrap();
+        let t = set.vp_ablation().unwrap();
+        let gmean = t.num_rows() - 1;
+        let stride2d = t.value(gmean, 3).unwrap();
+        let vtage = t.value(gmean, 5).unwrap();
+        let hybrid = t.value(gmean, 6).unwrap();
         assert!(hybrid >= stride2d - 0.02, "hybrid {hybrid} vs 2D-stride {stride2d}");
         assert!(hybrid >= vtage - 0.02, "hybrid {hybrid} vs VTAGE {vtage}");
     }
@@ -520,11 +620,39 @@ mod tests {
     #[test]
     fn fig2_two_stage_never_below_one_stage() {
         let set = quick_set();
-        let t = set.fig2();
-        for row in t.rows() {
-            let one: f64 = row[1].parse().unwrap();
-            let two: f64 = row[2].parse().unwrap();
-            assert!(two + 1e-9 >= one, "{}: {one} vs {two}", row[0]);
+        let t = set.fig2().unwrap();
+        for row in 0..t.num_rows() {
+            let one = t.value(row, 1).unwrap();
+            let two = t.value(row, 2).unwrap();
+            assert!(two + 1e-9 >= one, "row {row}: {one} vs {two}");
         }
+    }
+
+    #[test]
+    fn squash_cost_report_accounts_the_split() {
+        let set = quick_set();
+        let t = set.squash_cost().unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.columns().len(), 8);
+        for row in 0..t.num_rows() {
+            // The EOLE split columns sum to a total consistent with the
+            // cost fraction being zero iff there were no squashes.
+            let squashes = t.value(row, 3).unwrap();
+            let split_sum: f64 = (4..7).map(|c| t.value(row, c).unwrap()).sum();
+            if squashes == 0.0 {
+                assert_eq!(split_sum, 0.0);
+            } else {
+                assert!(split_sum > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn reports_serialize_to_json() {
+        let set = quick_set();
+        let json = set.fig6().unwrap().to_json();
+        assert!(json.contains("\"schema\":\"eole-report/v1\""));
+        assert!(json.contains("\"id\":\"fig6\""));
+        assert!(json.contains("\"gzip\""));
     }
 }

@@ -3,18 +3,50 @@
 //! The experiment harness: regenerates every table and figure of the
 //! paper's evaluation (§5–§6) over the synthetic Table 3 suite.
 //!
-//! * [`Runner`] — warmup/measure methodology (the paper warms 50M and
-//!   measures 100M instructions of a SimPoint slice; we scale both down
-//!   and keep the two-phase structure).
-//! * [`experiments::ExperimentSet`] — one method per paper table/figure,
-//!   each returning an [`eole_stats::table::Table`]; workloads run in
-//!   parallel threads.
-//! * `src/bin/experiments.rs` — the CLI that prints them
-//!   (`cargo run --release -p eole-bench --bin experiments -- all`).
-//! * `benches/` — one Criterion bench per table/figure measuring simulator
-//!   throughput on that experiment's configuration set.
+//! The harness is split into three layers, mirroring how trace-driven
+//! simulators separate "describe a run", "execute many runs", and
+//! "report results":
+//!
+//! * **Spec** ([`spec`]) — [`RunSpec`] describes one run (configuration ×
+//!   workload × methodology × seed) and [`Grid`] enumerates the
+//!   cross-product, in workload-major order.
+//! * **Executor** ([`exec`]) — [`Executor`] schedules individual runs
+//!   across a work-stealing thread pool, shares prepared traces through a
+//!   keyed [`TraceCache`] (one generation per (workload, length)), and
+//!   returns `Result<SimStats, RunError>` per run instead of panicking.
+//! * **Report** — every experiment in [`experiments::ExperimentSet`]
+//!   returns an [`eole_stats::report::ExperimentReport`], which renders
+//!   to text/Markdown and serializes to JSON/CSV (`EXPERIMENTS.md`
+//!   documents the JSON schema).
+//!
+//! The `experiments` CLI drives it all:
+//! `cargo run --release -p eole-bench --bin experiments -- all --format json`.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use eole_bench::{Executor, Grid, Runner};
+//! use eole_core::config::CoreConfig;
+//!
+//! let grid = Grid::new()
+//!     .runner(Runner::quick())
+//!     .configs([CoreConfig::baseline_vp_6_64(), CoreConfig::eole_4_64()])
+//!     .workload_names(&["gzip", "namd"]);
+//! let results = Executor::new().run(&grid);
+//! for r in &results {
+//!     match &r.outcome {
+//!         Ok(stats) => println!("{}: IPC {:.3}", r.spec.label(), stats.ipc()),
+//!         Err(e) => eprintln!("{}: {e}", r.spec.label()),
+//!     }
+//! }
+//! ```
 
+pub mod exec;
 pub mod experiments;
+pub mod spec;
+
+pub use exec::{Executor, RunError, RunPhase, RunResult, TraceCache};
+pub use spec::{Grid, RunSpec};
 
 use eole_core::config::CoreConfig;
 use eole_core::pipeline::{PreparedTrace, Simulator};
@@ -49,81 +81,101 @@ impl Runner {
 
     /// Generates the workload's trace once (shareable across configs).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the kernel fails to execute — a kernel bug by definition.
-    pub fn prepare(&self, workload: &Workload) -> PreparedTrace {
-        let trace = workload
-            .trace(self.trace_len())
-            .unwrap_or_else(|e| panic!("{} kernel failed: {e}", workload.name));
-        PreparedTrace::new(trace)
+    /// [`RunError::Kernel`] if the kernel fails to execute.
+    pub fn try_prepare(&self, workload: &Workload) -> Result<PreparedTrace, RunError> {
+        let trace = workload.trace(self.trace_len()).map_err(|e| RunError::Kernel {
+            workload: workload.name.to_string(),
+            reason: e.to_string(),
+        })?;
+        Ok(PreparedTrace::new(trace))
     }
 
     /// Runs one configuration over a prepared trace: warm up, reset
     /// counters, measure.
     ///
+    /// # Errors
+    ///
+    /// [`RunError::Sim`] on configuration rejection or simulator deadlock,
+    /// tagged with the phase that failed. (The workload field is filled by
+    /// the [`Executor`]; direct callers get `"-"`.)
+    pub fn try_run(
+        &self,
+        trace: &PreparedTrace,
+        config: CoreConfig,
+    ) -> Result<SimStats, RunError> {
+        let name = config.name.clone();
+        let err = |phase: RunPhase, source| RunError::Sim {
+            config: name.clone(),
+            workload: "-".to_string(),
+            phase,
+            source,
+        };
+        let mut sim =
+            Simulator::new(trace, config).map_err(|e| err(RunPhase::Build, e))?;
+        sim.run(self.warmup).map_err(|e| err(RunPhase::Warmup, e))?;
+        sim.begin_measurement();
+        sim.run(self.measure).map_err(|e| err(RunPhase::Measure, e))?;
+        Ok(sim.stats())
+    }
+
+    /// Infallible [`Runner::try_prepare`] for benches and examples where a
+    /// kernel failure is a bug by definition.
+    ///
     /// # Panics
     ///
-    /// Panics on simulator deadlock (an invariant violation, not a
-    /// recoverable condition for an experiment).
-    pub fn run(&self, trace: &PreparedTrace, config: CoreConfig) -> SimStats {
-        let name = config.name.clone();
-        let mut sim = Simulator::new(trace, config)
-            .unwrap_or_else(|e| panic!("config {name}: {e}"));
-        sim.run(self.warmup).unwrap_or_else(|e| panic!("{name} warmup: {e}"));
-        sim.begin_measurement();
-        sim.run(self.measure).unwrap_or_else(|e| panic!("{name} measure: {e}"));
-        sim.stats()
+    /// Panics with the typed [`RunError`] rendered.
+    pub fn prepare(&self, workload: &Workload) -> PreparedTrace {
+        self.try_prepare(workload).unwrap_or_else(|e| panic!("{e}"))
     }
-}
 
-/// Runs `f` for every workload in parallel and returns the results in
-/// Table 3 order.
-pub fn per_workload<R, F>(workloads: &[Workload], f: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(&Workload) -> R + Sync,
-{
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let mut results: Vec<Option<R>> = (0..workloads.len()).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mutex = std::sync::Mutex::new(&mut results);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(workloads.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= workloads.len() {
-                    break;
-                }
-                let r = f(&workloads[i]);
-                results_mutex.lock().expect("no poisoned threads")[i] = Some(r);
-            });
-        }
-    });
-    results.into_iter().map(|r| r.expect("all workloads computed")).collect()
+    /// Infallible [`Runner::try_run`] for benches and examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the typed [`RunError`] rendered.
+    pub fn run(&self, trace: &PreparedTrace, config: CoreConfig) -> SimStats {
+        self.try_run(trace, config).unwrap_or_else(|e| panic!("{e}"))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eole_workloads::all_workloads;
 
     #[test]
     fn runner_measures_after_warmup() {
         let runner = Runner { warmup: 5_000, measure: 8_000 };
         let w = eole_workloads::workload_by_name("gzip").unwrap();
-        let trace = runner.prepare(&w);
-        let stats = runner.run(&trace, CoreConfig::baseline_vp_6_64());
+        let trace = runner.try_prepare(&w).unwrap();
+        let stats = runner.try_run(&trace, CoreConfig::baseline_vp_6_64()).unwrap();
         assert!(stats.committed >= 8_000);
         assert!(stats.committed < 10_000, "window ends near the target");
         assert!(stats.ipc() > 0.1);
     }
 
     #[test]
-    fn per_workload_preserves_order() {
-        let ws: Vec<_> = all_workloads().into_iter().take(6).collect();
-        let names = per_workload(&ws, |w| w.name.to_string());
-        let expected: Vec<_> = ws.iter().map(|w| w.name.to_string()).collect();
-        assert_eq!(names, expected);
+    fn try_run_reports_the_failing_phase() {
+        let runner = Runner::quick();
+        let w = eole_workloads::workload_by_name("gzip").unwrap();
+        let trace = runner.try_prepare(&w).unwrap();
+        let mut bad = CoreConfig::baseline_6_64();
+        bad.prf_banks = 3;
+        match runner.try_run(&trace, bad) {
+            Err(RunError::Sim { phase: RunPhase::Build, .. }) => {}
+            other => panic!("expected a Build failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panicking_wrappers_match_the_fallible_path() {
+        let runner = Runner::quick();
+        let w = eole_workloads::workload_by_name("namd").unwrap();
+        let trace = runner.prepare(&w);
+        let a = runner.run(&trace, CoreConfig::baseline_6_64());
+        let b = runner.try_run(&trace, CoreConfig::baseline_6_64()).unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.committed, b.committed);
     }
 }

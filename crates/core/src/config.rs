@@ -162,7 +162,200 @@ pub struct CoreConfig {
     pub branch_seed: u64,
 }
 
+/// Fluent constructor for [`CoreConfig`], for experiments that are not
+/// one of the paper's named presets.
+///
+/// Starts from the `Baseline_6_64` skeleton; every setter overrides one
+/// field and [`CoreConfigBuilder::build`] validates the result, so
+/// experiment code no longer clones-and-mutates presets by hand:
+///
+/// ```
+/// use eole_core::config::{CoreConfig, VpConfig};
+///
+/// let c = CoreConfig::builder()
+///     .name("VP_6_48")
+///     .issue_width(6)
+///     .iq(48)
+///     .vp(VpConfig::paper())
+///     .build()
+///     .unwrap();
+/// assert_eq!(c.iq_entries, 48);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CoreConfigBuilder {
+    config: CoreConfig,
+}
+
+impl CoreConfigBuilder {
+    /// Display name used in result reports.
+    #[must_use]
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.config.name = name.into();
+        self
+    }
+
+    /// Out-of-order issue width.
+    #[must_use]
+    pub fn issue_width(mut self, w: usize) -> Self {
+        self.config.issue_width = w;
+        self
+    }
+
+    /// Unified IQ capacity.
+    #[must_use]
+    pub fn iq(mut self, entries: usize) -> Self {
+        self.config.iq_entries = entries;
+        self
+    }
+
+    /// Reorder-buffer capacity.
+    #[must_use]
+    pub fn rob(mut self, entries: usize) -> Self {
+        self.config.rob_entries = entries;
+        self
+    }
+
+    /// Load-queue / store-queue capacities.
+    #[must_use]
+    pub fn lsq(mut self, lq: usize, sq: usize) -> Self {
+        self.config.lq_entries = lq;
+        self.config.sq_entries = sq;
+        self
+    }
+
+    /// Fetch/rename/commit widths (the paper keeps all three equal).
+    #[must_use]
+    pub fn front_width(mut self, w: usize) -> Self {
+        self.config.fetch_width = w;
+        self.config.rename_width = w;
+        self.config.commit_width = w;
+        self
+    }
+
+    /// Integer / FP physical register counts.
+    #[must_use]
+    pub fn prf(mut self, int: usize, fp: usize) -> Self {
+        self.config.int_prf = int;
+        self.config.fp_prf = fp;
+        self
+    }
+
+    /// Number of PRF banks.
+    #[must_use]
+    pub fn prf_banks(mut self, banks: usize) -> Self {
+        self.config.prf_banks = banks;
+        self
+    }
+
+    /// Fetch-to-rename depth in cycles.
+    #[must_use]
+    pub fn frontend_depth(mut self, cycles: u64) -> Self {
+        self.config.frontend_depth = cycles;
+        self
+    }
+
+    /// Enables value prediction with the given configuration.
+    #[must_use]
+    pub fn vp(mut self, vp: VpConfig) -> Self {
+        self.config.vp = Some(vp);
+        self
+    }
+
+    /// Enables value prediction with the given predictor and the paper's
+    /// default seed.
+    #[must_use]
+    pub fn vp_kind(mut self, kind: ValuePredictorKind) -> Self {
+        self.config.vp = Some(VpConfig { kind, ..VpConfig::paper() });
+        self
+    }
+
+    /// Disables value prediction (and therefore EOLE).
+    #[must_use]
+    pub fn no_vp(mut self) -> Self {
+        self.config.vp = None;
+        self
+    }
+
+    /// Replaces the whole EOLE block.
+    #[must_use]
+    pub fn eole(mut self, eole: EoleConfig) -> Self {
+        self.config.eole = eole;
+        self
+    }
+
+    /// Enables full EOLE (Early + Late Execution, unconstrained ports).
+    #[must_use]
+    pub fn eole_full(mut self) -> Self {
+        self.config.eole = EoleConfig::full();
+        self
+    }
+
+    /// Depth of the Early Execution block (1 or 2).
+    #[must_use]
+    pub fn ee_stages(mut self, stages: usize) -> Self {
+        self.config.eole.ee_stages = stages;
+        self
+    }
+
+    /// LE/VT read ports per PRF bank (`None` = unconstrained).
+    #[must_use]
+    pub fn levt_ports(mut self, ports: Option<usize>) -> Self {
+        self.config.eole.levt_read_ports_per_bank = ports;
+        self
+    }
+
+    /// Cap on EE/prediction PRF writes per bank per dispatch group.
+    #[must_use]
+    pub fn ee_writes_per_bank(mut self, cap: Option<usize>) -> Self {
+        self.config.eole.ee_writes_per_bank = cap;
+        self
+    }
+
+    /// Functional-unit pool.
+    #[must_use]
+    pub fn fu(mut self, fu: FuConfig) -> Self {
+        self.config.fu = fu;
+        self
+    }
+
+    /// Memory hierarchy.
+    #[must_use]
+    pub fn mem(mut self, mem: HierarchyConfig) -> Self {
+        self.config.mem = mem;
+        self
+    }
+
+    /// Seed for TAGE's allocation randomization.
+    #[must_use]
+    pub fn branch_seed(mut self, seed: u64) -> Self {
+        self.config.branch_seed = seed;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first constraint violated (see
+    /// [`CoreConfig::validate`]).
+    pub fn build(self) -> Result<CoreConfig, String> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
 impl CoreConfig {
+    /// Starts a builder from the `Baseline_6_64` skeleton.
+    pub fn builder() -> CoreConfigBuilder {
+        CoreConfigBuilder { config: Self::base("custom", 6, 64) }
+    }
+
+    /// Reopens this configuration as a builder (derive a variant from a
+    /// preset without mutating fields in place).
+    pub fn to_builder(self) -> CoreConfigBuilder {
+        CoreConfigBuilder { config: self }
+    }
+
     fn base(name: &str, issue_width: usize, iq_entries: usize) -> Self {
         CoreConfig {
             name: name.to_string(),
@@ -361,6 +554,43 @@ mod tests {
         assert_eq!(CoreConfig::baseline_6_64().levt_depth(), 0);
         assert_eq!(CoreConfig::baseline_vp_6_64().levt_depth(), 1);
         assert_eq!(CoreConfig::eole_4_64().levt_depth(), 1);
+    }
+
+    #[test]
+    fn builder_constructs_named_variants() {
+        let c = CoreConfig::builder()
+            .name("VP_6_48")
+            .issue_width(6)
+            .iq(48)
+            .vp(VpConfig::paper())
+            .build()
+            .unwrap();
+        assert_eq!(c.name, "VP_6_48");
+        assert_eq!((c.issue_width, c.iq_entries), (6, 48));
+        assert!(c.vp.is_some());
+        assert!(!c.eole.early && !c.eole.late);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs() {
+        assert!(CoreConfig::builder().issue_width(0).build().is_err());
+        assert!(CoreConfig::builder().prf_banks(3).build().is_err());
+        // EOLE without VP is inconsistent (validation happens at commit).
+        assert!(CoreConfig::builder().eole_full().build().is_err());
+        assert!(CoreConfig::builder().eole_full().vp(VpConfig::paper()).build().is_ok());
+    }
+
+    #[test]
+    fn to_builder_round_trips_presets() {
+        let derived = CoreConfig::eole_6_64()
+            .to_builder()
+            .name("EOLE_6_64_2ee")
+            .ee_stages(2)
+            .build()
+            .unwrap();
+        assert_eq!(derived.eole.ee_stages, 2);
+        assert!(derived.eole.early && derived.eole.late);
+        assert_eq!(derived.issue_width, CoreConfig::eole_6_64().issue_width);
     }
 
     #[test]

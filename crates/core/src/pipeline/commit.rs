@@ -85,6 +85,17 @@ impl Simulator<'_> {
             // Validation: a wrong used prediction squashes everything
             // younger (§3.1: squash, not selective replay).
             if self.levt_validate(&e) {
+                // Squash-cost accounting, split by stage depth: refetching
+                // traverses the whole front end plus the LE/VT stage that
+                // delayed discovery, and everything younger in the window
+                // (the new ROB head is the oldest discarded µ-op) is work
+                // thrown away.
+                self.stats.vp_squash_cycles_frontend += self.config.frontend_depth;
+                self.stats.vp_squash_cycles_levt += self.config.levt_depth();
+                if let Some(oldest) = self.rob.front() {
+                    self.stats.vp_squash_cycles_window +=
+                        now.saturating_sub(oldest.dispatch_cycle);
+                }
                 self.squash_after(e.seq);
                 self.fetch_stall_until = now + 1;
                 return true;

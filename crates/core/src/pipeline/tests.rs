@@ -139,6 +139,14 @@ fn value_mispredict_squashes_and_recovers() {
     let s = run_to_end(&trace, CoreConfig::baseline_vp_6_64());
     assert!(s.vp_squashes >= 1, "expected at least one value-mispredict squash");
     assert!(s.squashed > 0);
+    // Squash-cost split: every VP squash charges the full front-end depth
+    // plus the LE/VT stage; the window share only exists if younger µ-ops
+    // were in flight.
+    let cfg = CoreConfig::baseline_vp_6_64();
+    assert_eq!(s.vp_squash_cycles_frontend, s.vp_squashes * cfg.frontend_depth);
+    assert_eq!(s.vp_squash_cycles_levt, s.vp_squashes * cfg.levt_depth());
+    assert!(s.vp_squash_cycles() >= s.vp_squashes * cfg.frontend_depth);
+    assert!(s.vp_squash_cost_fraction() > 0.0);
 }
 
 #[test]

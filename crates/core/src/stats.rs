@@ -31,6 +31,15 @@ pub struct SimStats {
     pub vp_used_wrong: u64,
     /// Pipeline squashes caused by value mispredictions.
     pub vp_squashes: u64,
+    /// Squash-cost cycles charged to the front end: each VP squash
+    /// refetches through the full fetch-to-rename depth.
+    pub vp_squash_cycles_frontend: u64,
+    /// Squash-cost cycles charged to the pre-commit LE/VT stage depth
+    /// (validation discovers the mispredict one stage before commit).
+    pub vp_squash_cycles_levt: u64,
+    /// Squash-cost cycles charged to the OoO window: age of the oldest
+    /// discarded in-flight µ-op at squash time (work thrown away).
+    pub vp_squash_cycles_window: u64,
 
     // ---- EOLE ------------------------------------------------------------
     /// Committed µ-ops executed in the Early Execution block.
@@ -124,6 +133,22 @@ impl SimStats {
         self.early_exec_fraction() + self.late_alu_fraction() + self.late_branch_fraction()
     }
 
+    /// Total cycles attributed to value-misprediction squashes, summed
+    /// over the per-stage-depth split (front end + LE/VT + window).
+    pub fn vp_squash_cycles(&self) -> u64 {
+        self.vp_squash_cycles_frontend + self.vp_squash_cycles_levt + self.vp_squash_cycles_window
+    }
+
+    /// Fraction of measured cycles lost to value-misprediction squashes
+    /// (the probe for the h264 baseline-beats-EOLE anomaly).
+    pub fn vp_squash_cost_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.vp_squash_cycles() as f64 / self.cycles as f64
+        }
+    }
+
     /// Coverage of value prediction: used predictions / eligible µ-ops.
     pub fn vp_coverage(&self) -> f64 {
         if self.vp_eligible == 0 {
@@ -203,6 +228,21 @@ mod tests {
         assert_eq!(s.ipc(), 0.0);
         assert_eq!(s.vp_accuracy(), 1.0);
         assert_eq!(s.offload_fraction(), 0.0);
+    }
+
+    #[test]
+    fn squash_cost_splits_sum() {
+        let s = SimStats {
+            cycles: 1000,
+            vp_squashes: 2,
+            vp_squash_cycles_frontend: 30,
+            vp_squash_cycles_levt: 2,
+            vp_squash_cycles_window: 18,
+            ..Default::default()
+        };
+        assert_eq!(s.vp_squash_cycles(), 50);
+        assert!((s.vp_squash_cost_fraction() - 0.05).abs() < 1e-12);
+        assert_eq!(SimStats::default().vp_squash_cost_fraction(), 0.0);
     }
 
     #[test]

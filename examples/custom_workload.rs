@@ -1,5 +1,6 @@
-//! Authoring a custom workload with the `ProgramBuilder` API and running
-//! it through the EOLE pipeline.
+//! Authoring a custom workload with the `ProgramBuilder` API and a custom
+//! configuration with the `CoreConfig` builder, then running both through
+//! the EOLE pipeline via the fallible `Runner` API.
 //!
 //! The kernel is a toy checksum loop whose load values stride — exactly
 //! the kind of serial chain value prediction breaks.
@@ -7,6 +8,7 @@
 //! Run with: `cargo run --release --example custom_workload`
 
 use eole::prelude::*;
+use eole_bench::Runner;
 
 fn build_kernel() -> Result<Program, Box<dyn std::error::Error>> {
     let r = IntReg::new;
@@ -44,24 +46,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     machine.run(1000).err(); // budget exhaustion expected (endless loop)
     println!("after 1000 steps, sum = {}", machine.int_reg(IntReg::new(4)));
 
-    // Timing: VP on vs off.
-    let trace = PreparedTrace::new(generate_trace(&program, 120_000)?);
-    let mut table = Table::new("custom kernel", &["config", "IPC", "VP used", "squashes"]);
-    for config in [CoreConfig::baseline_6_64(), CoreConfig::baseline_vp_6_64(), CoreConfig::eole_4_64()]
-    {
+    // A configuration the paper never names: 5-issue, 56-entry IQ, full
+    // EOLE — assembled with the builder instead of mutating a preset.
+    let custom = CoreConfig::builder()
+        .name("EOLE_5_56")
+        .issue_width(5)
+        .iq(56)
+        .vp(VpConfig::paper())
+        .eole_full()
+        .build()
+        .map_err(|e| format!("invalid custom config: {e}"))?;
+
+    // Timing: VP off vs on vs EOLE variants, via the fallible Runner API.
+    let runner = Runner { warmup: 30_000, measure: 90_000 };
+    let trace = PreparedTrace::new(generate_trace(&program, runner.trace_len())?);
+    let mut report = ExperimentReport::new("custom_kernel", "custom kernel")
+        .column("config")
+        .column_unit("IPC", "µ-ops/cycle")
+        .column_unit("VP used", "count")
+        .column_unit("squashes", "count")
+        .column_unit("squash cost", "% cycles");
+    for config in [
+        CoreConfig::baseline_6_64(),
+        CoreConfig::baseline_vp_6_64(),
+        CoreConfig::eole_4_64(),
+        custom,
+    ] {
         let label = config.name.clone();
-        let mut sim = Simulator::new(&trace, config)?;
-        sim.run(30_000)?;
-        sim.begin_measurement();
-        sim.run(u64::MAX)?;
-        let s = sim.stats();
-        table.add_row(vec![
-            label,
-            format!("{:.3}", s.ipc()),
-            s.vp_used.to_string(),
-            s.vp_squashes.to_string(),
+        let s = runner.try_run(&trace, config)?; // RunError, not a panic
+        report.add_row(vec![
+            label.into(),
+            Cell::Num(s.ipc()),
+            Cell::Int(s.vp_used),
+            Cell::Int(s.vp_squashes),
+            Cell::Num(s.vp_squash_cost_fraction() * 100.0),
         ]);
     }
-    println!("{}", table.to_text());
+    println!("{}", report.render_text());
     Ok(())
 }

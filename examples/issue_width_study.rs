@@ -5,9 +5,14 @@
 //! 4-issue; EOLE at 4-issue stays close to the 6-issue baseline because
 //! 10–60 % of µ-ops bypass the OoO engine entirely.
 //!
+//! The whole study is one [`Grid`]: 4 configurations × N workloads,
+//! scheduled run-by-run across the executor's thread pool with the
+//! prepared traces shared through its [`TraceCache`].
+//!
 //! Run with: `cargo run --release --example issue_width_study [workload ...]`
 
 use eole::prelude::*;
+use eole_bench::{Executor, Grid, Runner};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -17,32 +22,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         args
     };
 
-    let mut table = Table::new(
-        "issue-width study (speedup over Baseline_VP_6_64)",
-        &["bench", "Baseline_VP_4_64", "EOLE_4_64", "EOLE_6_64", "offload@EOLE"],
-    );
+    let configs = [
+        CoreConfig::baseline_vp_6_64(), // normalization baseline, first
+        CoreConfig::baseline_vp_4_64(),
+        CoreConfig::eole_4_64(),
+        CoreConfig::eole_6_64(),
+    ];
+    let mut grid = Grid::new()
+        .runner(Runner { warmup: 30_000, measure: 120_000 })
+        .configs(configs.clone());
     for name in &names {
-        let workload = workload_by_name(name).expect("known workload");
-        let trace = PreparedTrace::new(workload.trace(150_000)?);
-        let ipc = |config: CoreConfig| -> Result<(f64, f64), SimError> {
-            let mut sim = Simulator::new(&trace, config)?;
-            sim.run(30_000)?;
-            sim.begin_measurement();
-            sim.run(u64::MAX)?;
-            Ok((sim.stats().ipc(), sim.stats().offload_fraction()))
-        };
-        let (base, _) = ipc(CoreConfig::baseline_vp_6_64())?;
-        let (vp4, _) = ipc(CoreConfig::baseline_vp_4_64())?;
-        let (eole4, off) = ipc(CoreConfig::eole_4_64())?;
-        let (eole6, _) = ipc(CoreConfig::eole_6_64())?;
-        table.add_row(vec![
-            name.clone(),
-            format!("{:.3}", vp4 / base),
-            format!("{:.3}", eole4 / base),
-            format!("{:.3}", eole6 / base),
-            format!("{:.1}%", off * 100.0),
+        grid = grid.workload(workload_by_name(name).expect("known workload"));
+    }
+
+    let executor = Executor::new();
+    let results = executor.run(&grid);
+
+    let mut report = ExperimentReport::new(
+        "issue_width_study",
+        "issue-width study (speedup over Baseline_VP_6_64)",
+    )
+    .column("bench")
+    .columns_unit(configs[1..].iter().map(|c| c.name.clone()), "×")
+    .column_unit("offload@EOLE_4_64", "%");
+    for (w, chunk) in names.iter().zip(results.chunks(configs.len())) {
+        let stats: Vec<&SimStats> =
+            chunk.iter().map(|r| r.expect_stats()).collect();
+        let base = stats[0].ipc();
+        report.add_row(vec![
+            w.as_str().into(),
+            Cell::Num(stats[1].ipc() / base),
+            Cell::Num(stats[2].ipc() / base),
+            Cell::Num(stats[3].ipc() / base),
+            Cell::Num(stats[2].offload_fraction() * 100.0),
         ]);
     }
-    println!("{}", table.to_text());
+    println!("{}", report.render_text());
+    eprintln!(
+        "[{} runs, {} trace(s) prepared once each]",
+        grid.len(),
+        executor.cache().generated()
+    );
     Ok(())
 }

@@ -40,18 +40,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(VtageTwoDeltaStride::paper(6)),
     ];
 
-    let mut table =
-        Table::new("value predictor showdown", &["predictor", "KB", "coverage", "accuracy", "raw correct"]);
+    let mut report = ExperimentReport::new("predictor_showdown", "value predictor showdown")
+        .column("predictor")
+        .column_unit("size", "KB")
+        .column_unit("coverage", "%")
+        .column_unit("accuracy", "%")
+        .column_unit("raw correct", "%");
     for p in predictors.iter_mut() {
         let stats = evaluate_stream(p.as_mut(), &history, stream.iter().copied());
-        table.add_row(vec![
-            p.name().to_string(),
-            format!("{:.0}", p.storage_bits() as f64 / 8.0 / 1024.0),
-            format!("{:.1}%", stats.coverage() * 100.0),
-            format!("{:.3}%", stats.accuracy() * 100.0),
-            format!("{:.1}%", stats.correct as f64 / stats.attempted as f64 * 100.0),
+        report.add_row(vec![
+            p.name().into(),
+            Cell::Num(p.storage_bits() as f64 / 8.0 / 1024.0),
+            Cell::Num(stats.coverage() * 100.0),
+            Cell::Num(stats.accuracy() * 100.0),
+            Cell::Num(stats.correct as f64 / stats.attempted as f64 * 100.0),
         ]);
     }
-    println!("{}", table.to_text());
+    println!("{}", report.render_text());
+    // The same numbers, machine-readable (full precision, stdout).
+    println!("{}", report.to_csv());
     Ok(())
 }

@@ -1,57 +1,64 @@
 //! The paper's §6.3 register-file study in miniature: banked PRFs
 //! (Fig. 10) and restricted LE/VT read ports (Fig. 11), plus the §6.2
-//! port/area arithmetic.
+//! port/area arithmetic — one grid, one executor pass, two reports.
 //!
 //! Run with: `cargo run --release --example prf_banking [workload]`
 
 use eole::prelude::*;
+use eole_bench::{Executor, Grid, Runner};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "namd".to_string());
     let workload = workload_by_name(&name).expect("known workload");
-    let trace = PreparedTrace::new(workload.trace(150_000)?);
 
-    let run = |config: CoreConfig| -> Result<SimStats, SimError> {
-        let mut sim = Simulator::new(&trace, config)?;
-        sim.run(30_000)?;
-        sim.begin_measurement();
-        sim.run(u64::MAX)?;
-        Ok(sim.stats())
-    };
+    let grid = Grid::new()
+        .runner(Runner { warmup: 30_000, measure: 120_000 })
+        .workload(workload)
+        .config(CoreConfig::eole_4_64()) // unbanked reference, first
+        .configs([
+            CoreConfig::eole_4_64_banked(2),
+            CoreConfig::eole_4_64_banked(4),
+            CoreConfig::eole_4_64_banked(8),
+            CoreConfig::eole_4_64_ports(4, 2),
+            CoreConfig::eole_4_64_ports(4, 3),
+            CoreConfig::eole_4_64_ports(4, 4),
+        ]);
+    let results = Executor::new().run(&grid);
+    let reference = results[0].expect_stats().ipc();
 
-    let reference = run(CoreConfig::eole_4_64())?;
-    let mut table = Table::new(
+    let mut report = ExperimentReport::new(
+        "prf_banking",
         format!("{name}: PRF banking & LE/VT ports (relative to unbanked EOLE_4_64)"),
-        &["config", "IPC", "relative", "rename PRF stalls", "LE/VT port stalls"],
-    );
-    for config in [
-        CoreConfig::eole_4_64_banked(2),
-        CoreConfig::eole_4_64_banked(4),
-        CoreConfig::eole_4_64_banked(8),
-        CoreConfig::eole_4_64_ports(4, 2),
-        CoreConfig::eole_4_64_ports(4, 3),
-        CoreConfig::eole_4_64_ports(4, 4),
-    ] {
-        let label = config.name.clone();
-        let s = run(config)?;
-        table.add_row(vec![
-            label,
-            format!("{:.3}", s.ipc()),
-            format!("{:.3}", s.ipc() / reference.ipc()),
-            s.stall_prf.to_string(),
-            s.levt_port_stalls.to_string(),
+    )
+    .column("config")
+    .column_unit("IPC", "µ-ops/cycle")
+    .column_unit("relative", "×")
+    .column_unit("rename PRF stalls", "count")
+    .column_unit("LE/VT port stalls", "count");
+    for r in &results[1..] {
+        let s = r.expect_stats();
+        report.add_row(vec![
+            r.spec.config.name.as_str().into(),
+            Cell::Num(s.ipc()),
+            Cell::Num(s.ipc() / reference),
+            Cell::Int(s.stall_prf),
+            Cell::Int(s.levt_port_stalls),
         ]);
     }
-    println!("{}", table.to_text());
+    println!("{}", report.render_text());
 
     // §6.2/6.3 arithmetic: ports and relative area.
     let base6 = PrfPortModel::new(6, 8, 8, false, false);
     let vp6 = PrfPortModel::new(6, 8, 8, true, false);
     let eole4 = PrfPortModel::new(4, 8, 8, true, true);
-    let mut ports = Table::new(
+    let mut ports = ExperimentReport::new(
+        "prf_ports",
         "register-file ports (§6.2) and area model (R+W)(R+2W)",
-        &["organization", "reads", "writes", "relative area"],
-    );
+    )
+    .column("organization")
+    .column_unit("reads", "ports")
+    .column_unit("writes", "ports")
+    .column_unit("relative area", "×");
     for (label, pc) in [
         ("Baseline_6_64 (monolithic)", base6.monolithic()),
         ("Baseline_VP_6_64 (monolithic)", vp6.monolithic()),
@@ -59,13 +66,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("EOLE_4_64 (4 banks, 4 LE/VT ports) per bank", eole4.banked(4, 4)),
     ] {
         ports.add_row(vec![
-            label.to_string(),
-            pc.reads.to_string(),
-            pc.writes.to_string(),
-            format!("{:.2}x", pc.relative_area() / base6.monolithic().relative_area()),
+            label.into(),
+            Cell::Int(pc.reads as u64),
+            Cell::Int(pc.writes as u64),
+            Cell::Num(pc.relative_area() / base6.monolithic().relative_area()),
         ]);
     }
-    println!("{}", ports.to_text());
+    println!("{}", ports.render_text());
     println!("Banked EOLE lands on exactly the 6-issue baseline's per-bank ports (the paper's §6.3 punchline).");
     Ok(())
 }

@@ -1,6 +1,6 @@
 # Tier-1 and friends as one-word commands. `make check` = the full gate.
 
-.PHONY: build test bench lint check experiments experiments-json clean
+.PHONY: build test bench lint check experiments experiments-json perf clean
 
 build:
 	cargo build --release
@@ -23,6 +23,11 @@ experiments:
 # Same, as a machine-readable report set (schema in EXPERIMENTS.md).
 experiments-json:
 	cargo run --release -p eole-bench --bin experiments -- all --quick --format json --out results.json
+
+# Steady-state simulator throughput on the quick suite, against the
+# committed baseline (schema + methodology in PERF.md).
+perf:
+	cargo run --release -p eole-bench --bin sim-throughput -- --baseline BENCH_throughput.json --out BENCH_throughput.json
 
 clean:
 	cargo clean

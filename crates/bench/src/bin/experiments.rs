@@ -21,8 +21,11 @@ use eole_stats::report::{reports_to_json, ExperimentReport};
 
 const USAGE: &str = "usage: experiments [names...|all] [--quick] [--warmup N] [--measure N] \
 [--format md|json|csv] [--out FILE] [--md FILE]
+       experiments compare OLD.json NEW.json [--threshold PCT] [--out FILE]
 experiments: table1 table2 table3 fig2 fig4 offload fig6 fig7 fig8 fig10 fig11 fig12 fig13 \
-vp_ablation ee_writes squash_cost complexity";
+vp_ablation ee_writes squash_cost levt_depth_ablation complexity
+compare: diff two results.json report sets (Markdown delta table on stdout; exits 1 on \
+>PCT% drops in IPC/speedup columns, default 2%)";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -66,8 +69,65 @@ fn render(reports: &[ExperimentReport], format: Format, runner: &Runner) -> Stri
     }
 }
 
+/// `experiments compare OLD.json NEW.json`: the ROADMAP's trend gate.
+fn run_compare(args: &[String]) -> ! {
+    let mut threshold = 2.0f64;
+    let mut out_path: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                threshold = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("--threshold takes a number"));
+            }
+            "--out" => {
+                i += 1;
+                out_path =
+                    Some(args.get(i).unwrap_or_else(|| fail("--out needs a value")).clone());
+            }
+            other => files.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let [old_path, new_path] = files.as_slice() else {
+        fail("compare takes exactly two files: OLD.json NEW.json")
+    };
+    let read = |path: &String| -> eole_stats::json::Json {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+        eole_stats::json::Json::parse(&text)
+            .unwrap_or_else(|e| fail(&format!("parse {path}: {e}")))
+    };
+    let cmp = eole_bench::Comparison::compare(&read(old_path), &read(new_path), threshold)
+        .unwrap_or_else(|e| fail(&e));
+    let md = cmp.to_markdown();
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &md).unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+            eprintln!("[written to {path}]");
+        }
+        None => print!("{md}"),
+    }
+    if cmp.has_regressions() {
+        eprintln!(
+            "[FAIL: {} regression(s) worse than {threshold}% — see above]",
+            cmp.regressions.len()
+        );
+        std::process::exit(1);
+    }
+    eprintln!("[no regressions worse than {threshold}%]");
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("compare") {
+        run_compare(&args[1..]);
+    }
     let mut names: Vec<String> = Vec::new();
     let mut runner = Runner::default();
     let mut format = Format::Markdown;
@@ -117,8 +177,12 @@ fn main() {
         return;
     }
 
-    // Fail fast on an unwritable --out before hours of simulation.
-    let mut out_file = out_path.as_ref().map(|path| {
+    // Fail fast on an unwritable --out before hours of simulation — but
+    // write to a sibling temp file and rename only on success, so a
+    // mid-run failure never truncates the previous results (the
+    // `compare` trend workflow depends on the old payload surviving).
+    let tmp_path = out_path.as_ref().map(|path| format!("{path}.tmp"));
+    let mut out_file = tmp_path.as_ref().map(|path| {
         std::fs::File::create(path).unwrap_or_else(|e| fail(&format!("create {path}: {e}")))
     });
 
@@ -138,10 +202,12 @@ fn main() {
     }
 
     let payload = render(&reports, format, &runner);
-    match (&mut out_file, &out_path) {
-        (Some(f), Some(path)) => {
+    match (&mut out_file, &out_path, &tmp_path) {
+        (Some(f), Some(path), Some(tmp)) => {
             f.write_all(payload.as_bytes())
-                .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+                .unwrap_or_else(|e| fail(&format!("write {tmp}: {e}")));
+            std::fs::rename(tmp, path)
+                .unwrap_or_else(|e| fail(&format!("rename {tmp} -> {path}: {e}")));
             eprintln!("[written to {path}]");
         }
         _ => print!("{payload}"),

@@ -1,0 +1,50 @@
+//! `fingerprints`: dump cycle-exactness fingerprints for the golden test.
+//!
+//! Prints one `("config", "workload", cycles, committed, squashed),` line
+//! per (preset configuration × workload) over a small trace — the exact
+//! table `tests/golden_fingerprints.rs` asserts against. Regenerate the
+//! table with this tool ONLY when a simulator change is *intentionally*
+//! cycle-visible (a model change, not a refactor); pure refactors must
+//! reproduce the committed table bit-for-bit.
+//!
+//! ```text
+//! cargo run --release -p eole-bench --bin fingerprints
+//! ```
+
+use eole_bench::Runner;
+use eole_core::config::CoreConfig;
+use eole_core::pipeline::Simulator;
+
+/// The golden methodology: small but long enough to exercise squashes,
+/// cache misses, and every window structure. Must match the test.
+pub const GOLDEN_RUNNER: Runner = Runner { warmup: 2_000, measure: 5_000 };
+
+/// Every named preset of the paper's evaluation.
+fn preset_configs() -> Vec<CoreConfig> {
+    CoreConfig::all_presets()
+}
+
+fn main() {
+    let runner = GOLDEN_RUNNER;
+    println!("// ({} presets × {} workloads), runner: warmup {} + measure {} µ-ops",
+        preset_configs().len(),
+        eole_workloads::all_workloads().len(),
+        runner.warmup,
+        runner.measure,
+    );
+    for w in eole_workloads::all_workloads() {
+        let trace = runner.prepare(&w);
+        for config in preset_configs() {
+            let name = config.name.clone();
+            let mut sim = Simulator::new(&trace, config).expect("preset is valid");
+            sim.run(runner.warmup).expect("warmup");
+            sim.begin_measurement();
+            sim.run(runner.measure).expect("measure");
+            let s = sim.stats();
+            println!(
+                "(\"{}\", \"{}\", {}, {}, {}),",
+                name, w.name, s.cycles, s.committed, s.squashed
+            );
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! `sim-throughput`: steady-state simulator throughput, as data.
+//!
+//! Measures how many µ-ops per wall-clock second `Simulator::step` retires
+//! in steady state (after warmup), per (configuration, workload) pair of
+//! the quick suite, and emits the `eole-throughput/v1` JSON payload
+//! (schema in `PERF.md`). This is the regression harness for the hot
+//! loop: CI runs it per push, and `BENCH_throughput.json` at the repo
+//! root records the trajectory.
+//!
+//! ```text
+//! cargo run --release -p eole-bench --bin sim-throughput
+//! cargo run --release -p eole-bench --bin sim-throughput -- --quick --out BENCH_throughput.json
+//! cargo run --release -p eole-bench --bin sim-throughput -- --baseline old.json --min-speedup 0.9
+//! ```
+//!
+//! With `--baseline FILE`, the previous payload's `current` section is
+//! embedded as `baseline` and the gmean speedup is computed;
+//! `--min-speedup X` then turns the exit status into a regression gate.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use eole_bench::Runner;
+use eole_core::config::CoreConfig;
+use eole_core::pipeline::Simulator;
+use eole_stats::json::Json;
+use eole_stats::report::json_string;
+use eole_stats::summary::geometric_mean;
+
+const USAGE: &str = "usage: sim-throughput [--quick] [--warmup N] [--measure N] [--reps N] \
+[--label S] [--baseline FILE] [--min-speedup X] [--out FILE]";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// The quick-suite configurations: the paper's reference points plus the
+/// most window-hungry EOLE variant (banked PRF + port budgets).
+fn suite_configs() -> Vec<CoreConfig> {
+    vec![
+        CoreConfig::baseline_6_64(),
+        CoreConfig::baseline_vp_6_64(),
+        CoreConfig::eole_6_64(),
+        CoreConfig::eole_4_64_ports(4, 4),
+    ]
+}
+
+/// The quick-suite workloads: an INT/FP/memory-bound spread (gzip's tight
+/// loops, h264's branchy SAD, mcf's DRAM-bound pointer chase, namd's FP
+/// kernels, hmmer's high-IPC dynamic programming).
+const SUITE_WORKLOADS: [&str; 5] = ["gzip", "h264", "mcf", "namd", "hmmer"];
+
+struct Measured {
+    config: String,
+    workload: String,
+    committed: u64,
+    seconds: f64,
+}
+
+impl Measured {
+    fn mups(&self) -> f64 {
+        self.committed as f64 / self.seconds / 1.0e6
+    }
+}
+
+/// One steady-state measurement, repeated `reps` times: each rep builds a
+/// fresh simulator, warms it up (trace-cold effects, predictor and cache
+/// training), then times the identical measurement window. The fastest
+/// rep is kept — every rep simulates the exact same µ-op stream, so the
+/// minimum is the least-noisy estimate of the hot loop's cost.
+fn measure(
+    trace: &eole_core::pipeline::PreparedTrace,
+    config: &CoreConfig,
+    runner: &Runner,
+    reps: usize,
+) -> Measured {
+    let mut best_seconds = f64::INFINITY;
+    let mut committed = 0;
+    for _ in 0..reps.max(1) {
+        let mut sim =
+            Simulator::new(trace, config.clone()).unwrap_or_else(|e| fail(&e.to_string()));
+        sim.run(runner.warmup)
+            .unwrap_or_else(|e| fail(&format!("{}: warmup: {e}", config.name)));
+        sim.begin_measurement();
+        let start = Instant::now();
+        sim.run(runner.measure)
+            .unwrap_or_else(|e| fail(&format!("{}: measure: {e}", config.name)));
+        let seconds = start.elapsed().as_secs_f64();
+        committed = sim.stats().committed;
+        best_seconds = best_seconds.min(seconds);
+    }
+    Measured {
+        config: config.name.clone(),
+        workload: String::new(),
+        committed,
+        seconds: best_seconds,
+    }
+}
+
+/// One run as an `eole-throughput/v1` JSON object (strings escaped).
+fn run_to_json(config: &str, workload: &str, mups: f64, committed: u64, seconds: f64) -> String {
+    format!(
+        "{{\"config\":{},\"workload\":{},\"mups\":{mups:.4},\"committed\":{committed},\"seconds\":{seconds:.6}}}",
+        json_string(config),
+        json_string(workload),
+    )
+}
+
+fn section_to_json(label: &str, runs: &[String], gmean: f64) -> String {
+    format!(
+        "{{\"label\":{},\"runs\":[{}],\"gmean_mups\":{gmean:.4}}}",
+        json_string(label),
+        runs.join(",")
+    )
+}
+
+fn runs_to_json(runs: &[Measured], label: &str) -> String {
+    let rendered: Vec<String> = runs
+        .iter()
+        .map(|r| run_to_json(&r.config, &r.workload, r.mups(), r.committed, r.seconds))
+        .collect();
+    let gmean = geometric_mean(&runs.iter().map(Measured::mups).collect::<Vec<_>>())
+        .unwrap_or(0.0);
+    section_to_json(label, &rendered, gmean)
+}
+
+/// Extracts the `current` section of a previous payload verbatim (it
+/// becomes the new payload's `baseline`), plus its gmean.
+fn load_baseline(path: &str) -> (String, f64) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+    let v = Json::parse(&text).unwrap_or_else(|e| fail(&format!("parse {path}: {e}")));
+    if v.get("schema").and_then(Json::as_str) != Some("eole-throughput/v1") {
+        fail(&format!("{path} is not an eole-throughput/v1 payload"));
+    }
+    let current = v.get("current").unwrap_or_else(|| fail(&format!("{path}: no `current`")));
+    let gmean = current
+        .get("gmean_mups")
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| fail(&format!("{path}: no gmean_mups")));
+    let label = current.get("label").and_then(Json::as_str).unwrap_or("baseline");
+    let runs = current.get("runs").and_then(Json::as_arr).unwrap_or(&[]);
+    let rendered: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            run_to_json(
+                r.get("config").and_then(Json::as_str).unwrap_or("?"),
+                r.get("workload").and_then(Json::as_str).unwrap_or("?"),
+                r.get("mups").and_then(Json::as_f64).unwrap_or(0.0),
+                r.get("committed").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+                r.get("seconds").and_then(Json::as_f64).unwrap_or(0.0),
+            )
+        })
+        .collect();
+    (section_to_json(label, &rendered, gmean), gmean)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut runner = Runner { warmup: 20_000, measure: 80_000 };
+    let mut reps = 3usize;
+    let mut label = "working tree".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut min_speedup: Option<f64> = None;
+    let mut out_path: Option<String> = None;
+    let take = |args: &[String], i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i).unwrap_or_else(|| fail(&format!("{flag} needs a value"))).clone()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                runner = Runner { warmup: 15_000, measure: 40_000 };
+                reps = 2;
+            }
+            "--warmup" => {
+                runner.warmup = take(&args, &mut i, "--warmup")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--warmup takes a number"));
+            }
+            "--measure" => {
+                runner.measure = take(&args, &mut i, "--measure")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--measure takes a number"));
+            }
+            "--reps" => {
+                reps = take(&args, &mut i, "--reps")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--reps takes a number"));
+            }
+            "--label" => label = take(&args, &mut i, "--label"),
+            "--baseline" => baseline_path = Some(take(&args, &mut i, "--baseline")),
+            "--min-speedup" => {
+                min_speedup = Some(
+                    take(&args, &mut i, "--min-speedup")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--min-speedup takes a number")),
+                );
+            }
+            "--out" => out_path = Some(take(&args, &mut i, "--out")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    let configs = suite_configs();
+    let mut runs: Vec<Measured> = Vec::new();
+    for name in SUITE_WORKLOADS {
+        let w = eole_workloads::workload_by_name(name)
+            .unwrap_or_else(|| fail(&format!("unknown workload {name}")));
+        let trace = runner.prepare(&w);
+        for config in &configs {
+            let mut m = measure(&trace, config, &runner, reps);
+            m.workload = name.to_string();
+            eprintln!("  {:<28} {:<8} {:>8.3} Mµops/s", m.config, m.workload, m.mups());
+            runs.push(m);
+        }
+    }
+
+    let current = runs_to_json(&runs, &label);
+    let mut payload = String::new();
+    payload.push_str("{\"schema\":\"eole-throughput/v1\",");
+    payload.push_str(&format!(
+        "\"runner\":{{\"warmup\":{},\"measure\":{}}},\"reps\":{reps},",
+        runner.warmup, runner.measure
+    ));
+    payload.push_str(&format!("\"current\":{current}"));
+    let mut speedup = None;
+    if let Some(path) = &baseline_path {
+        let (baseline_json, baseline_gmean) = load_baseline(path);
+        let current_gmean =
+            geometric_mean(&runs.iter().map(Measured::mups).collect::<Vec<_>>()).unwrap_or(0.0);
+        let s = if baseline_gmean > 0.0 { current_gmean / baseline_gmean } else { 0.0 };
+        payload.push_str(&format!(",\"baseline\":{baseline_json},\"speedup\":{s:.4}"));
+        speedup = Some(s);
+    }
+    payload.push_str("}\n");
+
+    match &out_path {
+        Some(path) => {
+            let mut f = std::fs::File::create(path)
+                .unwrap_or_else(|e| fail(&format!("create {path}: {e}")));
+            f.write_all(payload.as_bytes())
+                .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+            eprintln!("[written to {path}]");
+        }
+        None => print!("{payload}"),
+    }
+    if let Some(s) = speedup {
+        eprintln!("[gmean speedup vs baseline: {s:.3}x]");
+        if let Some(min) = min_speedup {
+            if s < min {
+                eprintln!("[FAIL: speedup {s:.3}x below the --min-speedup {min} gate]");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Trend tooling: diff two `results.json` report sets.
+//!
+//! `experiments compare old.json new.json` reads two payloads written by
+//! the CLI's `--format json` (schema `eole-report-set/v1`, or the bare
+//! `eole-report/v1` array), matches reports by id, rows by their first
+//! cell, and columns by name, and renders a Markdown delta table per
+//! report. Numeric cells in **performance columns** (unit `×` or `IPC` —
+//! higher is better) that drop by more than the threshold are flagged as
+//! regressions; the CLI exits non-zero when any exist, which is what the
+//! CI trend gate keys on.
+
+use eole_stats::json::Json;
+
+/// One numeric cell compared across the two payloads.
+#[derive(Clone, Copy, Debug)]
+pub struct CellDelta {
+    /// Value in the old payload.
+    pub old: f64,
+    /// Value in the new payload.
+    pub new: f64,
+    /// Relative change in percent (`(new - old) / old`).
+    pub pct: f64,
+    /// True when this is a gated (higher-is-better) column and the drop
+    /// exceeds the threshold.
+    pub regression: bool,
+}
+
+/// Delta view of one report present in both payloads.
+#[derive(Clone, Debug)]
+pub struct ReportDelta {
+    /// Report id (`fig7`, `table3`, …).
+    pub id: String,
+    /// Human title (from the new payload).
+    pub title: String,
+    /// Column headers (name plus unit) for the compared numeric columns.
+    pub columns: Vec<String>,
+    /// Row label plus one optional delta per compared column (`None`
+    /// when either side is non-numeric or missing).
+    pub rows: Vec<(String, Vec<Option<CellDelta>>)>,
+}
+
+/// The full comparison of two report sets.
+#[derive(Clone, Debug, Default)]
+pub struct Comparison {
+    /// Per-report deltas, in the order of the new payload.
+    pub reports: Vec<ReportDelta>,
+    /// Human-readable regression descriptions (empty = gate passes).
+    pub regressions: Vec<String>,
+    /// Reports/rows present in only one payload (informational).
+    pub unmatched: Vec<String>,
+}
+
+struct FlatReport {
+    id: String,
+    title: String,
+    /// (name, unit)
+    columns: Vec<(String, Option<String>)>,
+    /// Raw cells; row label = first cell rendered.
+    rows: Vec<Vec<Json>>,
+}
+
+fn flatten_reports(payload: &Json) -> Result<Vec<FlatReport>, String> {
+    let arr = match payload {
+        Json::Arr(_) => payload.as_arr().unwrap(),
+        Json::Obj(_) => payload
+            .get("reports")
+            .and_then(Json::as_arr)
+            .ok_or("payload has no `reports` array")?,
+        _ => return Err("payload is neither a report array nor a report set".into()),
+    };
+    let mut out = Vec::with_capacity(arr.len());
+    for r in arr {
+        let id = r.get("id").and_then(Json::as_str).ok_or("report without id")?.to_string();
+        let title =
+            r.get("title").and_then(Json::as_str).unwrap_or_default().to_string();
+        let mut columns = Vec::new();
+        for c in r.get("columns").and_then(Json::as_arr).unwrap_or(&[]) {
+            let name =
+                c.get("name").and_then(Json::as_str).unwrap_or_default().to_string();
+            let unit = c.get("unit").and_then(Json::as_str).map(str::to_string);
+            columns.push((name, unit));
+        }
+        let rows: Vec<Vec<Json>> = r
+            .get("rows")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|row| row.as_arr().map(<[Json]>::to_vec))
+            .collect();
+        out.push(FlatReport { id, title, columns, rows });
+    }
+    Ok(out)
+}
+
+fn row_label(row: &[Json]) -> String {
+    match row.first() {
+        Some(Json::Str(s)) => s.clone(),
+        Some(Json::Num(v)) => format!("{v}"),
+        _ => String::new(),
+    }
+}
+
+/// Is this a higher-is-better column the regression gate watches?
+fn gated_unit(unit: Option<&str>) -> bool {
+    matches!(unit, Some("×") | Some("IPC"))
+}
+
+impl Comparison {
+    /// Compares two parsed payloads. `threshold_pct` is the allowed drop
+    /// in gated columns before a cell counts as a regression (the
+    /// ROADMAP's trend gate uses 2.0).
+    ///
+    /// # Errors
+    ///
+    /// Malformed payloads (no report array, reports without ids).
+    pub fn compare(old: &Json, new: &Json, threshold_pct: f64) -> Result<Self, String> {
+        let old_reports = flatten_reports(old)?;
+        let new_reports = flatten_reports(new)?;
+        let mut cmp = Comparison::default();
+        for nr in &new_reports {
+            let Some(or) = old_reports.iter().find(|r| r.id == nr.id) else {
+                cmp.unmatched.push(format!("report `{}` only in the new payload", nr.id));
+                continue;
+            };
+            // Numeric columns present (by name) on both sides, with the
+            // label column excluded.
+            let mut col_pairs: Vec<(usize, usize, String, bool)> = Vec::new();
+            for (nj, (name, unit)) in nr.columns.iter().enumerate().skip(1) {
+                if let Some(oj) =
+                    or.columns.iter().position(|(oname, _)| oname == name)
+                {
+                    let header = match unit {
+                        Some(u) => format!("{name} ({u})"),
+                        None => name.clone(),
+                    };
+                    col_pairs.push((oj, nj, header, gated_unit(unit.as_deref())));
+                }
+            }
+            let mut delta = ReportDelta {
+                id: nr.id.clone(),
+                title: nr.title.clone(),
+                columns: col_pairs.iter().map(|(_, _, h, _)| h.clone()).collect(),
+                rows: Vec::new(),
+            };
+            for nrow in &nr.rows {
+                let label = row_label(nrow);
+                let Some(orow) = or.rows.iter().find(|r| row_label(r) == label) else {
+                    cmp.unmatched
+                        .push(format!("{}: row `{label}` only in the new payload", nr.id));
+                    continue;
+                };
+                let mut cells = Vec::with_capacity(col_pairs.len());
+                for (oj, nj, header, gated) in &col_pairs {
+                    let pair = match (orow.get(*oj), nrow.get(*nj)) {
+                        (Some(Json::Num(o)), Some(Json::Num(n))) => Some((*o, *n)),
+                        _ => None,
+                    };
+                    let cell = pair.map(|(o, n)| {
+                        let pct = if o != 0.0 { (n - o) / o * 100.0 } else { 0.0 };
+                        let regression = *gated && pct < -threshold_pct;
+                        if regression {
+                            cmp.regressions.push(format!(
+                                "{}: {label} / {header}: {o:.3} → {n:.3} ({pct:+.2}%)",
+                                nr.id
+                            ));
+                        }
+                        CellDelta { old: o, new: n, pct, regression }
+                    });
+                    cells.push(cell);
+                }
+                delta.rows.push((label, cells));
+            }
+            for orow in &or.rows {
+                let label = row_label(orow);
+                if !nr.rows.iter().any(|r| row_label(r) == label) {
+                    cmp.unmatched
+                        .push(format!("{}: row `{label}` only in the old payload", nr.id));
+                }
+            }
+            cmp.reports.push(delta);
+        }
+        for or in &old_reports {
+            if !new_reports.iter().any(|r| r.id == or.id) {
+                cmp.unmatched.push(format!("report `{}` only in the old payload", or.id));
+            }
+        }
+        Ok(cmp)
+    }
+
+    /// True when any gated cell dropped past the threshold.
+    pub fn has_regressions(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+
+    /// Renders the whole comparison as Markdown: one delta table per
+    /// report (`old → new (Δ%)` per numeric cell, regressions bolded),
+    /// then the regression summary.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        for r in &self.reports {
+            if r.columns.is_empty() || r.rows.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("### {} — {}\n\n", r.id, r.title));
+            out.push_str(&format!("| {} | {} |\n", "row", r.columns.join(" | ")));
+            out.push_str(&format!("|---{}|\n", "|---".repeat(r.columns.len())));
+            for (label, cells) in &r.rows {
+                let rendered: Vec<String> = cells
+                    .iter()
+                    .map(|c| match c {
+                        Some(d) if d.regression => format!(
+                            "**{:.3} → {:.3} ({:+.2}%)**",
+                            d.old, d.new, d.pct
+                        ),
+                        Some(d) => {
+                            format!("{:.3} → {:.3} ({:+.2}%)", d.old, d.new, d.pct)
+                        }
+                        None => "-".to_string(),
+                    })
+                    .collect();
+                out.push_str(&format!("| {label} | {} |\n", rendered.join(" | ")));
+            }
+            out.push('\n');
+        }
+        if !self.unmatched.is_empty() {
+            out.push_str("### Unmatched\n\n");
+            for u in &self.unmatched {
+                out.push_str(&format!("- {u}\n"));
+            }
+            out.push('\n');
+        }
+        if self.regressions.is_empty() {
+            out.push_str("No regressions.\n");
+        } else {
+            out.push_str(&format!("### {} regression(s)\n\n", self.regressions.len()));
+            for r in &self.regressions {
+                out.push_str(&format!("- {r}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(speedup_gzip: f64, ipc_gzip: f64) -> Json {
+        let text = format!(
+            r#"{{"schema":"eole-report-set/v1","runner":{{"warmup":1,"measure":2}},"reports":[
+                {{"schema":"eole-report/v1","id":"fig6","title":"VP speedup",
+                  "columns":[{{"name":"bench","unit":null}},{{"name":"Baseline_VP_6_64","unit":"×"}}],
+                  "rows":[["gzip",{speedup_gzip}],["namd",1.1],["gmean",1.15]]}},
+                {{"schema":"eole-report/v1","id":"table3","title":"Baseline IPC",
+                  "columns":[{{"name":"bench","unit":null}},{{"name":"kind","unit":null}},{{"name":"ours","unit":"IPC"}}],
+                  "rows":[["gzip","INT",{ipc_gzip}],["namd","FP",1.9]]}}
+            ]}}"#
+        );
+        Json::parse(&text).unwrap()
+    }
+
+    #[test]
+    fn identical_payloads_have_no_regressions() {
+        let old = payload(1.25, 0.98);
+        let cmp = Comparison::compare(&old, &old.clone(), 2.0).unwrap();
+        assert!(!cmp.has_regressions());
+        assert_eq!(cmp.reports.len(), 2);
+        assert!(cmp.unmatched.is_empty());
+        let md = cmp.to_markdown();
+        assert!(md.contains("No regressions."));
+        assert!(md.contains("1.250 → 1.250 (+0.00%)"));
+    }
+
+    #[test]
+    fn small_drift_within_threshold_passes() {
+        let cmp =
+            Comparison::compare(&payload(1.25, 0.98), &payload(1.24, 0.97), 2.0).unwrap();
+        assert!(!cmp.has_regressions(), "{:?}", cmp.regressions);
+    }
+
+    #[test]
+    fn ipc_drop_beyond_threshold_is_flagged() {
+        let cmp =
+            Comparison::compare(&payload(1.25, 0.98), &payload(1.25, 0.90), 2.0).unwrap();
+        assert!(cmp.has_regressions());
+        assert_eq!(cmp.regressions.len(), 1);
+        assert!(cmp.regressions[0].contains("table3"));
+        assert!(cmp.regressions[0].contains("gzip"));
+        let md = cmp.to_markdown();
+        assert!(md.contains("**0.980 → 0.900"), "regressions are bolded: {md}");
+    }
+
+    #[test]
+    fn speedup_drop_is_flagged_and_improvement_is_not() {
+        let cmp =
+            Comparison::compare(&payload(1.25, 0.98), &payload(1.10, 1.20), 2.0).unwrap();
+        assert_eq!(cmp.regressions.len(), 1);
+        assert!(cmp.regressions[0].contains("fig6"));
+    }
+
+    #[test]
+    fn unmatched_reports_and_rows_are_reported_not_fatal() {
+        let old = payload(1.25, 0.98);
+        let new_text = r#"[{"schema":"eole-report/v1","id":"fig6","title":"VP speedup",
+            "columns":[{"name":"bench","unit":null},{"name":"Baseline_VP_6_64","unit":"×"}],
+            "rows":[["gzip",1.25],["lbm",0.9]]}]"#;
+        let new = Json::parse(new_text).unwrap();
+        let cmp = Comparison::compare(&old, &new, 2.0).unwrap();
+        assert!(cmp.unmatched.iter().any(|u| u.contains("lbm")));
+        assert!(cmp.unmatched.iter().any(|u| u.contains("table3")));
+        assert!(cmp.unmatched.iter().any(|u| u.contains("namd")));
+    }
+
+    #[test]
+    fn malformed_payload_is_an_error() {
+        let bad = Json::parse("{\"not\":\"reports\"}").unwrap();
+        assert!(Comparison::compare(&bad, &bad.clone(), 2.0).is_err());
+    }
+}

@@ -45,10 +45,10 @@ pub const PAPER_IPC: [(&str, f64); 19] = [
 ];
 
 /// Every experiment name the harness knows, in paper order.
-pub const EXPERIMENT_NAMES: [&str; 17] = [
+pub const EXPERIMENT_NAMES: [&str; 18] = [
     "table1", "table2", "table3", "fig2", "fig4", "offload", "fig6", "fig7", "fig8",
     "fig10", "fig11", "fig12", "fig13", "vp_ablation", "ee_writes", "squash_cost",
-    "complexity",
+    "levt_depth_ablation", "complexity",
 ];
 
 /// Driver for the full experiment suite.
@@ -478,6 +478,38 @@ impl ExperimentSet {
         Ok(t)
     }
 
+    /// ROADMAP h264 ablation: is the constant +1-cycle LE/VT stage the
+    /// reason `Baseline_6_64` beats the VP/EOLE pipelines on h264?
+    ///
+    /// The `squash_cost` probe (PR 2) showed h264 commits with *zero* VP
+    /// squashes, so misprediction recovery cannot explain the gap; the
+    /// remaining suspect is the extra pre-commit stage every commit pays.
+    /// This experiment zeroes `levt_depth()` (`levt0` variants) and
+    /// reports speedup over the no-VP baseline: if the `levt0` pipelines
+    /// close the gap (speedup ≥ 1), the +1 LE/VT depth is confirmed as
+    /// the cause; any residue points at a different tax.
+    pub fn levt_depth_ablation(&self) -> Result<ExperimentReport, RunError> {
+        let levt0 = |base: CoreConfig| -> CoreConfig {
+            let name = format!("{}_levt0", base.name);
+            base.to_builder()
+                .name(name)
+                .levt_depth_override(Some(0))
+                .build()
+                .expect("depth override keeps the preset valid")
+        };
+        self.speedup_report(
+            "levt_depth_ablation",
+            "LE/VT depth ablation — +1-cycle validation stage zeroed (speedup over Baseline_6_64)",
+            CoreConfig::baseline_6_64(),
+            &[
+                CoreConfig::baseline_vp_6_64(),
+                levt0(CoreConfig::baseline_vp_6_64()),
+                CoreConfig::eole_6_64(),
+                levt0(CoreConfig::eole_6_64()),
+            ],
+        )
+    }
+
     /// §6.2–6.3: register-file ports and relative area.
     pub fn complexity(&self) -> Result<ExperimentReport, RunError> {
         let base6 = PrfPortModel::new(6, 8, 8, false, false);
@@ -542,6 +574,7 @@ impl ExperimentSet {
             "vp_ablation" => self.vp_ablation(),
             "ee_writes" => self.ablation_ee_writes(),
             "squash_cost" => self.squash_cost(),
+            "levt_depth_ablation" => self.levt_depth_ablation(),
             "complexity" => self.complexity(),
             other => Err(RunError::UnknownExperiment(other.to_string())),
         }

@@ -41,10 +41,12 @@
 //! }
 //! ```
 
+pub mod compare;
 pub mod exec;
 pub mod experiments;
 pub mod spec;
 
+pub use compare::Comparison;
 pub use exec::{Executor, RunError, RunPhase, RunResult, TraceCache};
 pub use spec::{Grid, RunSpec};
 

@@ -158,6 +158,10 @@ pub struct CoreConfig {
     pub vp: Option<VpConfig>,
     /// EOLE toggles.
     pub eole: EoleConfig,
+    /// Overrides the pre-commit LE/VT stage depth computed by
+    /// [`CoreConfig::levt_depth`]; `Some(0)` models a free (zero-cycle)
+    /// validation stage — the ROADMAP's h264 ablation knob.
+    pub levt_depth_override: Option<u64>,
     /// Seed for TAGE's allocation randomization.
     pub branch_seed: u64,
 }
@@ -332,6 +336,14 @@ impl CoreConfigBuilder {
         self
     }
 
+    /// Pins the LE/VT stage depth (ablation knob; `Some(0)` = free
+    /// validation stage, `None` = derive from the VP setting).
+    #[must_use]
+    pub fn levt_depth_override(mut self, depth: Option<u64>) -> Self {
+        self.config.levt_depth_override = depth;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -377,6 +389,7 @@ impl CoreConfig {
             mem: HierarchyConfig::paper(),
             vp: None,
             eole: EoleConfig::off(),
+            levt_depth_override: None,
             branch_seed: 0x7a6e,
         }
     }
@@ -465,6 +478,24 @@ impl CoreConfig {
         c
     }
 
+    /// Every named preset of the paper's evaluation, in paper order —
+    /// the population the golden cycle-exactness fingerprints cover.
+    pub fn all_presets() -> Vec<CoreConfig> {
+        vec![
+            CoreConfig::baseline_6_64(),
+            CoreConfig::baseline_vp_6_64(),
+            CoreConfig::baseline_vp_4_64(),
+            CoreConfig::baseline_vp_6_48(),
+            CoreConfig::eole_6_64(),
+            CoreConfig::eole_4_64(),
+            CoreConfig::eole_6_48(),
+            CoreConfig::eole_4_64_banked(4),
+            CoreConfig::eole_4_64_ports(4, 4),
+            CoreConfig::ole_4_64_ports(4, 4),
+            CoreConfig::eoe_4_64_ports(4, 4),
+        ]
+    }
+
     /// Checks internal consistency.
     ///
     /// # Errors
@@ -496,8 +527,12 @@ impl CoreConfig {
     }
 
     /// The extra pre-commit pipeline depth: 1 LE/VT stage when VP is on
-    /// (§4.1: "an additional pipeline cycle"), 0 otherwise.
+    /// (§4.1: "an additional pipeline cycle"), 0 otherwise — unless the
+    /// ablation override pins it.
     pub fn levt_depth(&self) -> u64 {
+        if let Some(depth) = self.levt_depth_override {
+            return depth;
+        }
         if self.vp.is_some() {
             1
         } else {

@@ -4,6 +4,7 @@
 //! numbers.
 
 use eole_isa::InstClass;
+use eole_predictors::value::ValuePredictor as _;
 
 use super::state::{pck, Simulator};
 
@@ -12,9 +13,15 @@ impl Simulator<'_> {
     pub(super) fn do_commit(&mut self) -> bool {
         let now = self.cycle;
         let mut committed = 0usize;
-        // LE/VT read ports consumed per (bank, class) this cycle.
-        let mut port_reads = vec![[0usize; 2]; self.config.prf_banks];
+        // LE/VT read ports consumed per (bank, class) this cycle — a
+        // reused scratch buffer, cleared here, incremented in place (with
+        // rollback when a µ-op does not fit) instead of cloned per µ-op.
         let port_cap = self.config.eole.levt_read_ports_per_bank;
+        if port_cap.is_some() {
+            for b in self.scratch.port_reads.iter_mut() {
+                *b = [0, 0];
+            }
+        }
         while committed < self.config.commit_width {
             let Some(e) = self.rob.front() else { break };
             if !self.levt_complete(e, now) {
@@ -22,32 +29,33 @@ impl Simulator<'_> {
             }
             // LE/VT read-port budget (Fig. 11).
             if let Some(cap) = port_cap {
-                let needed = self.levt_reads(self.rob.front().expect("checked above"));
-                let mut scratch = port_reads.clone();
+                let (needed, n) = self.levt_reads(self.rob.front().expect("checked above"));
                 let mut fits = true;
-                for (bank, ci) in &needed {
-                    scratch[*bank][*ci] += 1;
-                    if scratch[*bank][*ci] > cap {
+                for (bank, ci) in &needed[..n] {
+                    self.scratch.port_reads[*bank][*ci] += 1;
+                    if self.scratch.port_reads[*bank][*ci] > cap {
                         fits = false;
-                        break;
                     }
                 }
                 if !fits {
+                    // Roll the trial increments back: the group keeps the
+                    // ports it already granted, nothing more.
+                    for (bank, ci) in &needed[..n] {
+                        self.scratch.port_reads[*bank][*ci] -= 1;
+                    }
                     self.stats.levt_port_stalls += 1;
                     // Forward progress: if even an empty group cannot fit
                     // this µ-op (its own reads exceed the per-bank budget),
                     // the hardware would serialize the reads over extra
                     // cycles; commit it alone and end the group.
                     if committed == 0 {
-                        for b in port_reads.iter_mut() {
+                        for b in self.scratch.port_reads.iter_mut() {
                             b[0] = cap;
                             b[1] = cap;
                         }
                     } else {
                         break;
                     }
-                } else {
-                    port_reads = scratch;
                 }
             }
 
@@ -150,7 +158,7 @@ impl Simulator<'_> {
             }
             self.stats.squashed += 1;
         }
-        self.iq.retain(|s| *s < first_bad);
+        self.iq.retain(|e| e.seq < first_bad);
         while self.lq.back().is_some_and(|l| l.seq >= first_bad) {
             self.lq.pop_back();
         }
@@ -158,7 +166,7 @@ impl Simulator<'_> {
             self.sq.pop_back();
         }
         for slot in &mut self.lfst {
-            if slot.is_some_and(|s| s >= first_bad) {
+            if slot.is_some_and(|(s, _)| s >= first_bad) {
                 *slot = None;
             }
         }
@@ -169,8 +177,13 @@ impl Simulator<'_> {
             self.cursor = idx;
         }
         // Every structure has been purged of seqs >= first_bad, so sequence
-        // numbers can be reused; this keeps ROB seqs contiguous, which
-        // `rob_index` relies on.
+        // numbers can be reused. Rewinding `next_seq` in lock-step with the
+        // ROB's popped tail keeps slot ids and sequence numbers aligned —
+        // the invariant behind the O(1) `rob.slot(seq)` lookup.
+        debug_assert!(
+            self.rob.is_empty() || self.rob.next_slot() <= first_bad,
+            "ROB tail never outlives the squash cut"
+        );
         self.next_seq = first_bad;
         self.writer_info = [None; 64];
         self.prev_group_cycle = u64::MAX;
@@ -260,7 +273,7 @@ mod tests {
             older,
             "older µ-ops keep their order"
         );
-        assert!(sim.iq.iter().all(|s| *s < mid));
+        assert!(sim.iq.iter().all(|e| e.seq < mid));
         assert_eq!(sim.next_seq, mid, "seq numbers restart at the cut");
         assert!(sim.stats.squashed > 0, "squashed µ-ops are counted");
         sim.run(u64::MAX).unwrap();

@@ -3,6 +3,7 @@
 
 use eole_isa::InstClass;
 use eole_predictors::branch::{BranchConfidence, DirectionPredictor};
+use eole_predictors::value::ValuePredictor as _;
 
 use super::state::{pck, FrontUop, Simulator};
 

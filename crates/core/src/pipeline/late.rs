@@ -6,6 +6,7 @@
 
 use eole_isa::InstClass;
 use eole_predictors::branch::DirectionPredictor;
+use eole_predictors::value::ValuePredictor as _;
 
 use super::state::{pck, RobEntry, Simulator};
 
@@ -20,10 +21,7 @@ impl Simulator<'_> {
             if e.dispatch_cycle + self.config.levt_depth() > now {
                 return false;
             }
-            e.srcs
-                .iter()
-                .flatten()
-                .all(|s| self.prf.ready_at(s.class, s.preg) <= now)
+            self.srcs_known_ready_by(e).is_some_and(|t| t <= now)
         } else {
             e.done_cycle != crate::prf::NOT_READY
                 && e.done_cycle + self.config.levt_depth() <= now
@@ -33,21 +31,28 @@ impl Simulator<'_> {
     /// The `(bank, class-index)` PRF reads this µ-op charges against the
     /// LE/VT read-port budget (Fig. 11): validation/training reads the
     /// result of every VP-eligible µ-op; LE µ-ops read their operands.
-    pub(super) fn levt_reads(&self, e: &RobEntry) -> Vec<(usize, usize)> {
-        let mut needed: Vec<(usize, usize)> = Vec::new();
+    ///
+    /// At most 3 reads per µ-op (one result + two LE operands), so the
+    /// list fits a fixed array — this runs per commit attempt and must
+    /// not allocate. Returns the array plus the live count.
+    pub(super) fn levt_reads(&self, e: &RobEntry) -> ([(usize, usize); 3], usize) {
+        let mut needed = [(0usize, 0usize); 3];
+        let mut n = 0usize;
         if self.vp.is_some() && e.vp_eligible {
             if let Some(d) = e.dst {
                 let ci = if d.class == eole_isa::RegClass::Int { 0 } else { 1 };
-                needed.push((self.prf.bank_of(d.new), ci));
+                needed[n] = (self.prf.bank_of(d.new), ci);
+                n += 1;
             }
         }
         if e.le_alu || e.le_branch {
             for s in e.srcs.iter().flatten() {
                 let ci = if s.class == eole_isa::RegClass::Int { 0 } else { 1 };
-                needed.push((self.prf.bank_of(s.preg), ci));
+                needed[n] = (self.prf.bank_of(s.preg), ci);
+                n += 1;
             }
         }
-        needed
+        (needed, n)
     }
 
     /// Late-execution accounting plus control resolution at pre-commit:

@@ -27,6 +27,7 @@ mod frontend;
 mod late;
 mod ooo;
 mod state;
+mod window;
 
 #[cfg(test)]
 mod tests;

@@ -2,8 +2,12 @@
 //! decisions and the EE/prediction write-port budget) and the issue/execute
 //! stage with its functional-unit pools, load/store queues, and
 //! memory-dependence speculation via store sets.
-
-use std::collections::VecDeque;
+//!
+//! Hot-loop invariants (see `PERF.md`): no steady-state heap allocation —
+//! the per-group write budget lives in a reused scratch buffer and the IQ
+//! is compacted in place — and no O(n) window searches: ROB entries are
+//! addressed by sequence number, LQ/SQ entries through the slot id cached
+//! in [`RobEntry::lsq_slot`].
 
 use eole_isa::{InstClass, RegClass};
 
@@ -11,8 +15,8 @@ use crate::config::latency;
 use crate::prf::NOT_READY;
 
 use super::state::{
-    contains, overlap, pck, Avail, DstReg, LoadEntry, RobEntry, Simulator, SrcReg, StoreEntry,
-    Writer,
+    contains, overlap, pck, Avail, DstReg, IqEntry, LoadEntry, RobEntry, Simulator, SrcReg,
+    StoreEntry, Writer,
 };
 
 impl Simulator<'_> {
@@ -20,11 +24,14 @@ impl Simulator<'_> {
     // Rename / Early Execution / Dispatch
     // ------------------------------------------------------------------
 
-    pub(super) fn do_dispatch(&mut self) {
+    /// Returns the number of µ-ops dispatched this cycle.
+    pub(super) fn do_dispatch(&mut self) -> usize {
         let now = self.cycle;
         let mut dispatched = 0usize;
         // EE/prediction PRF writes per (class, bank) this dispatch group.
-        let mut ee_writes = vec![[0usize; 2]; self.config.prf_banks];
+        for b in self.scratch.ee_writes.iter_mut() {
+            *b = [0, 0];
+        }
         while dispatched < self.config.rename_width {
             let Some(fu) = self.front_q.front().copied() else { break };
             if fu.at_rename > now {
@@ -65,7 +72,7 @@ impl Simulator<'_> {
                     let class = di.inst.dst.map(|d| d.class()).unwrap_or(RegClass::Int);
                     let bank = self.prf.peek_alloc_bank(class);
                     let ci = if class == RegClass::Int { 0 } else { 1 };
-                    if ee_writes[bank][ci] + 1 > cap {
+                    if self.scratch.ee_writes[bank][ci] + 1 > cap {
                         self.stats.ee_write_stalls += 1;
                         break;
                     }
@@ -97,7 +104,7 @@ impl Simulator<'_> {
             if writes_prediction {
                 if let Some(d) = dst {
                     let ci = if d.class == RegClass::Int { 0 } else { 1 };
-                    ee_writes[self.prf.bank_of(d.new)][ci] += 1;
+                    self.scratch.ee_writes[self.prf.bank_of(d.new)][ci] += 1;
                 }
             }
             self.front_q.pop_front();
@@ -130,18 +137,19 @@ impl Simulator<'_> {
                     Some(Writer { renamed_cycle: now, avail });
             }
 
-            // Queue occupancy.
+            // Queue occupancy. LQ/SQ slot ids are cached in the ROB entry
+            // so issue/commit/squash never search the queues.
             if needs_iq {
-                self.iq.push_back(fu.seq);
+                self.iq.push(IqEntry { seq: fu.seq, wake: 0 });
             }
+            let mut lsq_slot = 0u64;
             if cls == InstClass::Load {
                 let dep_store = self
                     .store_sets
                     .ssid(pck(di.pc))
                     .and_then(|s| self.lfst[s as usize]);
-                self.lq.push_back(LoadEntry {
+                lsq_slot = self.lq.push_back(LoadEntry {
                     seq: fu.seq,
-                    trace_idx: fu.trace_idx,
                     addr: di.addr,
                     size: di.size,
                     dep_store,
@@ -149,19 +157,18 @@ impl Simulator<'_> {
                 });
             }
             if cls == InstClass::Store {
-                if let Some(s) = self.store_sets.ssid(pck(di.pc)) {
-                    self.lfst[s as usize] = Some(fu.seq);
-                }
-                self.sq.push_back(StoreEntry {
+                lsq_slot = self.sq.push_back(StoreEntry {
                     seq: fu.seq,
-                    trace_idx: fu.trace_idx,
                     addr: di.addr,
                     size: di.size,
                     issued_at: NOT_READY,
                 });
+                if let Some(s) = self.store_sets.ssid(pck(di.pc)) {
+                    self.lfst[s as usize] = Some((fu.seq, lsq_slot));
+                }
             }
 
-            self.rob.push_back(RobEntry {
+            let rob_slot = self.rob.push_back(RobEntry {
                 seq: fu.seq,
                 trace_idx: fu.trace_idx,
                 dispatch_cycle: now,
@@ -169,6 +176,7 @@ impl Simulator<'_> {
                 dst,
                 srcs,
                 done_cycle,
+                lsq_slot,
                 ee,
                 le_alu,
                 le_branch,
@@ -181,35 +189,54 @@ impl Simulator<'_> {
                 awaited: fu.awaited,
                 ind_mispredict: fu.ind_mispredict,
             });
+            debug_assert_eq!(rob_slot, fu.seq, "ROB slot ids track sequence numbers");
             dispatched += 1;
         }
         if dispatched > 0 {
             self.prev_group_cycle = now;
         }
+        dispatched
     }
 
     // ------------------------------------------------------------------
     // Issue / Execute
     // ------------------------------------------------------------------
 
-    fn rob_index(&self, seq: u64) -> usize {
-        let front = self.rob.front().expect("rob empty").seq;
-        (seq - front) as usize
+    /// O(1) ROB access: slot ids coincide with sequence numbers (checked
+    /// at dispatch), so the entry for `seq` is `rob.slot(seq)`.
+    #[inline]
+    fn rob_entry(&self, seq: u64) -> &RobEntry {
+        self.rob.slot(seq)
     }
 
-    fn srcs_ready(&self, e: &RobEntry) -> bool {
-        e.srcs.iter().flatten().all(|s| self.prf.ready_at(s.class, s.preg) <= self.cycle)
-    }
-
-    /// Decides whether the load with sequence number `seq` can go:
-    /// `None` = wait, `Some(done_cycle)` = issue now.
-    fn try_load(&mut self, seq: u64) -> Option<u64> {
+    /// Source readiness as a wakeup bound: `Ok(())` when every source is
+    /// readable this cycle, otherwise `Err(wake)` — the earliest future
+    /// cycle worth re-examining this µ-op (`now + 1` while a producer has
+    /// not even issued yet; the known completion cycle afterwards).
+    fn srcs_wake(&self, e: &RobEntry) -> Result<(), u64> {
         let now = self.cycle;
-        let le = *self.lq.iter().find(|l| l.seq == seq).expect("load in LQ");
+        match self.srcs_known_ready_by(e) {
+            // Producer not issued: its completion is unknowable, but it
+            // cannot complete before next cycle.
+            None => Err(now + 1),
+            Some(t) if t <= now => Ok(()),
+            Some(t) => Err(t),
+        }
+    }
+
+    /// Decides whether the load in LQ slot `lq_slot` (program counter
+    /// `pc`) can go: `None` = wait, `Some(done_cycle)` = issue now.
+    fn try_load(&mut self, lq_slot: u64, pc: u64) -> Option<u64> {
+        let now = self.cycle;
+        let le = *self.lq.slot(lq_slot);
         // Store-set dependence: wait until the flagged store has issued.
-        if let Some(dep) = le.dep_store {
-            if let Some(st) = self.sq.iter().find(|s| s.seq == dep) {
-                if st.issued_at == NOT_READY {
+        // The cached SQ slot makes this O(1); a store that already left
+        // the queue (committed) has issued by definition.
+        if let Some((dep_seq, dep_slot)) = le.dep_store {
+            if self.sq.holds_slot(dep_slot) {
+                let st = self.sq.slot(dep_slot);
+                debug_assert_eq!(st.seq, dep_seq, "surviving dep points at its store");
+                if st.seq == dep_seq && st.issued_at == NOT_READY {
                     return None;
                 }
             }
@@ -229,12 +256,11 @@ impl Simulator<'_> {
             }
             // Unknown address: speculate past it (store sets permitting).
         }
-        let di = &self.trace.insts()[le.trace_idx];
-        Some(self.mem.load(pck(di.pc), le.addr, now))
+        Some(self.mem.load(pc, le.addr, now))
     }
 
-    /// Returns true if a memory-order violation squash happened.
-    pub(super) fn do_issue(&mut self) -> bool {
+    /// Returns `(violation_squash_happened, µ-ops issued)`.
+    pub(super) fn do_issue(&mut self) -> (bool, usize) {
         let now = self.cycle;
         let mut issued = 0usize;
         let mut alu_used = 0usize;
@@ -243,20 +269,31 @@ impl Simulator<'_> {
         let mut fmul_used = 0usize;
         let mut mem_used = 0usize;
         let mut violation: Option<(u64, u64)> = None; // (load_seq, store_seq)
-        let mut remaining: VecDeque<u64> = VecDeque::with_capacity(self.iq.len());
-        let iq = std::mem::take(&mut self.iq);
-        for seq in iq {
+        // In-place IQ compaction: entries that cannot issue this cycle are
+        // written back at `kept` (order preserved), the tail is truncated.
+        let mut kept = 0usize;
+        let iq_len = self.iq.len();
+        for i in 0..iq_len {
+            let IqEntry { seq, wake } = self.iq[i];
+            macro_rules! keep {
+                ($wake:expr) => {{
+                    self.iq[kept] = IqEntry { seq, wake: $wake };
+                    kept += 1;
+                    continue;
+                }};
+            }
             if issued >= self.config.issue_width || violation.is_some() {
-                remaining.push_back(seq);
-                continue;
+                keep!(wake);
             }
-            let idx = self.rob_index(seq);
-            let ready = self.srcs_ready(&self.rob[idx]);
-            if !ready {
-                remaining.push_back(seq);
-                continue;
+            // Wakeup filter: sources provably unreadable before `wake`.
+            if wake > now {
+                keep!(wake);
             }
-            let class = self.rob[idx].class;
+            let e = self.rob_entry(seq);
+            if let Err(wake) = self.srcs_wake(e) {
+                keep!(wake);
+            }
+            let class = e.class;
             let done = match class {
                 InstClass::IntAlu
                 | InstClass::Branch
@@ -264,8 +301,7 @@ impl Simulator<'_> {
                 | InstClass::JumpIndirect
                 | InstClass::CallIndirect => {
                     if alu_used >= self.config.fu.int_alu {
-                        remaining.push_back(seq);
-                        continue;
+                        keep!(0);
                     }
                     alu_used += 1;
                     now + latency::INT_ALU
@@ -274,20 +310,17 @@ impl Simulator<'_> {
                     if mul_used >= self.config.fu.int_muldiv
                         || !self.muldiv_busy.iter().any(|b| *b <= now)
                     {
-                        remaining.push_back(seq);
-                        continue;
+                        keep!(0);
                     }
                     mul_used += 1;
                     now + latency::INT_MUL
                 }
                 InstClass::IntDiv => {
                     let Some(unit) = self.muldiv_busy.iter_mut().find(|b| **b <= now) else {
-                        remaining.push_back(seq);
-                        continue;
+                        keep!(0);
                     };
                     if mul_used >= self.config.fu.int_muldiv {
-                        remaining.push_back(seq);
-                        continue;
+                        keep!(0);
                     }
                     mul_used += 1;
                     *unit = now + latency::INT_DIV; // unpipelined
@@ -295,8 +328,7 @@ impl Simulator<'_> {
                 }
                 InstClass::FpAlu => {
                     if fp_used >= self.config.fu.fp_alu {
-                        remaining.push_back(seq);
-                        continue;
+                        keep!(0);
                     }
                     fp_used += 1;
                     now + latency::FP_ALU
@@ -305,8 +337,7 @@ impl Simulator<'_> {
                     if fmul_used >= self.config.fu.fp_muldiv
                         || !self.fpmuldiv_busy.iter().any(|b| *b <= now)
                     {
-                        remaining.push_back(seq);
-                        continue;
+                        keep!(0);
                     }
                     fmul_used += 1;
                     now + latency::FP_MUL
@@ -314,12 +345,10 @@ impl Simulator<'_> {
                 InstClass::FpDiv => {
                     let Some(unit) = self.fpmuldiv_busy.iter_mut().find(|b| **b <= now)
                     else {
-                        remaining.push_back(seq);
-                        continue;
+                        keep!(0);
                     };
                     if fmul_used >= self.config.fu.fp_muldiv {
-                        remaining.push_back(seq);
-                        continue;
+                        keep!(0);
                     }
                     fmul_used += 1;
                     *unit = now + latency::FP_DIV;
@@ -327,35 +356,34 @@ impl Simulator<'_> {
                 }
                 InstClass::Load => {
                     if mem_used >= self.config.fu.mem_ports {
-                        remaining.push_back(seq);
-                        continue;
+                        keep!(0);
                     }
-                    match self.try_load(seq) {
+                    let lq_slot = e.lsq_slot;
+                    let pc = pck(self.trace.insts()[e.trace_idx].pc);
+                    match self.try_load(lq_slot, pc) {
                         Some(done) => {
                             mem_used += 1;
-                            let le =
-                                self.lq.iter_mut().find(|l| l.seq == seq).expect("load");
-                            le.issued_at = now;
+                            self.lq.slot_mut(lq_slot).issued_at = now;
                             done
                         }
                         None => {
-                            remaining.push_back(seq);
-                            continue;
+                            keep!(0);
                         }
                     }
                 }
                 InstClass::Store => {
                     if mem_used >= self.config.fu.mem_ports {
-                        remaining.push_back(seq);
-                        continue;
+                        keep!(0);
                     }
                     mem_used += 1;
-                    let (st_addr, st_size, st_seq, st_tidx) = {
-                        let st =
-                            self.sq.iter_mut().find(|s| s.seq == seq).expect("store");
+                    let sq_slot = e.lsq_slot;
+                    let st_tidx = e.trace_idx;
+                    let (st_addr, st_size, st_seq) = {
+                        let st = self.sq.slot_mut(sq_slot);
                         st.issued_at = now;
-                        (st.addr, st.size, st.seq, st.trace_idx)
+                        (st.addr, st.size, st.seq)
                     };
+                    debug_assert_eq!(st_seq, seq);
                     // The store's address is now known: detect any younger
                     // load that already executed against the same bytes.
                     let mut bad: Option<u64> = None;
@@ -376,7 +404,7 @@ impl Simulator<'_> {
                         .store_sets
                         .ssid(pck(self.trace.insts()[st_tidx].pc))
                     {
-                        if self.lfst[s as usize] == Some(st_seq) {
+                        if self.lfst[s as usize].is_some_and(|(fs, _)| fs == st_seq) {
                             self.lfst[s as usize] = None;
                         }
                     }
@@ -387,9 +415,8 @@ impl Simulator<'_> {
                 }
             };
             issued += 1;
-            let idx = self.rob_index(seq);
             let (dst, awaited) = {
-                let e = &mut self.rob[idx];
+                let e = self.rob.slot_mut(seq);
                 e.done_cycle = done;
                 (e.dst, e.awaited)
             };
@@ -404,23 +431,19 @@ impl Simulator<'_> {
                 self.last_fetch_line = u64::MAX;
             }
         }
-        self.iq = remaining;
+        self.iq.truncate(kept);
 
         if let Some((load_seq, store_seq)) = violation {
-            let (load_pc, store_pc) = {
-                let l = self.lq.iter().find(|l| l.seq == load_seq).expect("load");
-                let s = self.sq.iter().find(|s| s.seq == store_seq).expect("store");
-                (
-                    pck(self.trace.insts()[l.trace_idx].pc),
-                    pck(self.trace.insts()[s.trace_idx].pc),
-                )
-            };
+            // Both µ-ops are still in flight: O(1) ROB lookups recover
+            // their program counters for store-set training.
+            let load_pc = pck(self.trace.insts()[self.rob_entry(load_seq).trace_idx].pc);
+            let store_pc = pck(self.trace.insts()[self.rob_entry(store_seq).trace_idx].pc);
             self.store_sets.on_violation(load_pc, store_pc);
             self.stats.memory_order_squashes += 1;
             self.squash_from(load_seq);
             self.fetch_stall_until = now + 1;
-            return true;
+            return (true, issued);
         }
-        false
+        (false, issued)
     }
 }

@@ -10,12 +10,13 @@ use eole_predictors::branch::{Btb, ReturnStack, Tage};
 use eole_predictors::history::BranchHistory;
 use eole_predictors::storesets::StoreSets;
 use eole_predictors::value::{
-    Fcm, LastValue, StridePredictor, TwoDeltaStride, ValuePredictor, Vtage,
+    AnyValuePredictor, Fcm, LastValue, StridePredictor, TwoDeltaStride, Vtage,
     VtageTwoDeltaStride,
 };
 
+use super::window::SeqRing;
 use crate::config::{CoreConfig, ValuePredictorKind};
-use crate::prf::{PhysReg, Prf};
+use crate::prf::{PhysReg, Prf, NOT_READY};
 use crate::stats::SimStats;
 
 /// A dynamic trace plus the precomputed branch-history log, shareable
@@ -128,7 +129,7 @@ pub(super) struct FrontUop {
     pub(super) ind_mispredict: bool,
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub(super) struct RobEntry {
     pub(super) seq: u64,
     pub(super) trace_idx: usize,
@@ -137,6 +138,9 @@ pub(super) struct RobEntry {
     pub(super) dst: Option<DstReg>,
     pub(super) srcs: [Option<SrcReg>; 2],
     pub(super) done_cycle: u64,
+    /// LQ/SQ slot id (loads/stores only) — cached at dispatch so issue,
+    /// commit, and squash never search the queues.
+    pub(super) lsq_slot: u64,
     pub(super) ee: bool,
     pub(super) le_alu: bool,
     pub(super) le_branch: bool,
@@ -150,23 +154,81 @@ pub(super) struct RobEntry {
     pub(super) ind_mispredict: bool,
 }
 
+impl RobEntry {
+    /// Inert slab filler for the pre-sized ROB ring (never observed:
+    /// `SeqRing` only exposes live slots).
+    pub(super) fn vacant() -> Self {
+        RobEntry {
+            seq: 0,
+            trace_idx: 0,
+            dispatch_cycle: 0,
+            class: InstClass::IntAlu,
+            dst: None,
+            srcs: [None, None],
+            done_cycle: NOT_READY,
+            lsq_slot: 0,
+            ee: false,
+            le_alu: false,
+            le_branch: false,
+            vp_eligible: false,
+            vp_queried: false,
+            pred_some: false,
+            pred_used: false,
+            pred_correct: false,
+            hc: false,
+            awaited: false,
+            ind_mispredict: false,
+        }
+    }
+}
+
+/// One issue-queue entry: the µ-op's sequence number plus a cached
+/// wakeup bound.
+///
+/// `wake` is a *sound lower bound* on the first cycle the µ-op's sources
+/// can all be readable, so the issue loop skips the operand check while
+/// `wake > now` without ever issuing late: a physical register's
+/// `ready_at` only transitions `NOT_READY → final cycle` while a reader
+/// sits in the IQ (`Prf::set_ready_min` at dispatch precedes the reader's
+/// rename; the later write at issue takes the minimum and cannot lower a
+/// known value further). Sources still `NOT_READY` leave `wake` at
+/// `now + 1` — re-examined every cycle until the producer issues, at
+/// which point the completion cycle becomes the bound.
+#[derive(Clone, Copy, Debug)]
+pub(super) struct IqEntry {
+    pub(super) seq: u64,
+    pub(super) wake: u64,
+}
+
 #[derive(Clone, Copy, Debug)]
 pub(super) struct LoadEntry {
     pub(super) seq: u64,
-    pub(super) trace_idx: usize,
     pub(super) addr: u64,
     pub(super) size: u8,
-    pub(super) dep_store: Option<u64>,
+    /// Store-set dependence: `(store seq, SQ slot id)` of the last
+    /// fetched store of this load's store set, for O(1) lookup at issue.
+    pub(super) dep_store: Option<(u64, u64)>,
     pub(super) issued_at: u64,
+}
+
+impl LoadEntry {
+    pub(super) fn vacant() -> Self {
+        LoadEntry { seq: 0, addr: 0, size: 0, dep_store: None, issued_at: NOT_READY }
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
 pub(super) struct StoreEntry {
     pub(super) seq: u64,
-    pub(super) trace_idx: usize,
     pub(super) addr: u64,
     pub(super) size: u8,
     pub(super) issued_at: u64,
+}
+
+impl StoreEntry {
+    pub(super) fn vacant() -> Self {
+        StoreEntry { seq: 0, addr: 0, size: 0, issued_at: NOT_READY }
+    }
 }
 
 pub(super) fn overlap(a_addr: u64, a_size: u8, b_addr: u64, b_size: u8) -> bool {
@@ -187,14 +249,37 @@ pub(super) fn pck(pc: u32) -> u64 {
     Program::inst_addr(pc)
 }
 
-fn make_value_predictor(kind: ValuePredictorKind, seed: u64) -> Box<dyn ValuePredictor> {
+/// Builds the configured predictor as a by-value enum: the fetch path
+/// queries it every cycle, and static dispatch keeps that query free of
+/// the `Box<dyn>` pointer chase.
+fn make_value_predictor(kind: ValuePredictorKind, seed: u64) -> AnyValuePredictor {
     match kind {
-        ValuePredictorKind::VtageTwoDeltaStride => Box::new(VtageTwoDeltaStride::paper(seed)),
-        ValuePredictorKind::Vtage => Box::new(Vtage::paper(seed)),
-        ValuePredictorKind::TwoDeltaStride => Box::new(TwoDeltaStride::paper(seed)),
-        ValuePredictorKind::Stride => Box::new(StridePredictor::new(8192, seed)),
-        ValuePredictorKind::LastValue => Box::new(LastValue::new(8192, seed)),
-        ValuePredictorKind::Fcm => Box::new(Fcm::new(8192, 8192, seed)),
+        ValuePredictorKind::VtageTwoDeltaStride => VtageTwoDeltaStride::paper(seed).into(),
+        ValuePredictorKind::Vtage => Vtage::paper(seed).into(),
+        ValuePredictorKind::TwoDeltaStride => TwoDeltaStride::paper(seed).into(),
+        ValuePredictorKind::Stride => StridePredictor::new(8192, seed).into(),
+        ValuePredictorKind::LastValue => LastValue::new(8192, seed).into(),
+        ValuePredictorKind::Fcm => Fcm::new(8192, 8192, seed).into(),
+    }
+}
+
+/// Reusable per-cycle scratch buffers: cleared at the top of the stage
+/// that owns them, never reallocated — `step()` performs no steady-state
+/// heap allocation (enforced by `tests/zero_alloc.rs`).
+#[derive(Debug)]
+pub(super) struct Scratch {
+    /// EE/prediction PRF writes per (bank, class) this dispatch group.
+    pub(super) ee_writes: Vec<[usize; 2]>,
+    /// LE/VT read ports consumed per (bank, class) this commit group.
+    pub(super) port_reads: Vec<[usize; 2]>,
+}
+
+impl Scratch {
+    fn new(prf_banks: usize) -> Self {
+        Scratch {
+            ee_writes: vec![[0usize; 2]; prf_banks],
+            port_reads: vec![[0usize; 2]; prf_banks],
+        }
     }
 }
 
@@ -217,7 +302,7 @@ pub struct Simulator<'t> {
     pub(super) tage: Tage,
     pub(super) btb: Btb,
     pub(super) ras: ReturnStack,
-    pub(super) vp: Option<Box<dyn ValuePredictor>>,
+    pub(super) vp: Option<AnyValuePredictor>,
 
     // Rename.
     pub(super) spec_rat: [PhysReg; 64],
@@ -226,19 +311,25 @@ pub struct Simulator<'t> {
     pub(super) writer_info: [Option<Writer>; 64],
     pub(super) prev_group_cycle: u64,
 
-    // Window.
-    pub(super) rob: VecDeque<RobEntry>,
-    pub(super) iq: VecDeque<u64>,
-    pub(super) lq: VecDeque<LoadEntry>,
-    pub(super) sq: VecDeque<StoreEntry>,
+    // Window: flat, pre-sized rings — allocated once at construction.
+    // ROB slot ids coincide with sequence numbers (see `squash_from`);
+    // LQ/SQ slot ids are cached in `RobEntry::lsq_slot`.
+    pub(super) rob: SeqRing<RobEntry>,
+    pub(super) iq: Vec<IqEntry>,
+    pub(super) lq: SeqRing<LoadEntry>,
+    pub(super) sq: SeqRing<StoreEntry>,
     pub(super) store_sets: StoreSets,
-    pub(super) lfst: Vec<Option<u64>>,
+    pub(super) lfst: Vec<Option<(u64, u64)>>,
 
     // Execute.
     pub(super) muldiv_busy: Vec<u64>,
     pub(super) fpmuldiv_busy: Vec<u64>,
     pub(super) mem: MemoryHierarchy,
 
+    pub(super) scratch: Scratch,
+    /// True when the previous [`Simulator::step`] performed no action —
+    /// the precondition for event-driven fast-forwarding in `run`.
+    pub(super) idle: bool,
     pub(super) stats: SimStats,
 }
 
@@ -266,7 +357,7 @@ impl<'t> Simulator<'t> {
             fetch_stall_until: 0,
             pending_redirect: None,
             last_fetch_line: u64::MAX,
-            front_q: VecDeque::new(),
+            front_q: VecDeque::with_capacity(front_cap),
             front_cap,
             tage: Tage::paper(config.branch_seed),
             btb: Btb::paper(),
@@ -277,15 +368,17 @@ impl<'t> Simulator<'t> {
             prf: Prf::new(config.int_prf, config.fp_prf, config.prf_banks),
             writer_info: [None; 64],
             prev_group_cycle: u64::MAX,
-            rob: VecDeque::new(),
-            iq: VecDeque::new(),
-            lq: VecDeque::new(),
-            sq: VecDeque::new(),
+            rob: SeqRing::new(config.rob_entries, RobEntry::vacant()),
+            iq: Vec::with_capacity(config.iq_entries),
+            lq: SeqRing::new(config.lq_entries, LoadEntry::vacant()),
+            sq: SeqRing::new(config.sq_entries, StoreEntry::vacant()),
             store_sets,
             lfst,
             muldiv_busy: vec![0; config.fu.int_muldiv],
             fpmuldiv_busy: vec![0; config.fu.fp_muldiv],
             mem: MemoryHierarchy::new(&config.mem),
+            scratch: Scratch::new(config.prf_banks),
+            idle: false,
             stats: SimStats::default(),
             trace,
             config,
@@ -314,8 +407,10 @@ impl<'t> Simulator<'t> {
     }
 
     /// Snapshot of the counters (memory counters are cumulative).
+    /// `SimStats` is `Copy`: the snapshot is a plain bitwise copy, no
+    /// heap traffic.
     pub fn stats(&self) -> SimStats {
-        let mut s = self.stats.clone();
+        let mut s = self.stats;
         s.mem = self.mem.stats();
         s
     }
@@ -336,6 +431,12 @@ impl<'t> Simulator<'t> {
         let target = self.total_committed.saturating_add(insts);
         while self.total_committed < target && !self.finished() {
             self.step();
+            if self.idle {
+                // Nothing moved this cycle: jump to the next timed event
+                // instead of burning a full pipeline scan per idle cycle
+                // (memory-bound workloads spend most cycles exactly here).
+                self.fast_forward();
+            }
             if self.cycle - self.last_commit_cycle > 100_000 {
                 return Err(SimError::Deadlock {
                     cycle: self.cycle,
@@ -348,16 +449,157 @@ impl<'t> Simulator<'t> {
 
     /// Advances the pipeline by one cycle.
     pub fn step(&mut self) {
+        let committed_before = self.stats.committed;
+        let fetched_before = self.stats.fetched;
+        let mut quiet = false;
         let squashed = self.do_commit();
         if !squashed {
-            let violated = self.do_issue();
+            let (violated, issued) = self.do_issue();
             if !violated {
-                self.do_dispatch();
+                let dispatched = self.do_dispatch();
                 self.do_fetch();
+                quiet = issued == 0 && dispatched == 0;
             }
         }
+        self.idle = quiet
+            && self.stats.committed == committed_before
+            && self.stats.fetched == fetched_before;
         self.cycle += 1;
         self.stats.cycles += 1;
+    }
+
+    /// Max `ready_at` over the µ-op's register sources, or `None` while
+    /// any source's readiness is still unknown (its producer has not
+    /// issued). THE readiness scan: `srcs_wake` (issue), `levt_complete`
+    /// (LE pre-commit), and `next_event` (fast-forward) all share it, so
+    /// a change to operand-readiness semantics cannot silently diverge
+    /// between the stepping and skipping paths.
+    pub(super) fn srcs_known_ready_by(&self, e: &RobEntry) -> Option<u64> {
+        let mut t = 0u64;
+        for s in e.srcs.iter().flatten() {
+            let r = self.prf.ready_at(s.class, s.preg);
+            if r == NOT_READY {
+                return None;
+            }
+            t = t.max(r);
+        }
+        Some(t)
+    }
+
+    /// The earliest future cycle at which any stage could act again,
+    /// valid immediately after an idle [`Simulator::step`] (one that
+    /// committed, issued, dispatched, fetched, and squashed nothing).
+    ///
+    /// During idle cycles no `Prf::set_ready_min` runs and no queue
+    /// changes, so every unblock time is already written down somewhere:
+    ///
+    /// * the ROB head completes at `done + levt_depth` (LE µ-ops: at
+    ///   `dispatch + levt_depth` once their sources — produced by already
+    ///   committed µ-ops, hence with known readiness — are readable);
+    /// * an IQ entry with a known wake bound issues no earlier than it;
+    ///   an entry still waiting on an *unissued* producer (wake pinned to
+    ///   "next cycle" by `srcs_wake`) cannot move before one of the other
+    ///   events fires first, so it contributes nothing;
+    /// * a ready entry blocked on an unpipelined divider waits for the
+    ///   unit's busy-until cycle;
+    /// * fetch resumes at `fetch_stall_until`; the front-queue head
+    ///   reaches rename at `at_rename`.
+    ///
+    /// Returns `None` when no timed event exists (a genuine deadlock —
+    /// the caller keeps stepping and the watchdog fires as usual).
+    fn next_event(&self) -> Option<u64> {
+        // `step` already advanced the clock past the idle cycle: `pre` is
+        // the cycle that proved idle, `self.cycle` the next one simulated.
+        // Every event strictly later than `pre` is still pending — a value
+        // equal to `self.cycle` simply means "no skip".
+        let pre = self.cycle - 1;
+        let mut ev = u64::MAX;
+        // Commit: the ROB head's completion.
+        if let Some(e) = self.rob.front() {
+            if e.le_alu || e.le_branch {
+                if let Some(ready) = self.srcs_known_ready_by(e) {
+                    let t = ready.max(e.dispatch_cycle + self.config.levt_depth());
+                    if t > pre {
+                        ev = ev.min(t);
+                    }
+                }
+            } else if e.done_cycle != crate::prf::NOT_READY {
+                let t = e.done_cycle + self.config.levt_depth();
+                if t > pre {
+                    ev = ev.min(t);
+                }
+            }
+        }
+        // Issue: known wakeups, and FU frees for ready-but-blocked entries.
+        let mut fu_blocked = false;
+        for entry in &self.iq {
+            if entry.wake > pre && entry.wake != pre + 1 {
+                ev = ev.min(entry.wake);
+            } else if entry.wake == 0 {
+                fu_blocked = true;
+            } else {
+                // `wake == pre + 1` is ambiguous: `srcs_wake` pins entries
+                // blocked on an *unissued* producer to "next cycle", and a
+                // genuinely known wake can also land there. Re-read the
+                // sources (unchanged during idle cycles) to tell them
+                // apart: any NOT_READY source means the entry only moves
+                // as a consequence of another event.
+                if let Some(t) = self.srcs_known_ready_by(self.rob.slot(entry.seq)) {
+                    ev = ev.min(t.max(pre + 1));
+                }
+            }
+        }
+        if fu_blocked {
+            for b in self.muldiv_busy.iter().chain(self.fpmuldiv_busy.iter()) {
+                if *b > pre {
+                    ev = ev.min(*b);
+                }
+            }
+        }
+        // Front end.
+        if self.fetch_stall_until > pre {
+            ev = ev.min(self.fetch_stall_until);
+        }
+        if let Some(fu) = self.front_q.front() {
+            if fu.at_rename > pre {
+                ev = ev.min(fu.at_rename);
+            }
+        }
+        (ev != u64::MAX).then_some(ev)
+    }
+
+    /// After an idle step, jumps the clock to the next event; every
+    /// skipped cycle is provably a no-op, so the cycle count (and every
+    /// other observable) is identical to stepping through one by one.
+    fn fast_forward(&mut self) {
+        debug_assert!(self.idle);
+        // Validation mode for the fast-forward machinery: instead of
+        // jumping, single-step to the predicted event and panic if any
+        // skipped cycle turns out not to be a no-op. Used by the golden
+        // fingerprint tooling; read once so the hot path stays
+        // allocation-free.
+        static PARANOID: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        if let Some(ev) = self.next_event() {
+            if *PARANOID.get_or_init(|| std::env::var_os("EOLE_FF_PARANOID").is_some()) {
+                while self.cycle < ev && !self.finished() {
+                    let before = (self.stats.committed, self.stats.fetched, self.rob.len(), self.iq.len(), self.front_q.len());
+                    let c = self.cycle;
+                    self.step();
+                    if !self.idle && self.cycle <= ev {
+                        panic!(
+                            "fast-forward would miss an event: acted at cycle {c}, predicted {ev}; before={before:?} after=({}, {}, {}, {}, {})",
+                            self.stats.committed, self.stats.fetched, self.rob.len(), self.iq.len(), self.front_q.len()
+                        );
+                    }
+                }
+                return;
+            }
+            if ev > self.cycle {
+                let skip = ev - self.cycle;
+                self.cycle += skip;
+                self.stats.cycles += skip;
+            }
+        }
     }
 }
 

@@ -1,0 +1,250 @@
+//! Flat, pre-sized window storage for the hot loop.
+//!
+//! [`SeqRing`] is a fixed-capacity FIFO ring over a contiguous slab,
+//! built for the simulator's in-order-allocate / in-order-retire window
+//! structures (ROB, LQ, SQ). It never allocates after construction, and
+//! every element is addressable in O(1) two ways:
+//!
+//! * **positionally** — `ring[i]` / [`SeqRing::get`] with `0 = front`;
+//! * **by slot id** — [`SeqRing::slot`]: `push_back` assigns each element
+//!   a *slot id* (`front_slot + len`), `pop_front` advances `front_slot`,
+//!   and `pop_back` returns the id to the allocator. Because the pipeline
+//!   allocates window entries in program order and squashes youngest-first,
+//!   a surviving reference can only point at a surviving (or already
+//!   retired) slot, so a cached slot id replaces every O(n)
+//!   `iter().find(|e| e.seq == seq)` scan the `VecDeque` window needed.
+//!
+//! For the ROB specifically the slot id *is* the sequence number: µ-ops
+//! enter in seq order, and a squash rewinds `next_seq` in lock-step with
+//! `pop_back` (see `squash_from`), keeping the two aligned forever —
+//! the invariants `PERF.md` documents.
+
+/// Fixed-capacity FIFO ring with O(1) positional and slot-id access.
+///
+/// See the module docs; `PERF.md` has the full invariant list.
+#[derive(Clone, Debug)]
+pub(super) struct SeqRing<T> {
+    buf: Box<[T]>,
+    /// Physical index of the front element.
+    head: usize,
+    len: usize,
+    /// Absolute slot id of the front element (monotonic under
+    /// `pop_front`; rewound only by `pop_back` freeing the tail).
+    front_slot: u64,
+}
+
+impl<T: Copy> SeqRing<T> {
+    /// A ring of `capacity` slots, pre-filled with `fill` (never read
+    /// before being overwritten by `push_back`; a fill value keeps the
+    /// slab initialization safe without `T: Default`).
+    pub(super) fn new(capacity: usize, fill: T) -> Self {
+        assert!(capacity > 0, "window structures are never zero-sized");
+        SeqRing { buf: vec![fill; capacity].into_boxed_slice(), head: 0, len: 0, front_slot: 0 }
+    }
+
+    #[inline]
+    pub(super) fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub(super) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn phys(&self, logical: usize) -> usize {
+        let i = self.head + logical;
+        if i >= self.buf.len() {
+            i - self.buf.len()
+        } else {
+            i
+        }
+    }
+
+    /// Slot id the next `push_back` will be assigned.
+    #[inline]
+    pub(super) fn next_slot(&self) -> u64 {
+        self.front_slot + self.len as u64
+    }
+
+    #[inline]
+    pub(super) fn front(&self) -> Option<&T> {
+        (self.len > 0).then(|| &self.buf[self.head])
+    }
+
+    #[inline]
+    pub(super) fn back(&self) -> Option<&T> {
+        (self.len > 0).then(|| &self.buf[self.phys(self.len - 1)])
+    }
+
+    /// Appends an element and returns its slot id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when full — callers gate on capacity (`rob_entries`,
+    /// `lq_entries`, `sq_entries`) before dispatching.
+    #[inline]
+    pub(super) fn push_back(&mut self, v: T) -> u64 {
+        assert!(self.len < self.buf.len(), "SeqRing overflow: capacity {}", self.buf.len());
+        let slot = self.front_slot + self.len as u64;
+        let i = self.phys(self.len);
+        self.buf[i] = v;
+        self.len += 1;
+        slot
+    }
+
+    #[inline]
+    pub(super) fn pop_front(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let v = self.buf[self.head];
+        self.head = self.phys(1);
+        self.len -= 1;
+        self.front_slot += 1;
+        Some(v)
+    }
+
+    #[inline]
+    pub(super) fn pop_back(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let v = self.buf[self.phys(self.len - 1)];
+        self.len -= 1;
+        Some(v)
+    }
+
+    /// Positional access, `0 = front`.
+    #[inline]
+    pub(super) fn get(&self, logical: usize) -> Option<&T> {
+        (logical < self.len).then(|| &self.buf[self.phys(logical)])
+    }
+
+    /// True if `slot` currently addresses a live element.
+    #[inline]
+    pub(super) fn holds_slot(&self, slot: u64) -> bool {
+        slot >= self.front_slot && slot < self.front_slot + self.len as u64
+    }
+
+    /// O(1) access by slot id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not live (older than the front — already
+    /// retired — or beyond the back).
+    #[inline]
+    pub(super) fn slot(&self, slot: u64) -> &T {
+        debug_assert!(self.holds_slot(slot), "slot {slot} not live");
+        let logical = (slot - self.front_slot) as usize;
+        &self.buf[self.phys(logical)]
+    }
+
+    /// O(1) mutable access by slot id (same contract as [`SeqRing::slot`]).
+    #[inline]
+    pub(super) fn slot_mut(&mut self, slot: u64) -> &mut T {
+        debug_assert!(self.holds_slot(slot), "slot {slot} not live");
+        let logical = (slot - self.front_slot) as usize;
+        let i = self.phys(logical);
+        &mut self.buf[i]
+    }
+
+    fn as_slices(&self) -> (&[T], &[T]) {
+        let end = self.head + self.len;
+        if end <= self.buf.len() {
+            (&self.buf[self.head..end], &[])
+        } else {
+            (&self.buf[self.head..], &self.buf[..end - self.buf.len()])
+        }
+    }
+
+    /// Front-to-back iteration (double-ended, like `VecDeque::iter`).
+    pub(super) fn iter(&self) -> impl DoubleEndedIterator<Item = &T> {
+        let (a, b) = self.as_slices();
+        a.iter().chain(b.iter())
+    }
+}
+
+impl<T: Copy> std::ops::Index<usize> for SeqRing<T> {
+    type Output = T;
+
+    fn index(&self, logical: usize) -> &T {
+        self.get(logical).expect("SeqRing index out of range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_positional_access() {
+        let mut r: SeqRing<u32> = SeqRing::new(4, 0);
+        assert!(r.is_empty());
+        assert_eq!(r.push_back(10), 0);
+        assert_eq!(r.push_back(11), 1);
+        assert_eq!(r.push_back(12), 2);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0], 10);
+        assert_eq!(r[2], 12);
+        assert_eq!(r.front(), Some(&10));
+        assert_eq!(r.back(), Some(&12));
+        assert_eq!(r.pop_front(), Some(10));
+        assert_eq!(r.pop_back(), Some(12));
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![11]);
+    }
+
+    #[test]
+    fn wraps_without_moving_elements() {
+        let mut r: SeqRing<u32> = SeqRing::new(3, 0);
+        for i in 0..3 {
+            r.push_back(i);
+        }
+        // Retire two, append two: the ring wraps across the slab edge.
+        assert_eq!(r.pop_front(), Some(0));
+        assert_eq!(r.pop_front(), Some(1));
+        r.push_back(3);
+        r.push_back(4);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(r.iter().rev().copied().collect::<Vec<_>>(), vec![4, 3, 2]);
+        assert_eq!(r[0], 2);
+        assert_eq!(r[2], 4);
+    }
+
+    #[test]
+    fn slot_ids_survive_front_retirement() {
+        let mut r: SeqRing<u32> = SeqRing::new(4, 0);
+        let a = r.push_back(100);
+        let b = r.push_back(200);
+        let c = r.push_back(300);
+        r.pop_front(); // retire slot `a`
+        assert!(!r.holds_slot(a));
+        assert!(r.holds_slot(b) && r.holds_slot(c));
+        assert_eq!(*r.slot(b), 200);
+        *r.slot_mut(c) += 1;
+        assert_eq!(*r.slot(c), 301);
+        assert_eq!(r.front_slot, 1);
+    }
+
+    #[test]
+    fn pop_back_reuses_slot_ids() {
+        let mut r: SeqRing<u32> = SeqRing::new(4, 0);
+        r.push_back(1);
+        let b = r.push_back(2);
+        assert_eq!(r.pop_back(), Some(2)); // squash the youngest
+        let b2 = r.push_back(20); // refetch path reuses the id
+        assert_eq!(b, b2);
+        assert_eq!(*r.slot(b2), 20);
+        assert_eq!(r.next_slot(), b2 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "SeqRing overflow")]
+    fn overflow_panics() {
+        let mut r: SeqRing<u32> = SeqRing::new(2, 0);
+        r.push_back(1);
+        r.push_back(2);
+        r.push_back(3);
+    }
+}

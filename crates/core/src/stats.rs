@@ -7,7 +7,10 @@
 use eole_mem::hierarchy::MemStats;
 
 /// All counters collected by the pipeline.
-#[derive(Clone, Debug, Default)]
+///
+/// Plain `Copy` data: snapshotting stats never touches the heap (the
+/// throughput harness samples them from the hot loop).
+#[derive(Clone, Copy, Debug, Default)]
 pub struct SimStats {
     /// Cycles simulated in the measurement window.
     pub cycles: u64,

@@ -77,6 +77,9 @@ pub struct MemoryHierarchy {
     l1d_mshrs: MshrFile,
     l2_mshrs: MshrFile,
     prefetcher: Option<StridePrefetcher>,
+    /// Reused prefetch-target buffer (≤ degree entries; reaches its
+    /// high-water mark on the first trigger and never reallocates after).
+    pf_targets: Vec<u64>,
     writebacks: u64,
 }
 
@@ -92,6 +95,9 @@ impl MemoryHierarchy {
             l1d_mshrs: MshrFile::new(config.l1d_mshrs),
             l2_mshrs: MshrFile::new(config.l2_mshrs),
             prefetcher: config.prefetch.clone().map(StridePrefetcher::new),
+            pf_targets: Vec::with_capacity(
+                config.prefetch.as_ref().map(|p| p.degree).unwrap_or(0),
+            ),
             writebacks: 0,
         }
     }
@@ -137,8 +143,9 @@ impl MemoryHierarchy {
     /// Issues the prefetcher's suggestions for a demand load miss.
     fn maybe_prefetch(&mut self, pc: u64, addr: u64, cycle: u64) {
         let Some(pf) = self.prefetcher.as_mut() else { return };
-        let targets = pf.train(pc, addr);
-        for t in targets {
+        pf.train_into(pc, addr, &mut self.pf_targets);
+        for i in 0..self.pf_targets.len() {
+            let t = self.pf_targets[i];
             let line = self.l2.line_addr(t);
             if self.l2.probe(line) {
                 continue;

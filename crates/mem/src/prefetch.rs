@@ -71,13 +71,28 @@ impl StridePrefetcher {
 
     /// Observes a demand access by the load at `pc` to `addr`; returns the
     /// prefetch addresses to issue (empty until the stride is stable).
+    ///
+    /// Convenience wrapper over [`StridePrefetcher::train_into`] for tests
+    /// and offline tools; the hierarchy's hot path reuses a scratch buffer
+    /// instead.
     pub fn train(&mut self, pc: u64, addr: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.train_into(pc, addr, &mut out);
+        out
+    }
+
+    /// Allocation-free [`StridePrefetcher::train`]: clears `out` and fills
+    /// it with the prefetch addresses to issue (left empty until the
+    /// stride is stable). `out` never grows past `config.degree`, so a
+    /// reused buffer reaches its high-water mark on the first trigger.
+    pub fn train_into(&mut self, pc: u64, addr: u64, out: &mut Vec<u64>) {
+        out.clear();
         self.stats.trains += 1;
         let idx = self.index(pc);
         let e = &mut self.table[idx];
         if !(e.valid && e.tag == pc) {
             *e = Entry { valid: true, tag: pc, last_addr: addr, stride: 0, conf: 0 };
-            return Vec::new();
+            return;
         }
         let new_stride = addr.wrapping_sub(e.last_addr) as i64;
         if new_stride == e.stride && new_stride != 0 {
@@ -91,15 +106,12 @@ impl StridePrefetcher {
         e.last_addr = addr;
         if e.conf >= 2 && e.stride != 0 {
             let stride = e.stride;
-            let out: Vec<u64> = (0..self.config.degree as u64)
-                .map(|i| {
-                    addr.wrapping_add((stride.wrapping_mul((self.config.distance + i) as i64)) as u64)
-                })
-                .collect();
+            for i in 0..self.config.degree as u64 {
+                out.push(
+                    addr.wrapping_add((stride.wrapping_mul((self.config.distance + i) as i64)) as u64),
+                );
+            }
             self.stats.issued += out.len() as u64;
-            out
-        } else {
-            Vec::new()
         }
     }
 }

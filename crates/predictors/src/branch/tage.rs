@@ -150,25 +150,37 @@ impl Tage {
         if start >= self.tagged.len() {
             return;
         }
-        let mut free: Vec<(usize, usize)> = Vec::new();
+        // Track the two shortest free slots and the count in place — this
+        // runs on every committed-branch update, allocation-free.
+        let mut shortest: Option<(usize, usize)> = None;
+        let mut second: Option<(usize, usize)> = None;
+        let mut free_count = 0usize;
         for comp in start..self.tagged.len() {
             let idx = self.index_of(comp, pc, hist);
             if self.tagged[comp][idx].useful == 0 {
-                free.push((comp, idx));
+                free_count += 1;
+                if shortest.is_none() {
+                    shortest = Some((comp, idx));
+                } else if second.is_none() {
+                    second = Some((comp, idx));
+                }
             }
         }
-        if free.is_empty() {
+        let Some(shortest) = shortest else {
             for comp in start..self.tagged.len() {
                 let idx = self.index_of(comp, pc, hist);
                 let e = &mut self.tagged[comp][idx];
                 e.useful = e.useful.saturating_sub(1);
             }
             return;
-        }
+        };
         // Prefer the shortest free slot, occasionally the next one, so
         // allocations spread across components (classic TAGE heuristic).
-        let pick = if free.len() >= 2 && self.rng.one_in(3) { 1 } else { 0 };
-        let (comp, idx) = free[pick];
+        let (comp, idx) = if free_count >= 2 && self.rng.one_in(3) {
+            second.expect("free_count >= 2")
+        } else {
+            shortest
+        };
         self.tagged[comp][idx] = TageEntry {
             valid: true,
             tag: self.tag_of(comp, pc, hist),

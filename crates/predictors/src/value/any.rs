@@ -1,0 +1,153 @@
+//! Static dispatch over every value-predictor kind.
+//!
+//! The timing core queries the value predictor for every VP-eligible µ-op
+//! at fetch — squarely on the hot path. [`AnyValuePredictor`] is a closed
+//! enum over the concrete predictors, so the core holds predictors by
+//! value (one pointer-chase and one indirect call fewer per query than
+//! `Box<dyn ValuePredictor>`, and the match compiles to a jump table the
+//! branch predictor learns). The open [`ValuePredictor`] trait remains the
+//! extension point for offline tools (`evaluate_stream` takes `&mut dyn`).
+
+use crate::history::HistoryView;
+use crate::value::{
+    Fcm, LastValue, StridePredictor, TwoDeltaStride, ValuePrediction, ValuePredictor, Vtage,
+    VtageTwoDeltaStride,
+};
+
+/// A value predictor held by value — every kind the harness knows.
+#[derive(Clone, Debug)]
+pub enum AnyValuePredictor {
+    /// The paper's VTAGE + 2-delta-stride hybrid (Table 2).
+    VtageTwoDeltaStride(VtageTwoDeltaStride),
+    /// VTAGE alone.
+    Vtage(Vtage),
+    /// 2-delta stride alone.
+    TwoDeltaStride(TwoDeltaStride),
+    /// Simple stride.
+    Stride(StridePredictor),
+    /// Last value.
+    LastValue(LastValue),
+    /// Order-4 FCM.
+    Fcm(Fcm),
+}
+
+macro_rules! dispatch {
+    ($self:ident, $p:ident => $body:expr) => {
+        match $self {
+            AnyValuePredictor::VtageTwoDeltaStride($p) => $body,
+            AnyValuePredictor::Vtage($p) => $body,
+            AnyValuePredictor::TwoDeltaStride($p) => $body,
+            AnyValuePredictor::Stride($p) => $body,
+            AnyValuePredictor::LastValue($p) => $body,
+            AnyValuePredictor::Fcm($p) => $body,
+        }
+    };
+}
+
+impl ValuePredictor for AnyValuePredictor {
+    #[inline]
+    fn predict(&mut self, pc: u64, hist: HistoryView<'_>) -> Option<ValuePrediction> {
+        dispatch!(self, p => p.predict(pc, hist))
+    }
+
+    #[inline]
+    fn train(&mut self, pc: u64, hist: HistoryView<'_>, actual: u64) {
+        dispatch!(self, p => p.train(pc, hist, actual))
+    }
+
+    #[inline]
+    fn squash(&mut self, pc: u64) {
+        dispatch!(self, p => p.squash(pc))
+    }
+
+    fn storage_bits(&self) -> u64 {
+        dispatch!(self, p => p.storage_bits())
+    }
+
+    fn name(&self) -> &'static str {
+        dispatch!(self, p => p.name())
+    }
+}
+
+impl From<VtageTwoDeltaStride> for AnyValuePredictor {
+    fn from(p: VtageTwoDeltaStride) -> Self {
+        AnyValuePredictor::VtageTwoDeltaStride(p)
+    }
+}
+
+impl From<Vtage> for AnyValuePredictor {
+    fn from(p: Vtage) -> Self {
+        AnyValuePredictor::Vtage(p)
+    }
+}
+
+impl From<TwoDeltaStride> for AnyValuePredictor {
+    fn from(p: TwoDeltaStride) -> Self {
+        AnyValuePredictor::TwoDeltaStride(p)
+    }
+}
+
+impl From<StridePredictor> for AnyValuePredictor {
+    fn from(p: StridePredictor) -> Self {
+        AnyValuePredictor::Stride(p)
+    }
+}
+
+impl From<LastValue> for AnyValuePredictor {
+    fn from(p: LastValue) -> Self {
+        AnyValuePredictor::LastValue(p)
+    }
+}
+
+impl From<Fcm> for AnyValuePredictor {
+    fn from(p: Fcm) -> Self {
+        AnyValuePredictor::Fcm(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::BranchHistory;
+
+    /// Enum dispatch and `Box<dyn>` dispatch must be observationally
+    /// identical — same predictions, same training effects.
+    #[test]
+    fn enum_and_dyn_dispatch_agree() {
+        let hist = BranchHistory::from_outcomes(&[true, false, true, true]);
+        let mut as_enum: AnyValuePredictor = TwoDeltaStride::paper(7).into();
+        let mut as_dyn: Box<dyn ValuePredictor> = Box::new(TwoDeltaStride::paper(7));
+        for i in 0..2_000u64 {
+            let view = hist.view((i % 4) as usize);
+            let a = as_enum.predict(0x40, view);
+            let b = as_dyn.predict(0x40, view);
+            assert_eq!(a, b, "iteration {i}");
+            as_enum.train(0x40, view, i * 3);
+            as_dyn.train(0x40, view, i * 3);
+        }
+        assert_eq!(as_enum.name(), as_dyn.name());
+        assert_eq!(as_enum.storage_bits(), as_dyn.storage_bits());
+    }
+
+    #[test]
+    fn every_kind_constructs_and_reports_a_name() {
+        let hist = BranchHistory::new();
+        let kinds: Vec<AnyValuePredictor> = vec![
+            VtageTwoDeltaStride::paper(1).into(),
+            Vtage::paper(1).into(),
+            TwoDeltaStride::paper(1).into(),
+            StridePredictor::new(256, 1).into(),
+            LastValue::new(256, 1).into(),
+            Fcm::new(256, 256, 1).into(),
+        ];
+        for mut p in kinds {
+            assert!(!p.name().is_empty());
+            assert!(p.storage_bits() > 0);
+            // The protocol is total for every variant.
+            let _ = p.predict(0x8, hist.view(0));
+            p.train(0x8, hist.view(0), 42);
+            let _ = p.predict(0x8, hist.view(0));
+            p.squash(0x8);
+        }
+    }
+}

@@ -21,12 +21,14 @@
 //! A prediction is *used* by the pipeline only when `confident` is true
 //! (saturated FPC), per §4.2.
 
+mod any;
 mod fcm;
 mod hybrid;
 mod last_value;
 mod stride;
 mod vtage;
 
+pub use any::AnyValuePredictor;
 pub use fcm::Fcm;
 pub use hybrid::{StrideOnly, VtageTwoDeltaStride};
 pub use last_value::LastValue;

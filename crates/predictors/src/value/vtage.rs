@@ -136,15 +136,24 @@ impl Vtage {
         if start >= self.tagged.len() {
             return;
         }
-        // Collect candidate slots with useful == 0.
-        let mut free: Vec<(usize, usize)> = Vec::new();
+        // Scan candidate slots with useful == 0. Only the two shortest
+        // candidates and the total count matter below, so track them in
+        // place — this runs on the commit path, allocation-free.
+        let mut shortest: Option<(usize, usize)> = None;
+        let mut second: Option<(usize, usize)> = None;
+        let mut free_count = 0usize;
         for comp in start..self.tagged.len() {
             let idx = self.tagged_index(comp, pc, hist);
             if self.tagged[comp][idx].useful == 0 {
-                free.push((comp, idx));
+                free_count += 1;
+                if shortest.is_none() {
+                    shortest = Some((comp, idx));
+                } else if second.is_none() {
+                    second = Some((comp, idx));
+                }
             }
         }
-        if free.is_empty() {
+        let Some(shortest) = shortest else {
             // Aging: make room for the future instead of thrashing now.
             for comp in start..self.tagged.len() {
                 let idx = self.tagged_index(comp, pc, hist);
@@ -152,11 +161,14 @@ impl Vtage {
                 e.useful = e.useful.saturating_sub(1);
             }
             return;
-        }
+        };
         // Prefer shorter-history slots (cheaper to hit again), with a random
         // tie-break among the two shortest so allocations spread out.
-        let pick = if free.len() >= 2 && self.rng.one_in(3) { 1 } else { 0 };
-        let (comp, idx) = free[pick.min(free.len() - 1)];
+        let (comp, idx) = if free_count >= 2 && self.rng.one_in(3) {
+            second.expect("free_count >= 2")
+        } else {
+            shortest
+        };
         self.tagged[comp][idx] = TaggedEntry {
             valid: true,
             tag: self.tag_for(comp, pc, hist),

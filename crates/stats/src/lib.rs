@@ -6,6 +6,9 @@
 //!   returns: named, unit-annotated columns and text/Markdown/JSON/CSV
 //!   emitters (the JSON layout is documented in `EXPERIMENTS.md`).
 //! * [`table::Table`] — a plain string table for ad-hoc display.
+//! * [`json::Json`] — a minimal JSON reader, the matching parser for the
+//!   hand-rolled emitters (trend tooling reads back `results.json` and
+//!   `BENCH_throughput.json` with it).
 //! * [`summary`] — geometric-mean speedup aggregation and occupancy
 //!   histograms.
 //!
@@ -24,6 +27,7 @@
 //! assert!((geometric_mean(&[1.2, 1.2]).unwrap() - 1.2).abs() < 1e-9);
 //! ```
 
+pub mod json;
 pub mod report;
 pub mod summary;
 pub mod table;

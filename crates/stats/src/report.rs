@@ -102,8 +102,9 @@ impl From<f64> for Cell {
     }
 }
 
-/// Escapes a string into a JSON string literal (quotes included).
-fn json_string(s: &str) -> String {
+/// Escapes a string into a JSON string literal (quotes included) — the
+/// one escaper every hand-rolled emitter in the workspace shares.
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

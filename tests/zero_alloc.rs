@@ -1,0 +1,146 @@
+//! Steady-state zero-allocation enforcement for the hot loop.
+//!
+//! `Simulator::step` must perform **no heap allocation after warmup** —
+//! the contract behind the flat-window refactor (see `PERF.md`). The
+//! `alloc-counter` compat shim is installed as this test binary's global
+//! allocator; its counters are per thread, so the `#[test]`s here do not
+//! observe each other (or the test harness) allocating.
+//!
+//! Warmup exists because several structures legitimately reach a
+//! high-water mark once: predictor in-flight maps meet each static load
+//! pc, MSHR files grow to their peak occupancy, the prefetch scratch
+//! fills to its degree. After that, a cycle — commit, issue, dispatch,
+//! fetch, squash recovery included — must run entirely out of the
+//! pre-sized rings and scratch buffers.
+
+use alloc_counter::{count_allocations, CountingAllocator};
+use eole_core::config::CoreConfig;
+use eole_core::pipeline::{PreparedTrace, Simulator};
+use eole_isa::{generate_trace, IntReg, ProgramBuilder};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn r(i: u8) -> IntReg {
+    IntReg::new(i)
+}
+
+/// A kernel that exercises every window structure from a small static
+/// footprint: strided loads and stores (LQ/SQ, store-to-load forwarding,
+/// store sets), a multiply chain (unpipelined-FU arbitration), data-
+/// dependent branches (mispredicts → squash recovery), and VP-friendly
+/// ALU µ-ops. Every static pc appears in the first iteration, so the
+/// warmup window meets the full working set.
+fn hot_loop_trace(iters: i64) -> PreparedTrace {
+    let mut b = ProgramBuilder::new();
+    let buf = b.alloc_zeroed(64 * 8);
+    let (i, n, base, x, y, t) = (r(1), r(2), r(3), r(4), r(5), r(6));
+    b.movi(i, 0);
+    b.movi(n, iters);
+    b.movi(base, buf as i64);
+    b.movi(x, 0x1357_9bdf);
+    let top = b.label();
+    b.bind(top);
+    // Pointer-ish memory traffic over a 64-slot ring.
+    b.andi(t, i, 63);
+    b.shli(t, t, 3);
+    b.add(t, base, t);
+    b.st(t, 0, x);
+    b.ld(y, t, 0); // forwarded from the store
+    // Serial multiply chain (3-cycle FU, keeps the IQ occupied).
+    b.mul(x, x, x);
+    b.addi(x, x, 7);
+    // Data-dependent branch: taken on a pseudo-random half of the
+    // iterations — a steady diet of mispredict squashes.
+    b.andi(t, y, 1);
+    let skip = b.label();
+    b.beq_imm(t, 1, skip);
+    b.xori(x, x, 0x55);
+    b.bind(skip);
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+    b.halt();
+    PreparedTrace::new(generate_trace(&b.build().unwrap(), 2_000_000).unwrap())
+}
+
+/// Warm the simulator, then assert that steady-state stepping allocates
+/// nothing at all.
+fn assert_zero_alloc_steady_state(config: CoreConfig) {
+    let trace = hot_loop_trace(100_000);
+    let name = config.name.clone();
+    let mut sim = Simulator::new(&trace, config).expect("preset is valid");
+    // Warmup: caches, predictors, high-water marks (runs through the
+    // production `run` path so its one-time lazy state initializes too).
+    sim.run(60_000).expect("warmup");
+    let committed_before = sim.committed_total();
+    let (allocs, bytes) = count_allocations(|| {
+        sim.run(40_000).expect("steady state");
+    });
+    assert!(
+        sim.committed_total() >= committed_before + 40_000,
+        "{name}: steady-state window must actually retire µ-ops"
+    );
+    assert_eq!(
+        (allocs, bytes),
+        (0, 0),
+        "{name}: step() allocated in steady state ({allocs} allocations, {bytes} bytes)"
+    );
+}
+
+#[test]
+fn baseline_steps_without_allocating() {
+    assert_zero_alloc_steady_state(CoreConfig::baseline_6_64());
+}
+
+#[test]
+fn vp_pipeline_steps_without_allocating() {
+    assert_zero_alloc_steady_state(CoreConfig::baseline_vp_6_64());
+}
+
+#[test]
+fn eole_pipeline_steps_without_allocating() {
+    assert_zero_alloc_steady_state(CoreConfig::eole_6_64());
+}
+
+#[test]
+fn banked_port_limited_eole_steps_without_allocating() {
+    assert_zero_alloc_steady_state(CoreConfig::eole_4_64_ports(4, 4));
+}
+
+/// Squash recovery (the heaviest non-steady path: ROB walk, queue purges,
+/// predictor squash callbacks, cursor rewind) is also allocation-free.
+#[test]
+fn squash_storms_do_not_allocate() {
+    let trace = hot_loop_trace(100_000);
+    let mut sim = Simulator::new(&trace, CoreConfig::baseline_vp_6_64()).unwrap();
+    sim.run(60_000).expect("warmup");
+    let squashed_before = sim.stats().squashed;
+    let mut squashed_after = 0;
+    let (allocs, bytes) = count_allocations(|| {
+        sim.run(40_000).expect("steady state");
+        squashed_after = sim.stats().squashed;
+    });
+    assert!(
+        squashed_after > squashed_before,
+        "the kernel's coin-flip branch must cause squashes in the window"
+    );
+    assert_eq!((allocs, bytes), (0, 0), "squash recovery allocated");
+}
+
+/// Statistics snapshots are `Copy` — sampling them from a driver loop
+/// costs no heap traffic either.
+#[test]
+fn stats_snapshots_do_not_allocate() {
+    let trace = hot_loop_trace(20_000);
+    let mut sim = Simulator::new(&trace, CoreConfig::eole_6_64()).unwrap();
+    sim.run(30_000).expect("warmup");
+    let (allocs, _) = count_allocations(|| {
+        let mut acc = 0u64;
+        for _ in 0..1_000 {
+            let s = sim.stats();
+            acc = acc.wrapping_add(s.cycles).wrapping_add(s.mem.l1d.accesses);
+        }
+        std::hint::black_box(acc);
+    });
+    assert_eq!(allocs, 0, "Simulator::stats() must not clone heap state");
+}

@@ -6,67 +6,42 @@
 //! cargo run --release -p eole-bench --bin experiments -- fig7 fig12 --format csv
 //! cargo run --release -p eole-bench --bin experiments -- fig6 --warmup 50000 --measure 100000
 //! cargo run --release -p eole-bench --bin experiments -- table3 --quick
+//! cargo run --release -p eole-bench --bin experiments -- all --quick --store target/eole-results
+//! cargo run --release -p eole-bench --bin experiments -- all --quick --store DIR --shard 1/2
 //! ```
 //!
 //! Default output is Markdown on stdout; `--format json` emits one
 //! `eole-report-set/v1` object covering every selected report (schema in
 //! `EXPERIMENTS.md`); `--out FILE` redirects the payload to a file, with
 //! a progress line on stderr either way.
-
-use std::io::Write as _;
+//!
+//! `--store DIR` caches every run in a persistent `DirStore`: a repeat
+//! invocation serves all cells from disk and simulates nothing
+//! (`--assert-cached` turns that into an exit-status gate). `--shard K/N`
+//! runs only the grid cells this process owns — a *populate* pass that
+//! fills the store and emits no reports; a final unsharded `--store DIR`
+//! invocation merges everything into the same payload an unsharded run
+//! produces, byte for byte (CI asserts this per push).
 
 use eole_bench::experiments::{ExperimentSet, EXPERIMENT_NAMES};
-use eole_bench::Runner;
-use eole_stats::report::{reports_to_json, ExperimentReport};
+use eole_bench::{Format, RunError, Runner, Session, Shard};
+use eole_stats::report::ExperimentReport;
+use eole_workloads::all_workloads;
 
 const USAGE: &str = "usage: experiments [names...|all] [--quick] [--warmup N] [--measure N] \
-[--format md|json|csv] [--out FILE] [--md FILE]
+[--format md|json|csv] [--out FILE] [--md FILE] [--store DIR] [--shard K/N] [--assert-cached]
        experiments compare OLD.json NEW.json [--threshold PCT] [--out FILE]
 experiments: table1 table2 table3 fig2 fig4 offload fig6 fig7 fig8 fig10 fig11 fig12 fig13 \
 vp_ablation ee_writes squash_cost levt_depth_ablation complexity
 compare: diff two results.json report sets (Markdown delta table on stdout; exits 1 on \
->PCT% drops in IPC/speedup columns, default 2%)";
-
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Format {
-    Markdown,
-    Json,
-    Csv,
-}
+>PCT% drops in IPC/speedup columns, default 2%)
+store/shard: --store caches per-run results on disk (eole-result/v1, one file per run key); \
+--shard K/N simulates only the cells this process owns (populate pass, no reports) — merge by \
+re-running unsharded with the same --store; --assert-cached exits 1 if anything simulated";
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}\n{USAGE}");
     std::process::exit(1);
-}
-
-fn render(reports: &[ExperimentReport], format: Format, runner: &Runner) -> String {
-    match format {
-        Format::Markdown => {
-            let mut out = String::new();
-            for r in reports {
-                out.push_str(&r.render_markdown());
-                out.push('\n');
-            }
-            out
-        }
-        Format::Json => format!(
-            "{{\"schema\":\"eole-report-set/v1\",\"runner\":{{\"warmup\":{},\"measure\":{}}},\"reports\":{}}}",
-            runner.warmup,
-            runner.measure,
-            reports_to_json(reports)
-        ),
-        Format::Csv => {
-            // One CSV block per report, separated by `# id: title` comment
-            // lines (split on `^#` to recover the individual tables).
-            let mut out = String::new();
-            for r in reports {
-                out.push_str(&format!("# {}: {}\n", r.id(), r.title()));
-                out.push_str(&r.to_csv());
-                out.push('\n');
-            }
-            out
-        }
-    }
 }
 
 /// `experiments compare OLD.json NEW.json`: the ROADMAP's trend gate.
@@ -132,6 +107,9 @@ fn main() {
     let mut runner = Runner::default();
     let mut format = Format::Markdown;
     let mut out_path: Option<String> = None;
+    let mut store_dir: Option<String> = None;
+    let mut shard: Option<Shard> = None;
+    let mut assert_cached = false;
     let take = |args: &[String], i: &mut usize, flag: &str| -> String {
         *i += 1;
         args.get(*i).unwrap_or_else(|| fail(&format!("{flag} needs a value"))).clone()
@@ -151,12 +129,9 @@ fn main() {
                     .unwrap_or_else(|_| fail("--measure takes a number"));
             }
             "--format" => {
-                format = match take(&args, &mut i, "--format").as_str() {
-                    "md" | "markdown" => Format::Markdown,
-                    "json" => Format::Json,
-                    "csv" => Format::Csv,
-                    other => fail(&format!("unknown format {other} (md|json|csv)")),
-                };
+                format = take(&args, &mut i, "--format")
+                    .parse::<Format>()
+                    .unwrap_or_else(|e: String| fail(&e));
             }
             "--out" => out_path = Some(take(&args, &mut i, "--out")),
             // Back-compat alias from the pre-redesign CLI.
@@ -164,6 +139,13 @@ fn main() {
                 format = Format::Markdown;
                 out_path = Some(take(&args, &mut i, "--md"));
             }
+            "--store" => store_dir = Some(take(&args, &mut i, "--store")),
+            "--shard" => {
+                shard = Some(
+                    Shard::parse(&take(&args, &mut i, "--shard")).unwrap_or_else(|e| fail(&e)),
+                );
+            }
+            "--assert-cached" => assert_cached = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -176,48 +158,77 @@ fn main() {
         println!("{USAGE}");
         return;
     }
+    let shard = shard.unwrap_or_else(Shard::full);
+    if !shard.is_full() && store_dir.is_none() {
+        fail("--shard requires --store (shards meet through the result store)");
+    }
 
     // Fail fast on an unwritable --out before hours of simulation — but
-    // write to a sibling temp file and rename only on success, so a
-    // mid-run failure never truncates the previous results (the
-    // `compare` trend workflow depends on the old payload surviving).
-    let tmp_path = out_path.as_ref().map(|path| format!("{path}.tmp"));
-    let mut out_file = tmp_path.as_ref().map(|path| {
-        std::fs::File::create(path).unwrap_or_else(|e| fail(&format!("create {path}: {e}")))
-    });
+    // never touch `path` itself (the previous payload must survive until
+    // the new one is complete; the `compare` trend workflow depends on
+    // it), and probe with a process-unique name that is removed at once,
+    // so no stray file is left and no concurrent writer's temp file is
+    // truncated. Populate passes emit no payload, so they skip the probe.
+    if let (Some(path), true) = (&out_path, shard.is_full()) {
+        let probe = format!("{path}.probe-{}.tmp", std::process::id());
+        std::fs::File::create(&probe).unwrap_or_else(|e| fail(&format!("create {probe}: {e}")));
+        std::fs::remove_file(&probe).ok();
+    }
 
-    let set = ExperimentSet::new(runner);
+    let mut builder = Session::builder().runner(runner).shard(shard);
+    if let Some(dir) = &store_dir {
+        builder = builder.store_dir(dir.clone());
+    }
+    let session = builder.build().unwrap_or_else(|e| fail(&e));
+    let set = ExperimentSet::with_session(session, all_workloads());
+
     let start = std::time::Instant::now();
     let selected: Vec<String> = if names.iter().any(|n| n == "all") {
         EXPERIMENT_NAMES.iter().map(|n| n.to_string()).collect()
     } else {
         names
     };
-    let mut reports = Vec::with_capacity(selected.len());
+    let mut reports: Vec<ExperimentReport> = Vec::with_capacity(selected.len());
+    let mut populated = 0usize;
     for name in &selected {
         match set.by_name(name) {
             Ok(report) => reports.push(report),
+            // A populate pass owns only part of each grid: foreign cells
+            // surface as NotInShard, which just means "this experiment's
+            // report belongs to the merge pass".
+            Err(RunError::NotInShard { .. }) if !shard.is_full() => populated += 1,
             Err(e) => fail(&e.to_string()),
         }
     }
 
-    let payload = render(&reports, format, &runner);
-    match (&mut out_file, &out_path, &tmp_path) {
-        (Some(f), Some(path), Some(tmp)) => {
-            f.write_all(payload.as_bytes())
-                .unwrap_or_else(|e| fail(&format!("write {tmp}: {e}")));
-            std::fs::rename(tmp, path)
-                .unwrap_or_else(|e| fail(&format!("rename {tmp} -> {path}: {e}")));
-            eprintln!("[written to {path}]");
+    if shard.is_full() {
+        let payload = set.session().render(&reports, format);
+        match &out_path {
+            Some(path) => {
+                Session::write_payload(path, &payload).unwrap_or_else(|e| fail(&e));
+                eprintln!("[written to {path}]");
+            }
+            None => print!("{payload}"),
         }
-        _ => print!("{payload}"),
+    } else {
+        eprintln!(
+            "[shard {shard}: populate pass, no reports emitted ({} complete, {populated} partial)]",
+            reports.len()
+        );
     }
     eprintln!(
-        "[{} report(s), warmup {} + measure {} µ-ops per run, {} trace(s) prepared, {:.1}s]",
+        "[{} report(s), warmup {} + measure {} µ-ops per run, {}, {:.1}s]",
         reports.len(),
         runner.warmup,
         runner.measure,
-        set.executor().cache().generated(),
+        set.session().accounting(),
         start.elapsed().as_secs_f64()
     );
+    if assert_cached && set.executor().simulated() > 0 {
+        eprintln!(
+            "[FAIL: --assert-cached but {} run(s) were simulated instead of served from the store]",
+            set.executor().simulated()
+        );
+        std::process::exit(1);
+    }
 }

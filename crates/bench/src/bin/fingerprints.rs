@@ -5,46 +5,47 @@
 //! table `tests/golden_fingerprints.rs` asserts against. Regenerate the
 //! table with this tool ONLY when a simulator change is *intentionally*
 //! cycle-visible (a model change, not a refactor); pure refactors must
-//! reproduce the committed table bit-for-bit.
+//! reproduce the committed table bit-for-bit. A regeneration is also the
+//! signal to bump `eole_core::canon::SIM_FINGERPRINT_VERSION` in the same
+//! commit — stored results from the old behavior are stale (`PERF.md`
+//! documents the rule).
 //!
 //! ```text
 //! cargo run --release -p eole-bench --bin fingerprints
 //! ```
 
-use eole_bench::Runner;
+use eole_bench::{Grid, Runner, Session};
 use eole_core::config::CoreConfig;
-use eole_core::pipeline::Simulator;
 
 /// The golden methodology: small but long enough to exercise squashes,
 /// cache misses, and every window structure. Must match the test.
 pub const GOLDEN_RUNNER: Runner = Runner { warmup: 2_000, measure: 5_000 };
 
-/// Every named preset of the paper's evaluation.
-fn preset_configs() -> Vec<CoreConfig> {
-    CoreConfig::all_presets()
-}
-
 fn main() {
     let runner = GOLDEN_RUNNER;
-    println!("// ({} presets × {} workloads), runner: warmup {} + measure {} µ-ops",
-        preset_configs().len(),
+    let session = Session::new(runner);
+    // Workload-major grid order matches the committed table: one trace
+    // per workload (shared through the session's cache), every preset
+    // over it.
+    let grid = Grid::new()
+        .runner(runner)
+        .configs(CoreConfig::all_presets())
+        .all_workloads();
+    println!(
+        "// ({} presets × {} workloads), runner: warmup {} + measure {} µ-ops",
+        CoreConfig::all_presets().len(),
         eole_workloads::all_workloads().len(),
         runner.warmup,
         runner.measure,
     );
-    for w in eole_workloads::all_workloads() {
-        let trace = runner.prepare(&w);
-        for config in preset_configs() {
-            let name = config.name.clone();
-            let mut sim = Simulator::new(&trace, config).expect("preset is valid");
-            sim.run(runner.warmup).expect("warmup");
-            sim.begin_measurement();
-            sim.run(runner.measure).expect("measure");
-            let s = sim.stats();
-            println!(
-                "(\"{}\", \"{}\", {}, {}, {}),",
-                name, w.name, s.cycles, s.committed, s.squashed
-            );
-        }
+    for r in session.run(&grid) {
+        let s = r.stats().unwrap_or_else(|e| {
+            eprintln!("error: {}: {e}", r.spec.label());
+            std::process::exit(1);
+        });
+        println!(
+            "(\"{}\", \"{}\", {}, {}, {}),",
+            r.spec.config.name, r.spec.workload.name, s.cycles, s.committed, s.squashed
+        );
     }
 }

@@ -17,12 +17,8 @@
 //! embedded as `baseline` and the gmean speedup is computed;
 //! `--min-speedup X` then turns the exit status into a regression gate.
 
-use std::io::Write as _;
-use std::time::Instant;
-
-use eole_bench::Runner;
+use eole_bench::{RunSpec, Runner, Session};
 use eole_core::config::CoreConfig;
-use eole_core::pipeline::Simulator;
 use eole_stats::json::Json;
 use eole_stats::report::json_string;
 use eole_stats::summary::geometric_mean;
@@ -64,35 +60,26 @@ impl Measured {
     }
 }
 
-/// One steady-state measurement, repeated `reps` times: each rep builds a
-/// fresh simulator, warms it up (trace-cold effects, predictor and cache
-/// training), then times the identical measurement window. The fastest
-/// rep is kept — every rep simulates the exact same µ-op stream, so the
-/// minimum is the least-noisy estimate of the hot loop's cost.
-fn measure(
-    trace: &eole_core::pipeline::PreparedTrace,
-    config: &CoreConfig,
-    runner: &Runner,
-    reps: usize,
-) -> Measured {
+/// One steady-state measurement, repeated `reps` times through
+/// [`Session::time_run`]: each rep builds a fresh simulator, warms it up
+/// (trace-cold effects, predictor and cache training), then times the
+/// identical measurement window. The fastest rep is kept — every rep
+/// simulates the exact same µ-op stream, so the minimum is the
+/// least-noisy estimate of the hot loop's cost. Timing never consults a
+/// result store by construction (`time_run` is the uncacheable path).
+fn measure(session: &Session, spec: &RunSpec, reps: usize) -> Measured {
     let mut best_seconds = f64::INFINITY;
     let mut committed = 0;
     for _ in 0..reps.max(1) {
-        let mut sim =
-            Simulator::new(trace, config.clone()).unwrap_or_else(|e| fail(&e.to_string()));
-        sim.run(runner.warmup)
-            .unwrap_or_else(|e| fail(&format!("{}: warmup: {e}", config.name)));
-        sim.begin_measurement();
-        let start = Instant::now();
-        sim.run(runner.measure)
-            .unwrap_or_else(|e| fail(&format!("{}: measure: {e}", config.name)));
-        let seconds = start.elapsed().as_secs_f64();
-        committed = sim.stats().committed;
-        best_seconds = best_seconds.min(seconds);
+        let timed = session
+            .time_run(spec)
+            .unwrap_or_else(|e| fail(&e.to_string()));
+        committed = timed.stats.committed;
+        best_seconds = best_seconds.min(timed.seconds);
     }
     Measured {
-        config: config.name.clone(),
-        workload: String::new(),
+        config: spec.config.name.clone(),
+        workload: spec.workload.name.to_string(),
         committed,
         seconds: best_seconds,
     }
@@ -209,15 +196,19 @@ fn main() {
         i += 1;
     }
 
+    let session = Session::new(runner);
     let configs = suite_configs();
     let mut runs: Vec<Measured> = Vec::new();
     for name in SUITE_WORKLOADS {
         let w = eole_workloads::workload_by_name(name)
             .unwrap_or_else(|| fail(&format!("unknown workload {name}")));
-        let trace = runner.prepare(&w);
+        // Warm the session's trace cache once per workload; every config
+        // rep below replays the same prepared trace.
+        session.prepare(&w).unwrap_or_else(|e| fail(&e.to_string()));
         for config in &configs {
-            let mut m = measure(&trace, config, &runner, reps);
-            m.workload = name.to_string();
+            let spec =
+                RunSpec { config: config.clone(), workload: w.clone(), runner, seed: 0 };
+            let m = measure(&session, &spec, reps);
             eprintln!("  {:<28} {:<8} {:>8.3} Mµops/s", m.config, m.workload, m.mups());
             runs.push(m);
         }
@@ -244,10 +235,9 @@ fn main() {
 
     match &out_path {
         Some(path) => {
-            let mut f = std::fs::File::create(path)
-                .unwrap_or_else(|e| fail(&format!("create {path}: {e}")));
-            f.write_all(payload.as_bytes())
-                .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+            // Same temp-file + rename discipline as every session payload:
+            // a failure mid-write never truncates the committed baseline.
+            Session::write_payload(path, &payload).unwrap_or_else(|e| fail(&e));
             eprintln!("[written to {path}]");
         }
         None => print!("{payload}"),

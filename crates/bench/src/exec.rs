@@ -15,7 +15,9 @@ use eole_core::pipeline::{PreparedTrace, SimError};
 use eole_core::stats::SimStats;
 use eole_workloads::Workload;
 
+use crate::plan::Shard;
 use crate::spec::{Grid, RunSpec};
+use crate::store::{ResultStore, RunKey};
 use crate::Runner;
 
 /// Which phase of a run failed.
@@ -63,6 +65,22 @@ pub enum RunError {
     },
     /// An experiment name not in the harness registry (CLI lookups).
     UnknownExperiment(String),
+    /// The run belongs to a different shard of a partitioned grid and was
+    /// not found in the result store — expected (not a failure) during a
+    /// `--shard k/n` populate pass; the merge pass sees no such cells.
+    NotInShard {
+        /// Human label of the skipped run.
+        label: String,
+        /// The shard this executor was restricted to.
+        shard: Shard,
+    },
+    /// The result store failed to persist a completed run.
+    Store {
+        /// Human label of the run whose result was lost.
+        label: String,
+        /// Rendered I/O failure.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -75,6 +93,12 @@ impl std::fmt::Display for RunError {
                 write!(f, "{config}/{workload}: {phase} failed: {source}")
             }
             RunError::UnknownExperiment(name) => write!(f, "unknown experiment {name}"),
+            RunError::NotInShard { label, shard } => {
+                write!(f, "{label}: owned by another shard (this executor runs {shard})")
+            }
+            RunError::Store { label, reason } => {
+                write!(f, "{label}: result store failed: {reason}")
+            }
         }
     }
 }
@@ -82,13 +106,18 @@ impl std::fmt::Display for RunError {
 impl std::error::Error for RunError {}
 
 /// The trace-sharing key: runs agreeing on workload and trace length
-/// replay the same trace. Single definition — [`RunSpec::trace_key`]
-/// delegates here so spec and cache can never disagree.
-pub(crate) fn trace_key(workload: &Workload, runner: &Runner) -> (String, u64) {
-    (workload.name.to_string(), runner.trace_len())
-}
+/// replay the same trace. Borrowed form — `Workload::name` is `&'static
+/// str`, so building (and hashing) a key allocates nothing and a
+/// steady-state cache probe stays off the heap (`tests/zero_alloc.rs`
+/// enforces this).
+pub type TraceKey = (&'static str, u64);
 
-type TraceKey = (String, u64);
+/// Computes the [`TraceKey`] for a (workload, methodology) pair. Single
+/// definition — [`RunSpec::trace_key`] delegates here so spec and cache
+/// can never disagree.
+pub(crate) fn trace_key(workload: &Workload, runner: &Runner) -> TraceKey {
+    (workload.name, runner.trace_len())
+}
 type TraceSlot = Arc<Mutex<Option<Result<Arc<PreparedTrace>, RunError>>>>;
 
 /// A keyed cache of prepared traces.
@@ -166,14 +195,21 @@ pub struct RunResult {
 }
 
 impl RunResult {
+    /// The statistics of a successful run, or the typed failure — the
+    /// non-panicking accessor every `Result`-typed experiment path uses.
+    pub fn stats(&self) -> Result<&SimStats, &RunError> {
+        self.outcome.as_ref()
+    }
+
     /// The statistics of a successful run.
     ///
     /// # Panics
     ///
     /// Panics with the run label and the typed error if the run failed —
-    /// for harness contexts where failure is a bug, not a condition.
+    /// for benches and examples where failure is a bug, not a condition.
+    /// `Result`-typed code uses [`RunResult::stats`] instead.
     pub fn expect_stats(&self) -> &SimStats {
-        match &self.outcome {
+        match self.stats() {
             Ok(s) => s,
             Err(e) => panic!("{}: {e}", self.spec.label()),
         }
@@ -189,10 +225,26 @@ impl RunResult {
 /// never serializes the tail of an experiment. Prepared traces are shared through a
 /// [`TraceCache`], which can itself be shared across executors (the
 /// `ExperimentSet` shares one across all experiments).
+///
+/// Two optional layers sit in front of the simulator:
+///
+/// * a [`ResultStore`] ([`Executor::with_store`]) is consulted by
+///   [`RunKey`] before any trace is prepared or cycle simulated, and
+///   every fresh result is saved back — a warm store serves a repeated
+///   grid with **zero** simulations;
+/// * a [`Shard`] ([`Executor::with_shard`]) restricts simulation to the
+///   runs this process owns; foreign cells missing from the store come
+///   back as [`RunError::NotInShard`] (the populate-pass contract — see
+///   `crate::plan`).
 #[derive(Debug)]
 pub struct Executor {
     threads: usize,
     cache: Arc<TraceCache>,
+    store: Option<Arc<dyn ResultStore>>,
+    shard: Option<Shard>,
+    store_hits: AtomicUsize,
+    simulated: AtomicUsize,
+    shard_skips: AtomicUsize,
 }
 
 impl Default for Executor {
@@ -210,13 +262,37 @@ impl Executor {
 
     /// An executor with an explicit worker count (≥ 1).
     pub fn with_threads(threads: usize) -> Self {
-        Executor { threads: threads.max(1), cache: Arc::new(TraceCache::new()) }
+        Executor {
+            threads: threads.max(1),
+            cache: Arc::new(TraceCache::new()),
+            store: None,
+            shard: None,
+            store_hits: AtomicUsize::new(0),
+            simulated: AtomicUsize::new(0),
+            shard_skips: AtomicUsize::new(0),
+        }
     }
 
     /// Replaces the trace cache with a shared one.
     #[must_use]
     pub fn with_cache(mut self, cache: Arc<TraceCache>) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Attaches a result store, consulted before every simulation and
+    /// written after.
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<dyn ResultStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Restricts simulation to the runs `shard` owns (a full `1/1` shard
+    /// is a no-op and is not recorded).
+    #[must_use]
+    pub fn with_shard(mut self, shard: Shard) -> Self {
+        self.shard = if shard.is_full() { None } else { Some(shard) };
         self
     }
 
@@ -230,8 +306,29 @@ impl Executor {
         &self.cache
     }
 
-    fn execute(&self, spec: &RunSpec) -> Result<SimStats, RunError> {
+    /// The attached result store, if any.
+    pub fn store(&self) -> Option<&Arc<dyn ResultStore>> {
+        self.store.as_ref()
+    }
+
+    /// Runs served from the result store without simulating.
+    pub fn store_hits(&self) -> usize {
+        self.store_hits.load(Ordering::Relaxed)
+    }
+
+    /// Runs actually simulated (the "zero on a warm store" counter).
+    pub fn simulated(&self) -> usize {
+        self.simulated.load(Ordering::Relaxed)
+    }
+
+    /// Runs skipped because another shard owns them.
+    pub fn shard_skips(&self) -> usize {
+        self.shard_skips.load(Ordering::Relaxed)
+    }
+
+    fn simulate(&self, spec: &RunSpec) -> Result<SimStats, RunError> {
         let trace = self.cache.get_or_prepare(&spec.workload, &spec.runner)?;
+        self.simulated.fetch_add(1, Ordering::Relaxed);
         spec.runner.try_run(&trace, spec.effective_config()).map_err(|e| match e {
             // Attribute the workload: `try_run` cannot know it.
             RunError::Sim { config, phase, source, .. } => RunError::Sim {
@@ -242,6 +339,32 @@ impl Executor {
             },
             other => other,
         })
+    }
+
+    fn execute(&self, spec: &RunSpec) -> Result<SimStats, RunError> {
+        if self.store.is_none() && self.shard.is_none() {
+            return self.simulate(spec);
+        }
+        let key = RunKey::of(spec);
+        if let Some(store) = &self.store {
+            if let Some(stats) = store.load(&key) {
+                self.store_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(stats);
+            }
+        }
+        if let Some(shard) = self.shard {
+            if !shard.owns(&key) {
+                self.shard_skips.fetch_add(1, Ordering::Relaxed);
+                return Err(RunError::NotInShard { label: spec.label(), shard });
+            }
+        }
+        let stats = self.simulate(spec)?;
+        if let Some(store) = &self.store {
+            store
+                .save(&key, &stats)
+                .map_err(|reason| RunError::Store { label: spec.label(), reason })?;
+        }
+        Ok(stats)
     }
 
     /// Runs every spec of the grid; `results[i]` corresponds to
@@ -348,7 +471,8 @@ mod tests {
             let got: Vec<String> = results.iter().map(|r| r.spec.label()).collect();
             assert_eq!(got, expected, "order must be stable with {threads} threads");
             for r in &results {
-                assert!(r.expect_stats().ipc() > 0.1, "{}", r.spec.label());
+                let stats = r.stats().unwrap_or_else(|e| panic!("{}: {e}", r.spec.label()));
+                assert!(stats.ipc() > 0.1, "{}", r.spec.label());
             }
         }
     }
@@ -375,6 +499,65 @@ mod tests {
     }
 
     #[test]
+    fn warm_store_serves_a_repeat_grid_with_zero_simulations() {
+        use crate::store::MemStore;
+        let store: Arc<dyn ResultStore> = Arc::new(MemStore::new());
+        let grid = Grid::new()
+            .runner(Runner::quick())
+            .configs([CoreConfig::baseline_6_64(), CoreConfig::eole_4_64()])
+            .workload_names(&["gzip", "namd"]);
+        let cold = Executor::with_threads(2).with_store(Arc::clone(&store));
+        let first = cold.run(&grid);
+        assert_eq!(cold.simulated(), 4);
+        assert_eq!(cold.store_hits(), 0);
+        let warm = Executor::with_threads(2).with_store(Arc::clone(&store));
+        let second = warm.run(&grid);
+        assert_eq!(warm.simulated(), 0, "every cell must come from the store");
+        assert_eq!(warm.store_hits(), 4);
+        assert_eq!(warm.cache().generated(), 0, "no trace is prepared on a full hit");
+        for (a, b) in first.iter().zip(&second) {
+            let (sa, sb) = (a.stats().unwrap(), b.stats().unwrap());
+            assert_eq!(sa.cycles, sb.cycles, "{}", a.spec.label());
+            assert_eq!(sa.committed, sb.committed);
+        }
+    }
+
+    #[test]
+    fn shard_mode_skips_foreign_cells_with_typed_errors() {
+        use crate::plan::Shard;
+        let grid = Grid::new()
+            .runner(Runner::quick())
+            .configs([CoreConfig::baseline_6_64(), CoreConfig::eole_4_64()])
+            .workload_names(&["gzip", "namd"]);
+        let mut simulated = 0;
+        let mut skipped = 0;
+        for k in 1..=2 {
+            let exec = Executor::with_threads(2).with_shard(Shard::new(k, 2).unwrap());
+            for r in exec.run(&grid) {
+                match r.stats() {
+                    Ok(s) => {
+                        simulated += 1;
+                        assert!(s.committed > 0);
+                    }
+                    Err(RunError::NotInShard { shard, .. }) => {
+                        skipped += 1;
+                        assert_eq!(shard.count(), 2);
+                    }
+                    Err(other) => panic!("unexpected error: {other}"),
+                }
+            }
+            assert_eq!(exec.shard_skips() + exec.simulated(), 4);
+        }
+        // Across both shards every cell ran exactly once and was skipped
+        // exactly once.
+        assert_eq!(simulated, 4);
+        assert_eq!(skipped, 4);
+        // A full shard is a no-op.
+        let full = Executor::with_threads(1).with_shard(Shard::full());
+        assert!(full.run(&grid).iter().all(|r| r.stats().is_ok()));
+    }
+
+    #[test]
     fn executor_runs_seed_replicates() {
         let grid = Grid::new()
             .runner(Runner::quick())
@@ -386,7 +569,7 @@ mod tests {
         assert_eq!(results.len(), 3);
         assert_eq!(exec.cache().generated(), 1, "replicates share the trace");
         for r in &results {
-            assert!(r.expect_stats().committed > 0);
+            assert!(r.stats().expect("replicate failed").committed > 0);
         }
     }
 }

@@ -18,6 +18,7 @@ use eole_stats::summary::geometric_mean;
 use eole_workloads::{all_workloads, Workload};
 
 use crate::exec::{Executor, RunError};
+use crate::session::Session;
 use crate::spec::Grid;
 use crate::Runner;
 
@@ -56,30 +57,38 @@ pub struct ExperimentSet {
     /// Methodology shared by all runs.
     pub runner: Runner,
     workloads: Vec<Workload>,
-    executor: Executor,
+    session: Session,
 }
 
 impl ExperimentSet {
-    /// Builds a set over the full Table 3 suite.
+    /// Builds a set over the full Table 3 suite with a plain session
+    /// (no result store, no shard restriction).
     pub fn new(runner: Runner) -> Self {
-        Self::over(runner, all_workloads())
+        Self::with_session(Session::new(runner), all_workloads())
     }
 
     /// Restricts the suite (used by Criterion benches and smoke tests).
     pub fn with_workloads(runner: Runner, names: &[&str]) -> Self {
         let workloads =
             all_workloads().into_iter().filter(|w| names.contains(&w.name)).collect();
-        Self::over(runner, workloads)
+        Self::with_session(Session::new(runner), workloads)
     }
 
-    fn over(runner: Runner, workloads: Vec<Workload>) -> Self {
-        ExperimentSet { runner, workloads, executor: Executor::new() }
+    /// Builds a set over an explicit [`Session`] — the way the CLI wires
+    /// in a persistent result store and/or a shard restriction.
+    pub fn with_session(session: Session, workloads: Vec<Workload>) -> Self {
+        ExperimentSet { runner: session.runner(), workloads, session }
     }
 
-    /// The executor (its [`crate::TraceCache`] counters show trace
-    /// sharing across experiments).
+    /// The session driving the runs.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// The executor (its [`crate::TraceCache`] and store counters show
+    /// trace/result sharing across experiments).
     pub fn executor(&self) -> &Executor {
-        &self.executor
+        self.session.executor()
     }
 
     /// Runs `configs` over every workload of the set and returns, per
@@ -90,12 +99,22 @@ impl ExperimentSet {
             .runner(self.runner)
             .workloads(self.workloads.iter().cloned())
             .configs(configs);
-        let results = self.executor.run(&grid);
+        let results = self.session.run(&grid);
+        // Real failures outrank shard skips: in a `--shard` populate pass
+        // roughly every other cell is a benign NotInShard, and the first
+        // one in grid order must not mask a genuine Sim/Store/Kernel
+        // error on a cell this process *does* own.
+        if let Some(real) = results.iter().find_map(|r| match &r.outcome {
+            Err(e) if !matches!(e, RunError::NotInShard { .. }) => Some(e.clone()),
+            _ => None,
+        }) {
+            return Err(real);
+        }
         let mut per_workload = Vec::with_capacity(self.workloads.len());
         for chunk in results.chunks(n_configs) {
             let mut stats = Vec::with_capacity(n_configs);
             for r in chunk {
-                stats.push(r.outcome.clone()?);
+                stats.push(*r.stats().map_err(Clone::clone)?);
             }
             per_workload.push(stats);
         }

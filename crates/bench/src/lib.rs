@@ -19,6 +19,21 @@
 //!   to text/Markdown and serializes to JSON/CSV (`EXPERIMENTS.md`
 //!   documents the JSON schema).
 //!
+//! Around those sit the run-identity layers added by the canonical-run
+//! redesign:
+//!
+//! * **Store** ([`store`]) — [`RunKey`] is the content-addressed
+//!   identity of a run (config digest × workload × methodology × seed ×
+//!   [`eole_core::canon::SIM_FINGERPRINT_VERSION`]); a [`ResultStore`]
+//!   ([`MemStore`] in memory, [`DirStore`] on disk) remembers completed
+//!   runs so unchanged cells are never re-simulated.
+//! * **Plan** ([`plan`]) — [`Shard`]/[`Plan`] partition a grid across
+//!   processes deterministically (ownership is a pure function of the
+//!   run key) and merge shard outputs back into grid order.
+//! * **Session** ([`session`]) — the single driver (store + trace cache +
+//!   executor + report emitters) behind the `experiments`,
+//!   `sim-throughput`, and `fingerprints` bins.
+//!
 //! The `experiments` CLI drives it all:
 //! `cargo run --release -p eole-bench --bin experiments -- all --format json`.
 //!
@@ -44,11 +59,17 @@
 pub mod compare;
 pub mod exec;
 pub mod experiments;
+pub mod plan;
+pub mod session;
 pub mod spec;
+pub mod store;
 
 pub use compare::Comparison;
 pub use exec::{Executor, RunError, RunPhase, RunResult, TraceCache};
+pub use plan::{Plan, Shard};
+pub use session::{Format, Session, SessionBuilder, TimedRun};
 pub use spec::{Grid, RunSpec};
+pub use store::{DirStore, MemStore, ResultStore, RunKey};
 
 use eole_core::config::CoreConfig;
 use eole_core::pipeline::{PreparedTrace, Simulator};
@@ -107,6 +128,22 @@ impl Runner {
         trace: &PreparedTrace,
         config: CoreConfig,
     ) -> Result<SimStats, RunError> {
+        self.try_run_timed(trace, config).map(|(stats, _)| stats)
+    }
+
+    /// [`Runner::try_run`] plus the wall-clock seconds the measurement
+    /// window took — the one definition of the build/warmup/measure
+    /// sequence, so the throughput harness times exactly the execution
+    /// the experiment harness reports.
+    ///
+    /// # Errors
+    ///
+    /// As [`Runner::try_run`].
+    pub fn try_run_timed(
+        &self,
+        trace: &PreparedTrace,
+        config: CoreConfig,
+    ) -> Result<(SimStats, f64), RunError> {
         let name = config.name.clone();
         let err = |phase: RunPhase, source| RunError::Sim {
             config: name.clone(),
@@ -118,8 +155,10 @@ impl Runner {
             Simulator::new(trace, config).map_err(|e| err(RunPhase::Build, e))?;
         sim.run(self.warmup).map_err(|e| err(RunPhase::Warmup, e))?;
         sim.begin_measurement();
+        let start = std::time::Instant::now();
         sim.run(self.measure).map_err(|e| err(RunPhase::Measure, e))?;
-        Ok(sim.stats())
+        let seconds = start.elapsed().as_secs_f64();
+        Ok((sim.stats(), seconds))
     }
 
     /// Infallible [`Runner::try_prepare`] for benches and examples where a

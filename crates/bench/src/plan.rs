@@ -1,0 +1,307 @@
+//! The plan layer: deterministically partitioning a [`Grid`] across
+//! processes, and merging the pieces back.
+//!
+//! A [`Shard`] names one slice of a partition (`--shard k/n` on the CLI);
+//! ownership of a run is a pure function of its [`RunKey`] digest, so
+//!
+//! * the partition is **deterministic** — independent of thread counts,
+//!   scheduling, or which process asks;
+//! * the shards are **disjoint** and their union is the whole grid;
+//! * a run owned by shard `k` in one experiment's grid is owned by shard
+//!   `k` in *every* grid — shared cells (e.g. the `Baseline_VP_6_64`
+//!   reference runs that several figures reuse) are simulated by exactly
+//!   one shard and served to the rest through the
+//!   [`ResultStore`](crate::store::ResultStore).
+//!
+//! [`Plan`] applies a shard count to a concrete grid: it enumerates each
+//! shard's spec list and reassembles per-shard result vectors into grid
+//! order, which is all a caller needs to fold a sharded execution into
+//! the same `ExperimentReport` an unsharded run produces.
+
+use std::collections::VecDeque;
+
+use crate::exec::RunResult;
+use crate::spec::{Grid, RunSpec};
+use crate::store::RunKey;
+
+/// One slice of an `n`-way partition (1-based, like the CLI flag).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Shard {
+    index: usize,
+    count: usize,
+}
+
+impl Shard {
+    /// Shard `index` of `count` (both 1-based; `index ≤ count`).
+    ///
+    /// # Errors
+    ///
+    /// A rendered description when the pair is out of range.
+    pub fn new(index: usize, count: usize) -> Result<Shard, String> {
+        if count == 0 {
+            return Err("shard count must be ≥ 1".into());
+        }
+        if index == 0 || index > count {
+            return Err(format!("shard index {index} out of range 1..={count}"));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Parses the CLI form `"k/n"`.
+    ///
+    /// # Errors
+    ///
+    /// A rendered description of the malformation.
+    pub fn parse(s: &str) -> Result<Shard, String> {
+        let (k, n) = s.split_once('/').ok_or_else(|| format!("`{s}`: expected K/N"))?;
+        let index = k.trim().parse().map_err(|_| format!("`{s}`: bad shard index"))?;
+        let count = n.trim().parse().map_err(|_| format!("`{s}`: bad shard count"))?;
+        Shard::new(index, count)
+    }
+
+    /// The whole grid as a single shard (`1/1`).
+    pub fn full() -> Shard {
+        Shard { index: 1, count: 1 }
+    }
+
+    /// True for the trivial `1/1` partition.
+    pub fn is_full(&self) -> bool {
+        self.count == 1
+    }
+
+    /// 1-based slice index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Total number of slices.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether this shard owns the run identified by `key` — a pure
+    /// function of the key digest, identical in every process.
+    pub fn owns(&self, key: &RunKey) -> bool {
+        key.digest64() % self.count as u64 == (self.index - 1) as u64
+    }
+
+    /// Whether this shard owns `spec` (derives the key).
+    pub fn owns_spec(&self, spec: &RunSpec) -> bool {
+        self.owns(&RunKey::of(spec))
+    }
+}
+
+impl std::fmt::Display for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// An `n`-way partition of one grid.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    specs: Vec<RunSpec>,
+    count: usize,
+}
+
+impl Plan {
+    /// Partitions `grid` into `count` shards (`count ≥ 1`).
+    pub fn new(grid: &Grid, count: usize) -> Plan {
+        Plan { specs: grid.specs(), count: count.max(1) }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.count
+    }
+
+    /// Total runs across all shards (the grid size).
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True when the underlying grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The specs owned by shard `index` (1-based), in grid order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is outside `1..=num_shards()` — a harness
+    /// authoring error, like an out-of-range CLI flag.
+    pub fn shard(&self, index: usize) -> Vec<RunSpec> {
+        let shard = Shard::new(index, self.count)
+            .unwrap_or_else(|e| panic!("plan shard: {e}"));
+        self.specs.iter().filter(|s| shard.owns_spec(s)).cloned().collect()
+    }
+
+    /// Every shard's spec list, in shard order.
+    pub fn shards(&self) -> Vec<Vec<RunSpec>> {
+        (1..=self.count).map(|k| self.shard(k)).collect()
+    }
+
+    /// Reassembles per-shard result vectors (as produced by running each
+    /// [`Plan::shard`] list in order) into grid order, so the merged
+    /// vector is indistinguishable from an unsharded
+    /// `Executor::run(&grid)` — ready to fold into one report.
+    ///
+    /// # Errors
+    ///
+    /// A rendered description when the shard outputs do not tile the
+    /// grid (wrong shard count, missing or reordered results).
+    pub fn merge(&self, shard_results: Vec<Vec<RunResult>>) -> Result<Vec<RunResult>, String> {
+        if shard_results.len() != self.count {
+            return Err(format!(
+                "expected {} shard result vectors, got {}",
+                self.count,
+                shard_results.len()
+            ));
+        }
+        let mut queues: Vec<VecDeque<RunResult>> =
+            shard_results.into_iter().map(VecDeque::from).collect();
+        let mut merged = Vec::with_capacity(self.specs.len());
+        for spec in &self.specs {
+            let key = RunKey::of(spec);
+            let owner = (key.digest64() % self.count as u64) as usize;
+            let next = queues[owner]
+                .pop_front()
+                .ok_or_else(|| format!("shard {}/{} ran out of results", owner + 1, self.count))?;
+            if next.spec.label() != spec.label() {
+                return Err(format!(
+                    "shard {}/{} out of order: expected {}, got {}",
+                    owner + 1,
+                    self.count,
+                    spec.label(),
+                    next.spec.label()
+                ));
+            }
+            merged.push(next);
+        }
+        if let Some((k, q)) = queues.iter().enumerate().find(|(_, q)| !q.is_empty()) {
+            return Err(format!("shard {}/{} has {} surplus results", k + 1, self.count, q.len()));
+        }
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Runner;
+    use eole_core::config::CoreConfig;
+
+    fn grid() -> Grid {
+        Grid::new()
+            .runner(Runner::quick())
+            .configs([
+                CoreConfig::baseline_6_64(),
+                CoreConfig::baseline_vp_6_64(),
+                CoreConfig::eole_4_64(),
+            ])
+            .workload_names(&["gzip", "namd", "mcf", "hmmer"])
+            .seeds([0, 1])
+    }
+
+    #[test]
+    fn shard_parse_round_trips_and_rejects_garbage() {
+        let s = Shard::parse("2/4").unwrap();
+        assert_eq!((s.index(), s.count()), (2, 4));
+        assert_eq!(s.to_string(), "2/4");
+        assert!(!s.is_full());
+        assert!(Shard::parse("1/1").unwrap().is_full());
+        for bad in ["", "3", "0/2", "3/2", "a/b", "1/0"] {
+            assert!(Shard::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn shards_tile_the_grid_disjointly() {
+        let g = grid();
+        let labels = |specs: &[RunSpec]| -> Vec<String> {
+            specs.iter().map(RunSpec::label).collect()
+        };
+        let all: Vec<String> = labels(&g.specs());
+        for n in [1usize, 2, 3, 5, 7] {
+            let plan = Plan::new(&g, n);
+            let shards = plan.shards();
+            assert_eq!(shards.len(), n);
+            let mut union: Vec<String> = shards.iter().flat_map(|s| labels(s)).collect();
+            assert_eq!(union.len(), all.len(), "n={n}: union covers the grid exactly once");
+            union.sort();
+            let mut sorted_all = all.clone();
+            sorted_all.sort();
+            assert_eq!(union, sorted_all, "n={n}");
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic_across_plans() {
+        let g = grid();
+        let a = Plan::new(&g, 3).shards();
+        let b = Plan::new(&g, 3).shards();
+        for (x, y) in a.iter().zip(&b) {
+            let lx: Vec<String> = x.iter().map(RunSpec::label).collect();
+            let ly: Vec<String> = y.iter().map(RunSpec::label).collect();
+            assert_eq!(lx, ly);
+        }
+    }
+
+    #[test]
+    fn ownership_is_grid_independent() {
+        // The same spec must land on the same shard regardless of which
+        // grid it appears in — the property that lets shards share cells
+        // across experiments through the store.
+        let small = Grid::new()
+            .runner(Runner::quick())
+            .config(CoreConfig::baseline_vp_6_64())
+            .workload_names(&["gzip"]);
+        let spec = &small.specs()[0];
+        for n in [2usize, 3, 4] {
+            let owners: Vec<usize> = (1..=n)
+                .filter(|&k| Shard::new(k, n).unwrap().owns_spec(spec))
+                .collect();
+            assert_eq!(owners.len(), 1, "exactly one owner for n={n}");
+        }
+    }
+
+    #[test]
+    fn merge_reassembles_grid_order() {
+        let g = grid();
+        let plan = Plan::new(&g, 3);
+        // Fake results: outcome content does not matter for the merge.
+        let fake = |spec: &RunSpec| RunResult {
+            spec: spec.clone(),
+            outcome: Ok(eole_core::stats::SimStats::default()),
+        };
+        let shard_results: Vec<Vec<RunResult>> =
+            plan.shards().iter().map(|specs| specs.iter().map(fake).collect()).collect();
+        let merged = plan.merge(shard_results).unwrap();
+        let merged_labels: Vec<String> = merged.iter().map(|r| r.spec.label()).collect();
+        let grid_labels: Vec<String> = g.specs().iter().map(RunSpec::label).collect();
+        assert_eq!(merged_labels, grid_labels);
+    }
+
+    #[test]
+    fn merge_rejects_mis_tiled_outputs() {
+        let g = grid();
+        let plan = Plan::new(&g, 2);
+        assert!(plan.merge(vec![Vec::new()]).is_err(), "wrong shard count");
+        let mut shards: Vec<Vec<RunResult>> = plan
+            .shards()
+            .iter()
+            .map(|specs| {
+                specs
+                    .iter()
+                    .map(|s| RunResult {
+                        spec: s.clone(),
+                        outcome: Ok(eole_core::stats::SimStats::default()),
+                    })
+                    .collect()
+            })
+            .collect();
+        shards[0].pop();
+        assert!(plan.merge(shards).is_err(), "missing result");
+    }
+}

@@ -1,0 +1,341 @@
+//! The session layer: one entry point over store + trace cache +
+//! executor + report emitters.
+//!
+//! Before this layer existed, the `experiments` CLI, the `sim-throughput`
+//! harness, and the `fingerprints` regenerator each hand-rolled their own
+//! driver: their own executor wiring, their own trace preparation, their
+//! own payload-writing discipline. A [`Session`] owns all of it:
+//!
+//! * the methodology ([`Runner`]) every run of the session shares;
+//! * the [`Executor`] with its [`TraceCache`](crate::TraceCache), an
+//!   optional persistent [`ResultStore`], and an optional [`Shard`]
+//!   restriction;
+//! * the report emitters ([`Format`], [`Session::render`]) and the
+//!   temp-file + rename payload-writing discipline
+//!   ([`Session::write_payload`]);
+//! * wall-clock timing for the throughput harness
+//!   ([`Session::time_run`]) — timing is the one path that must *never*
+//!   be served from the store.
+//!
+//! Experiments run through a session via
+//! [`ExperimentSet::with_session`](crate::experiments::ExperimentSet::with_session).
+
+use std::sync::Arc;
+
+use eole_core::pipeline::PreparedTrace;
+use eole_core::stats::SimStats;
+use eole_stats::report::{reports_to_json, ExperimentReport};
+use eole_workloads::Workload;
+
+use crate::exec::{Executor, RunError, RunResult};
+use crate::plan::Shard;
+use crate::spec::{Grid, RunSpec};
+use crate::store::{DirStore, ResultStore};
+use crate::Runner;
+
+/// Output format of the report emitters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// GitHub-flavored Markdown tables (the default).
+    Markdown,
+    /// One `eole-report-set/v1` JSON object (schema in `EXPERIMENTS.md`).
+    Json,
+    /// One CSV block per report, separated by `# id: title` lines.
+    Csv,
+}
+
+impl std::str::FromStr for Format {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Format, String> {
+        match s {
+            "md" | "markdown" => Ok(Format::Markdown),
+            "json" => Ok(Format::Json),
+            "csv" => Ok(Format::Csv),
+            other => Err(format!("unknown format {other} (md|json|csv)")),
+        }
+    }
+}
+
+/// One timed simulation: the statistics plus the wall-clock seconds the
+/// measurement window took (the throughput harness's unit of work).
+#[derive(Clone, Copy, Debug)]
+pub struct TimedRun {
+    /// Statistics of the measurement window.
+    pub stats: SimStats,
+    /// Wall-clock seconds spent inside the measurement window.
+    pub seconds: f64,
+}
+
+/// Builder for a [`Session`].
+#[derive(Debug, Default)]
+pub struct SessionBuilder {
+    runner: Option<Runner>,
+    threads: Option<usize>,
+    store: Option<Arc<dyn ResultStore>>,
+    store_dir: Option<String>,
+    shard: Option<Shard>,
+}
+
+impl SessionBuilder {
+    /// Sets the warmup/measure methodology (defaults to
+    /// [`Runner::default`]).
+    #[must_use]
+    pub fn runner(mut self, runner: Runner) -> Self {
+        self.runner = Some(runner);
+        self
+    }
+
+    /// Sets an explicit worker count (defaults to the machine size).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Attaches an already-built result store.
+    #[must_use]
+    pub fn store(mut self, store: Arc<dyn ResultStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Attaches an on-disk [`DirStore`] rooted at `dir` (created by
+    /// [`SessionBuilder::build`]).
+    #[must_use]
+    pub fn store_dir(mut self, dir: impl Into<String>) -> Self {
+        self.store_dir = Some(dir.into());
+        self
+    }
+
+    /// Restricts simulation to one shard of the partition.
+    #[must_use]
+    pub fn shard(mut self, shard: Shard) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// Builds the session.
+    ///
+    /// # Errors
+    ///
+    /// A rendered description if the store directory cannot be created.
+    pub fn build(self) -> Result<Session, String> {
+        let runner = self.runner.unwrap_or_default();
+        let mut executor = match self.threads {
+            Some(n) => Executor::with_threads(n),
+            None => Executor::new(),
+        };
+        let store = match (self.store, self.store_dir) {
+            (Some(store), _) => Some(store),
+            (None, Some(dir)) => Some(Arc::new(DirStore::open(dir)?) as Arc<dyn ResultStore>),
+            (None, None) => None,
+        };
+        if let Some(store) = store {
+            executor = executor.with_store(store);
+        }
+        if let Some(shard) = self.shard {
+            executor = executor.with_shard(shard);
+        }
+        Ok(Session { runner, executor })
+    }
+}
+
+/// The unified driver: everything a harness front end needs to turn
+/// specs into results and results into payloads.
+#[derive(Debug)]
+pub struct Session {
+    runner: Runner,
+    executor: Executor,
+}
+
+impl Session {
+    /// Starts a builder.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// A plain session (no store, no shard, machine-sized executor).
+    pub fn new(runner: Runner) -> Session {
+        Session { runner, executor: Executor::new() }
+    }
+
+    /// The methodology shared by the session's runs.
+    pub fn runner(&self) -> Runner {
+        self.runner
+    }
+
+    /// The executor (counters: trace cache, store hits, simulations).
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// Runs every spec of a grid (store consulted first, shard respected);
+    /// results keep grid order.
+    pub fn run(&self, grid: &Grid) -> Vec<RunResult> {
+        self.executor.run(grid)
+    }
+
+    /// Runs an explicit spec list; results keep the input order.
+    pub fn run_specs(&self, specs: Vec<RunSpec>) -> Vec<RunResult> {
+        self.executor.run_specs(specs)
+    }
+
+    /// The prepared trace for `workload` under the session's methodology,
+    /// generated once and shared through the trace cache.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Kernel`] if the kernel fails to trace.
+    pub fn prepare(&self, workload: &Workload) -> Result<Arc<PreparedTrace>, RunError> {
+        self.executor.cache().get_or_prepare(workload, &self.runner)
+    }
+
+    /// Simulates one spec and times its measurement window (via
+    /// [`Runner::try_run_timed`] — the same build/warmup/measure sequence
+    /// every cached and reported result takes). Never touches the result
+    /// store — a stored result has no meaningful wall-clock — but shares
+    /// the trace cache.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError`] as from the executor path (kernel / build / warmup /
+    /// measure).
+    pub fn time_run(&self, spec: &RunSpec) -> Result<TimedRun, RunError> {
+        let trace = self.prepare(&spec.workload)?;
+        let (stats, seconds) = self
+            .runner
+            .try_run_timed(&trace, spec.effective_config())
+            .map_err(|e| match e {
+                // Attribute the workload: `try_run_timed` cannot know it.
+                RunError::Sim { config, phase, source, .. } => RunError::Sim {
+                    config,
+                    workload: spec.workload.name.to_string(),
+                    phase,
+                    source,
+                },
+                other => other,
+            })?;
+        Ok(TimedRun { stats, seconds })
+    }
+
+    /// Renders a report set in the requested format. The JSON form wraps
+    /// the reports with the session's runner metadata
+    /// (`eole-report-set/v1`), so payloads from different methodologies
+    /// can never be confused.
+    pub fn render(&self, reports: &[ExperimentReport], format: Format) -> String {
+        match format {
+            Format::Markdown => {
+                let mut out = String::new();
+                for r in reports {
+                    out.push_str(&r.render_markdown());
+                    out.push('\n');
+                }
+                out
+            }
+            Format::Json => format!(
+                "{{\"schema\":\"eole-report-set/v1\",\"runner\":{{\"warmup\":{},\"measure\":{}}},\"reports\":{}}}",
+                self.runner.warmup,
+                self.runner.measure,
+                reports_to_json(reports)
+            ),
+            Format::Csv => {
+                let mut out = String::new();
+                for r in reports {
+                    out.push_str(&format!("# {}: {}\n", r.id(), r.title()));
+                    out.push_str(&r.to_csv());
+                    out.push('\n');
+                }
+                out
+            }
+        }
+    }
+
+    /// Writes a payload to `path` through a sibling temp file and an
+    /// atomic rename, so a mid-write failure never truncates the previous
+    /// contents (trend tooling depends on the old payload surviving).
+    ///
+    /// # Errors
+    ///
+    /// A rendered description of the I/O failure.
+    pub fn write_payload(path: &str, payload: &str) -> Result<(), String> {
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, payload).map_err(|e| format!("write {tmp}: {e}"))?;
+        std::fs::rename(&tmp, path).map_err(|e| format!("rename {tmp} -> {path}: {e}"))
+    }
+
+    /// One-line cache/store accounting for stderr status output.
+    pub fn accounting(&self) -> String {
+        format!(
+            "store hits {}, simulated {}, shard-skipped {}, traces generated {}",
+            self.executor.store_hits(),
+            self.executor.simulated(),
+            self.executor.shard_skips(),
+            self.executor.cache().generated(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use eole_core::config::CoreConfig;
+    use eole_workloads::workload_by_name;
+
+    #[test]
+    fn format_parses_the_cli_names() {
+        assert_eq!("md".parse::<Format>().unwrap(), Format::Markdown);
+        assert_eq!("markdown".parse::<Format>().unwrap(), Format::Markdown);
+        assert_eq!("json".parse::<Format>().unwrap(), Format::Json);
+        assert_eq!("csv".parse::<Format>().unwrap(), Format::Csv);
+        assert!("yaml".parse::<Format>().is_err());
+    }
+
+    #[test]
+    fn session_runs_grids_and_accounts_for_the_store() {
+        let store: Arc<dyn ResultStore> = Arc::new(MemStore::new());
+        let session = Session::builder()
+            .runner(Runner::quick())
+            .threads(2)
+            .store(Arc::clone(&store))
+            .build()
+            .unwrap();
+        let grid = Grid::new()
+            .runner(session.runner())
+            .config(CoreConfig::baseline_6_64())
+            .workload_names(&["gzip"]);
+        let results = session.run(&grid);
+        assert_eq!(results.len(), 1);
+        assert!(results[0].stats().is_ok());
+        assert_eq!(session.executor().simulated(), 1);
+        // Second pass: pure store hits.
+        let again = session.run(&grid);
+        assert!(again[0].stats().is_ok());
+        assert_eq!(session.executor().simulated(), 1);
+        assert_eq!(session.executor().store_hits(), 1);
+        assert!(session.accounting().contains("simulated 1"));
+    }
+
+    #[test]
+    fn time_run_reports_stats_and_a_positive_wall_clock() {
+        let session = Session::builder().runner(Runner::quick()).build().unwrap();
+        let spec = RunSpec {
+            config: CoreConfig::baseline_6_64(),
+            workload: workload_by_name("gzip").unwrap(),
+            runner: session.runner(),
+            seed: 0,
+        };
+        let timed = session.time_run(&spec).unwrap();
+        assert!(timed.stats.committed >= session.runner().measure);
+        assert!(timed.seconds > 0.0);
+    }
+
+    #[test]
+    fn json_render_carries_the_runner_header() {
+        let session = Session::new(Runner { warmup: 11, measure: 22 });
+        let payload = session.render(&[], Format::Json);
+        assert!(payload.contains("\"runner\":{\"warmup\":11,\"measure\":22}"));
+        assert!(payload.contains("\"schema\":\"eole-report-set/v1\""));
+    }
+}

@@ -30,8 +30,17 @@ impl RunSpec {
     /// The trace-cache key: runs agreeing on workload and trace length
     /// share one prepared trace regardless of configuration. Delegates
     /// to the single key definition the [`crate::TraceCache`] uses.
-    pub fn trace_key(&self) -> (String, u64) {
+    /// Borrowed (`&'static str` workload name) — building a key costs no
+    /// allocation, so cache probes stay off the heap.
+    pub fn trace_key(&self) -> crate::exec::TraceKey {
         crate::exec::trace_key(&self.workload, &self.runner)
+    }
+
+    /// The canonical run identity (configuration digest + workload +
+    /// methodology + seed + simulator version) — what the
+    /// [`crate::store::ResultStore`] keys on.
+    pub fn run_key(&self) -> crate::store::RunKey {
+        crate::store::RunKey::of(self)
     }
 
     /// The configuration with this spec's seed mixed into the stochastic

@@ -1,0 +1,582 @@
+//! Persistent run identity and result caching.
+//!
+//! * [`RunKey`] — the canonical identity of one simulation run:
+//!   configuration digest + workload + methodology + seed + the
+//!   simulator's cycle-behavior version
+//!   ([`SIM_FINGERPRINT_VERSION`]). Two runs with equal keys produce
+//!   identical [`SimStats`] (the simulator is deterministic), which is
+//!   what makes caching sound.
+//! * [`ResultStore`] — where completed runs live. [`MemStore`] keeps them
+//!   in memory (tests, single-process dedup); [`DirStore`] persists one
+//!   JSON file per key (`eole-result/v1`, schema in `EXPERIMENTS.md`) so
+//!   repeated invocations — and shards of a partitioned grid — share
+//!   work across processes.
+//!
+//! The executor consults the store *before* simulating and saves every
+//! fresh result after; a warm store therefore serves a whole experiment
+//! suite with zero simulations (`experiments --store DIR
+//! --assert-cached` turns that into a checkable gate).
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use eole_core::canon::{CanonicalBytes, SIM_FINGERPRINT_VERSION};
+use eole_core::stats::SimStats;
+use eole_mem::hierarchy::MemStats;
+use eole_stats::json::Json;
+use eole_stats::report::json_string;
+
+use crate::spec::RunSpec;
+
+/// The canonical identity of one simulation run.
+///
+/// Equality here is the caching contract: everything that can change a
+/// run's statistics is in the key, and nothing else is. The configuration
+/// enters as its content digest (see `eole_core::canon`); the seed stays
+/// a separate axis (it perturbs the config's stochastic components via
+/// [`RunSpec::effective_config`], so the *base* config digest plus the
+/// seed identifies the effective one).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    /// Simulator cycle-behavior version
+    /// ([`SIM_FINGERPRINT_VERSION`]); a bump invalidates every
+    /// previously stored result.
+    pub sim_version: u32,
+    /// Display name of the configuration (kept for human-readable
+    /// filenames and payloads; identity comes from the digest, which
+    /// already covers the name).
+    pub config_name: String,
+    /// Content digest of the base configuration.
+    pub config_digest: u64,
+    /// Workload name (Table 3 registry).
+    pub workload: String,
+    /// Warmup µ-ops of the methodology.
+    pub warmup: u64,
+    /// Measured µ-ops of the methodology.
+    pub measure: u64,
+    /// Replication seed (0 = the paper's seeds, unperturbed).
+    pub seed: u64,
+}
+
+impl RunKey {
+    /// Derives the key for a spec under the current simulator version.
+    pub fn of(spec: &RunSpec) -> RunKey {
+        RunKey {
+            sim_version: SIM_FINGERPRINT_VERSION,
+            config_name: spec.config.name.clone(),
+            config_digest: spec.config.digest(),
+            workload: spec.workload.name.to_string(),
+            warmup: spec.runner.warmup,
+            measure: spec.runner.measure,
+            seed: spec.seed,
+        }
+    }
+
+    /// A 64-bit digest of the whole key (shard ownership hashes this, so
+    /// a run's shard assignment is a pure function of its identity).
+    pub fn digest64(&self) -> u64 {
+        let mut c = CanonicalBytes::new();
+        c.put_str("eole-run-key/v1");
+        c.put_u64(u64::from(self.sim_version));
+        c.put_u64(self.config_digest);
+        c.put_str(&self.workload);
+        c.put_u64(self.warmup);
+        c.put_u64(self.measure);
+        c.put_u64(self.seed);
+        c.digest()
+    }
+
+    /// Filesystem-safe file stem: human-readable prefix (sanitized, so
+    /// two names may legitimately collide there) followed by the config
+    /// digest *and* the full key digest — the latter covers the raw
+    /// workload name, methodology, seed, and sim version, so distinct
+    /// keys can never share a file even when their sanitized prefixes do.
+    pub fn file_stem(&self) -> String {
+        let sanitize = |s: &str| -> String {
+            s.chars()
+                .map(|ch| if ch.is_ascii_alphanumeric() || ch == '_' || ch == '-' { ch } else { '-' })
+                .collect()
+        };
+        format!(
+            "{}__{}__v{}_w{}_m{}_s{}__{:016x}-{:016x}",
+            sanitize(&self.workload),
+            sanitize(&self.config_name),
+            self.sim_version,
+            self.warmup,
+            self.measure,
+            self.seed,
+            self.config_digest,
+            self.digest64(),
+        )
+    }
+}
+
+/// Where completed runs are remembered.
+///
+/// Implementations must be shareable across the executor's worker threads
+/// (`&self` methods, internal synchronization). `load` answering `None`
+/// means "simulate it"; a corrupt or unreadable entry is a miss, never an
+/// error — the store is a cache, and the simulator is always able to
+/// regenerate the truth.
+pub trait ResultStore: Send + Sync + std::fmt::Debug {
+    /// The stored statistics for `key`, if present and readable.
+    fn load(&self, key: &RunKey) -> Option<SimStats>;
+
+    /// Persists the statistics for `key` (overwrites an existing entry).
+    ///
+    /// # Errors
+    ///
+    /// A rendered description of the I/O failure, if any. Losing a cache
+    /// write is not recoverable silently — the caller surfaces it as a
+    /// typed run error so CI catches a broken store directory.
+    fn save(&self, key: &RunKey, stats: &SimStats) -> Result<(), String>;
+
+    /// Number of entries currently stored.
+    fn len(&self) -> usize;
+
+    /// True when the store holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An in-memory [`ResultStore`]: per-process dedup and tests.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    map: Mutex<HashMap<RunKey, SimStats>>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ResultStore for MemStore {
+    fn load(&self, key: &RunKey) -> Option<SimStats> {
+        self.map.lock().expect("mem store poisoned").get(key).copied()
+    }
+
+    fn save(&self, key: &RunKey, stats: &SimStats) -> Result<(), String> {
+        self.map.lock().expect("mem store poisoned").insert(key.clone(), *stats);
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.map.lock().expect("mem store poisoned").len()
+    }
+}
+
+/// An on-disk [`ResultStore`]: one `eole-result/v1` JSON file per key.
+///
+/// Writes go through a sibling temp file and an atomic rename (the same
+/// discipline the `experiments --out` path uses), so a crashed or killed
+/// process can leave at worst a stray `.tmp` file — never a truncated
+/// entry. Reads treat unparsable or mismatched files as misses and count
+/// them in [`DirStore::corrupt`]; the next save simply overwrites.
+#[derive(Debug)]
+pub struct DirStore {
+    dir: PathBuf,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    corrupt: AtomicUsize,
+    tmp_counter: AtomicUsize,
+}
+
+impl DirStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// A rendered description if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<DirStore, String> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("create result store {}: {e}", dir.display()))?;
+        Ok(DirStore {
+            dir,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            corrupt: AtomicUsize::new(0),
+            tmp_counter: AtomicUsize::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Lookups served from disk.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found no entry.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries that existed but failed to parse or verify (each was
+    /// treated as a miss and will be overwritten by the next save).
+    pub fn corrupt(&self) -> usize {
+        self.corrupt.load(Ordering::Relaxed)
+    }
+
+    fn path_for(&self, key: &RunKey) -> PathBuf {
+        self.dir.join(format!("{}.json", key.file_stem()))
+    }
+}
+
+impl ResultStore for DirStore {
+    fn load(&self, key: &RunKey) -> Option<SimStats> {
+        let path = self.path_for(key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match parse_result_payload(&text, key) {
+            Ok(stats) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(stats)
+            }
+            Err(_) => {
+                // Corrupt-file recovery: a damaged entry is a miss; the
+                // re-simulated result overwrites it.
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn save(&self, key: &RunKey, stats: &SimStats) -> Result<(), String> {
+        let path = self.path_for(key);
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        let payload = render_result_payload(key, stats);
+        std::fs::write(&tmp, payload).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), path.display()))
+    }
+
+    fn len(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|ext| ext == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+}
+
+// ---- eole-result/v1 payload ------------------------------------------------
+
+fn cache_stats_json(name: &str, accesses: u64, misses: u64) -> String {
+    format!("\"{name}\":{{\"accesses\":{accesses},\"misses\":{misses}}}")
+}
+
+/// Renders the stored-result payload (schema documented in
+/// `EXPERIMENTS.md`). Every counter is an exact JSON integer, so a report
+/// built from stored results is byte-identical to one built from fresh
+/// simulations.
+pub fn render_result_payload(key: &RunKey, s: &SimStats) -> String {
+    let mut out = String::with_capacity(1536);
+    out.push_str("{\"schema\":\"eole-result/v1\",");
+    out.push_str(&format!("\"sim_version\":{},", key.sim_version));
+    out.push_str(&format!(
+        "\"key\":{{\"config\":{},\"config_digest\":\"{:016x}\",\"workload\":{},\"warmup\":{},\"measure\":{},\"seed\":{}}},",
+        json_string(&key.config_name),
+        key.config_digest,
+        json_string(&key.workload),
+        key.warmup,
+        key.measure,
+        key.seed,
+    ));
+    out.push_str("\"stats\":{");
+    let m = &s.mem;
+    let fields: Vec<String> = vec![
+        format!("\"cycles\":{}", s.cycles),
+        format!("\"committed\":{}", s.committed),
+        format!("\"fetched\":{}", s.fetched),
+        format!("\"squashed\":{}", s.squashed),
+        format!("\"vp_eligible\":{}", s.vp_eligible),
+        format!("\"vp_predicted\":{}", s.vp_predicted),
+        format!("\"vp_used\":{}", s.vp_used),
+        format!("\"vp_used_correct\":{}", s.vp_used_correct),
+        format!("\"vp_used_wrong\":{}", s.vp_used_wrong),
+        format!("\"vp_squashes\":{}", s.vp_squashes),
+        format!("\"vp_squash_cycles_frontend\":{}", s.vp_squash_cycles_frontend),
+        format!("\"vp_squash_cycles_levt\":{}", s.vp_squash_cycles_levt),
+        format!("\"vp_squash_cycles_window\":{}", s.vp_squash_cycles_window),
+        format!("\"early_executed\":{}", s.early_executed),
+        format!("\"late_executed_alu\":{}", s.late_executed_alu),
+        format!("\"late_executed_branches\":{}", s.late_executed_branches),
+        format!("\"levt_port_stalls\":{}", s.levt_port_stalls),
+        format!("\"ee_write_stalls\":{}", s.ee_write_stalls),
+        format!("\"cond_branches\":{}", s.cond_branches),
+        format!("\"branch_mispredicts\":{}", s.branch_mispredicts),
+        format!("\"hc_branches\":{}", s.hc_branches),
+        format!("\"hc_branch_mispredicts\":{}", s.hc_branch_mispredicts),
+        format!("\"indirect_mispredicts\":{}", s.indirect_mispredicts),
+        format!("\"btb_miss_bubbles\":{}", s.btb_miss_bubbles),
+        format!("\"memory_order_squashes\":{}", s.memory_order_squashes),
+        format!("\"sq_forwards\":{}", s.sq_forwards),
+        format!("\"stall_rob_full\":{}", s.stall_rob_full),
+        format!("\"stall_iq_full\":{}", s.stall_iq_full),
+        format!("\"stall_lsq_full\":{}", s.stall_lsq_full),
+        format!("\"stall_prf\":{}", s.stall_prf),
+        format!(
+            "\"mem\":{{{},{},{},\"dram\":{{\"accesses\":{},\"row_hits\":{},\"row_conflicts\":{}}},\"prefetch\":{{\"trains\":{},\"issued\":{}}},\"writebacks\":{}}}",
+            cache_stats_json("l1i", m.l1i.accesses, m.l1i.misses),
+            cache_stats_json("l1d", m.l1d.accesses, m.l1d.misses),
+            cache_stats_json("l2", m.l2.accesses, m.l2.misses),
+            m.dram.accesses,
+            m.dram.row_hits,
+            m.dram.row_conflicts,
+            m.prefetch.trains,
+            m.prefetch.issued,
+            m.writebacks,
+        ),
+    ];
+    out.push_str(&fields.join(","));
+    out.push_str("}}\n");
+    out
+}
+
+fn u64_field(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field `{key}`"))
+}
+
+fn cache_stats_field(
+    v: &Json,
+    key: &str,
+) -> Result<eole_mem::cache::CacheStats, String> {
+    let c = v.get(key).ok_or_else(|| format!("missing `{key}`"))?;
+    Ok(eole_mem::cache::CacheStats {
+        accesses: u64_field(c, "accesses")?,
+        misses: u64_field(c, "misses")?,
+    })
+}
+
+/// Parses an `eole-result/v1` payload back into [`SimStats`], verifying
+/// that it belongs to `key` (schema, sim version, digest, workload,
+/// methodology, seed). Any mismatch or malformation is an error — the
+/// caller treats it as a cache miss.
+pub fn parse_result_payload(text: &str, key: &RunKey) -> Result<SimStats, String> {
+    let v = Json::parse(text)?;
+    if v.get("schema").and_then(Json::as_str) != Some("eole-result/v1") {
+        return Err("not an eole-result/v1 payload".into());
+    }
+    if u64_field(&v, "sim_version")? != u64::from(key.sim_version) {
+        return Err("sim_version mismatch".into());
+    }
+    let k = v.get("key").ok_or("missing `key`")?;
+    if k.get("config_digest").and_then(Json::as_str)
+        != Some(format!("{:016x}", key.config_digest).as_str())
+        || k.get("workload").and_then(Json::as_str) != Some(key.workload.as_str())
+        || u64_field(k, "warmup")? != key.warmup
+        || u64_field(k, "measure")? != key.measure
+        || u64_field(k, "seed")? != key.seed
+    {
+        return Err("key mismatch".into());
+    }
+    let s = v.get("stats").ok_or("missing `stats`")?;
+    let mem = s.get("mem").ok_or("missing `stats.mem`")?;
+    let dram = mem.get("dram").ok_or("missing `stats.mem.dram`")?;
+    let prefetch = mem.get("prefetch").ok_or("missing `stats.mem.prefetch`")?;
+    Ok(SimStats {
+        cycles: u64_field(s, "cycles")?,
+        committed: u64_field(s, "committed")?,
+        fetched: u64_field(s, "fetched")?,
+        squashed: u64_field(s, "squashed")?,
+        vp_eligible: u64_field(s, "vp_eligible")?,
+        vp_predicted: u64_field(s, "vp_predicted")?,
+        vp_used: u64_field(s, "vp_used")?,
+        vp_used_correct: u64_field(s, "vp_used_correct")?,
+        vp_used_wrong: u64_field(s, "vp_used_wrong")?,
+        vp_squashes: u64_field(s, "vp_squashes")?,
+        vp_squash_cycles_frontend: u64_field(s, "vp_squash_cycles_frontend")?,
+        vp_squash_cycles_levt: u64_field(s, "vp_squash_cycles_levt")?,
+        vp_squash_cycles_window: u64_field(s, "vp_squash_cycles_window")?,
+        early_executed: u64_field(s, "early_executed")?,
+        late_executed_alu: u64_field(s, "late_executed_alu")?,
+        late_executed_branches: u64_field(s, "late_executed_branches")?,
+        levt_port_stalls: u64_field(s, "levt_port_stalls")?,
+        ee_write_stalls: u64_field(s, "ee_write_stalls")?,
+        cond_branches: u64_field(s, "cond_branches")?,
+        branch_mispredicts: u64_field(s, "branch_mispredicts")?,
+        hc_branches: u64_field(s, "hc_branches")?,
+        hc_branch_mispredicts: u64_field(s, "hc_branch_mispredicts")?,
+        indirect_mispredicts: u64_field(s, "indirect_mispredicts")?,
+        btb_miss_bubbles: u64_field(s, "btb_miss_bubbles")?,
+        memory_order_squashes: u64_field(s, "memory_order_squashes")?,
+        sq_forwards: u64_field(s, "sq_forwards")?,
+        stall_rob_full: u64_field(s, "stall_rob_full")?,
+        stall_iq_full: u64_field(s, "stall_iq_full")?,
+        stall_lsq_full: u64_field(s, "stall_lsq_full")?,
+        stall_prf: u64_field(s, "stall_prf")?,
+        mem: MemStats {
+            l1i: cache_stats_field(mem, "l1i")?,
+            l1d: cache_stats_field(mem, "l1d")?,
+            l2: cache_stats_field(mem, "l2")?,
+            dram: eole_mem::dram::DramStats {
+                accesses: u64_field(dram, "accesses")?,
+                row_hits: u64_field(dram, "row_hits")?,
+                row_conflicts: u64_field(dram, "row_conflicts")?,
+            },
+            prefetch: eole_mem::prefetch::PrefetchStats {
+                trains: u64_field(prefetch, "trains")?,
+                issued: u64_field(prefetch, "issued")?,
+            },
+            writebacks: u64_field(mem, "writebacks")?,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Runner;
+    use eole_core::config::CoreConfig;
+    use eole_workloads::workload_by_name;
+
+    fn spec() -> RunSpec {
+        RunSpec {
+            config: CoreConfig::eole_4_64(),
+            workload: workload_by_name("gzip").unwrap(),
+            runner: Runner::quick(),
+            seed: 0,
+        }
+    }
+
+    fn dense_stats() -> SimStats {
+        // Every field non-zero so a dropped field cannot hide in a
+        // default; the Debug round-trip below is the drift alarm.
+        let mut s = SimStats::default();
+        let mut n = 1u64;
+        macro_rules! fill {
+            ($($f:ident),+) => { $( s.$f = n; n += 1; )+ };
+        }
+        fill!(
+            cycles, committed, fetched, squashed, vp_eligible, vp_predicted, vp_used,
+            vp_used_correct, vp_used_wrong, vp_squashes, vp_squash_cycles_frontend,
+            vp_squash_cycles_levt, vp_squash_cycles_window, early_executed, late_executed_alu,
+            late_executed_branches, levt_port_stalls, ee_write_stalls, cond_branches,
+            branch_mispredicts, hc_branches, hc_branch_mispredicts, indirect_mispredicts,
+            btb_miss_bubbles, memory_order_squashes, sq_forwards, stall_rob_full,
+            stall_iq_full, stall_lsq_full, stall_prf
+        );
+        s.mem.l1i.accesses = n;
+        s.mem.l1i.misses = n + 1;
+        s.mem.l1d.accesses = n + 2;
+        s.mem.l1d.misses = n + 3;
+        s.mem.l2.accesses = n + 4;
+        s.mem.l2.misses = n + 5;
+        s.mem.dram.accesses = n + 6;
+        s.mem.dram.row_hits = n + 7;
+        s.mem.dram.row_conflicts = n + 8;
+        s.mem.prefetch.trains = n + 9;
+        s.mem.prefetch.issued = n + 10;
+        s.mem.writebacks = n + 11;
+        s
+    }
+
+    #[test]
+    fn payload_round_trips_every_counter() {
+        let key = RunKey::of(&spec());
+        let s = dense_stats();
+        let payload = render_result_payload(&key, &s);
+        let back = parse_result_payload(&payload, &key).unwrap();
+        // SimStats has no PartialEq; Debug covers every field, so equal
+        // renderings mean equal structs — and a field added to SimStats
+        // but forgotten here fails this test as long as it is non-zero
+        // in dense_stats().
+        assert_eq!(format!("{s:?}"), format!("{back:?}"));
+    }
+
+    #[test]
+    fn payload_rejects_foreign_keys() {
+        let base = spec();
+        let key = RunKey::of(&base);
+        let payload = render_result_payload(&key, &dense_stats());
+        let other_workload = RunKey { workload: "mcf".into(), ..key.clone() };
+        assert!(parse_result_payload(&payload, &other_workload).is_err());
+        let other_seed = RunKey { seed: 7, ..key.clone() };
+        assert!(parse_result_payload(&payload, &other_seed).is_err());
+        let other_version = RunKey { sim_version: key.sim_version + 1, ..key.clone() };
+        assert!(parse_result_payload(&payload, &other_version).is_err());
+        let other_config = RunKey { config_digest: key.config_digest ^ 1, ..key };
+        assert!(parse_result_payload(&payload, &other_config).is_err());
+    }
+
+    #[test]
+    fn run_key_separates_every_axis() {
+        let base = spec();
+        let key = RunKey::of(&base);
+        assert_eq!(key, RunKey::of(&base.clone()), "identity is value-based");
+        let mut by_config = base.clone();
+        by_config.config = CoreConfig::baseline_6_64();
+        let mut by_seed = base.clone();
+        by_seed.seed = 3;
+        let mut by_runner = base.clone();
+        by_runner.runner = Runner::default();
+        let mut by_workload = base.clone();
+        by_workload.workload = workload_by_name("mcf").unwrap();
+        for (what, other) in [
+            ("config", &by_config),
+            ("seed", &by_seed),
+            ("runner", &by_runner),
+            ("workload", &by_workload),
+        ] {
+            let other_key = RunKey::of(other);
+            assert_ne!(key, other_key, "{what} must change the key");
+            assert_ne!(key.digest64(), other_key.digest64(), "{what} must change the digest");
+            assert_ne!(key.file_stem(), other_key.file_stem(), "{what} must change the file");
+        }
+    }
+
+    #[test]
+    fn sanitized_name_collisions_still_get_distinct_files() {
+        // "gzip.v2" and "gzip-v2" sanitize to the same prefix; the
+        // trailing key digest must keep their files apart.
+        let key = RunKey::of(&spec());
+        let a = RunKey { workload: "gzip.v2".into(), ..key.clone() };
+        let b = RunKey { workload: "gzip-v2".into(), ..key };
+        assert_ne!(a.file_stem(), b.file_stem());
+    }
+
+    #[test]
+    fn file_stems_are_filesystem_safe() {
+        let mut s = spec();
+        s.config.name = "weird name/with:chars".into();
+        let stem = RunKey::of(&s).file_stem();
+        assert!(stem.chars().all(|c| c.is_ascii_alphanumeric() || "_-".contains(c)),
+            "{stem}");
+    }
+
+    #[test]
+    fn mem_store_round_trips() {
+        let store = MemStore::new();
+        let key = RunKey::of(&spec());
+        assert!(store.load(&key).is_none());
+        assert!(store.is_empty());
+        store.save(&key, &dense_stats()).unwrap();
+        assert_eq!(store.len(), 1);
+        let back = store.load(&key).unwrap();
+        assert_eq!(format!("{back:?}"), format!("{:?}", dense_stats()));
+    }
+}

@@ -1,0 +1,375 @@
+//! Canonical configuration identity: byte serialization and digests.
+//!
+//! The experiment harness caches simulation results keyed by *what was
+//! simulated* — and two `CoreConfig` values that agree field-for-field
+//! must therefore map to the same key, forever, across processes and
+//! machines. `Debug` formatting and `HashMap` hashing give no such
+//! guarantee, so this module defines one explicitly:
+//!
+//! * [`CanonicalBytes`] — a little writer producing a *canonical byte
+//!   serialization*: every field is appended in a fixed, documented order
+//!   with a type tag and a self-delimiting encoding, so distinct
+//!   configurations can never serialize to the same bytes (injectivity is
+//!   what makes the digest trustworthy as an identity).
+//! * [`Fnv64`] — a hand-rolled FNV-1a 64-bit hash over those bytes (the
+//!   build environment has no crates.io access, so no external hashers).
+//! * [`CoreConfig::digest`] — the resulting content address, rendered as
+//!   16 lowercase hex digits by [`CoreConfig::digest_hex`].
+//! * [`SIM_FINGERPRINT_VERSION`] — the *behavior* version of the
+//!   simulator. The digest identifies the configuration; this constant
+//!   identifies the model. Stored results are keyed by both, so bumping
+//!   the constant invalidates every cached result at once. Bump it
+//!   whenever a change is intentionally cycle-visible (i.e. whenever the
+//!   golden fingerprints in `tests/golden_fingerprints.rs` are
+//!   regenerated); never for pure refactors.
+//!
+//! The serialization format itself is versioned by a leading
+//! `"eole-core-config/v1"` marker: reordering, adding, or removing fields
+//! requires bumping that marker (old digests then change loudly rather
+//! than colliding silently).
+
+use eole_mem::cache::CacheConfig;
+use eole_mem::dram::DramConfig;
+use eole_mem::hierarchy::HierarchyConfig;
+use eole_mem::prefetch::PrefetchConfig;
+
+use crate::config::{CoreConfig, EoleConfig, FuConfig, ValuePredictorKind, VpConfig};
+
+/// Version of the simulator's cycle behavior, as seen by stored results.
+///
+/// Two runs agree on their outcome iff they agree on (configuration
+/// digest, workload, methodology, seed) **and** on this constant. Bump it
+/// in the same commit that regenerates the golden fingerprints — the two
+/// facts ("cycle behavior changed" and "cached results are stale") are
+/// one fact.
+pub const SIM_FINGERPRINT_VERSION: u32 = 1;
+
+/// FNV-1a, 64-bit: the classic minimal non-cryptographic hash.
+///
+/// Chosen deliberately over `DefaultHasher`: the standard library hasher
+/// is explicitly unstable across releases, while this digest is persisted
+/// in filenames and JSON payloads and must never drift.
+#[derive(Clone, Debug)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64 { state: Self::OFFSET_BASIS }
+    }
+
+    /// Absorbs bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// One-shot convenience: the FNV-1a digest of `bytes`.
+    pub fn digest(bytes: &[u8]) -> u64 {
+        let mut h = Fnv64::new();
+        h.write(bytes);
+        h.finish()
+    }
+}
+
+/// Writer for the canonical byte serialization.
+///
+/// Every `put_*` method appends a one-byte type tag followed by a
+/// fixed-width (or length-prefixed) little-endian payload, so the byte
+/// stream is self-delimiting: no two distinct field sequences can
+/// produce the same bytes.
+#[derive(Clone, Debug, Default)]
+pub struct CanonicalBytes {
+    buf: Vec<u8>,
+}
+
+impl CanonicalBytes {
+    const TAG_U64: u8 = 0x01;
+    const TAG_BOOL: u8 = 0x02;
+    const TAG_STR: u8 = 0x03;
+    const TAG_NONE: u8 = 0x04;
+    const TAG_SOME: u8 = 0x05;
+    const TAG_ENUM: u8 = 0x06;
+
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an unsigned integer (`usize` callers widen to `u64`).
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.push(Self::TAG_U64);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a boolean.
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(Self::TAG_BOOL);
+        self.buf.push(u8::from(v));
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.buf.push(Self::TAG_STR);
+        self.buf.extend_from_slice(&(s.len() as u64).to_le_bytes());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends an optional unsigned integer (presence is part of the
+    /// encoding: `None` and `Some(0)` serialize differently).
+    pub fn put_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.buf.push(Self::TAG_NONE),
+            Some(v) => {
+                self.buf.push(Self::TAG_SOME);
+                self.put_u64(v);
+            }
+        }
+    }
+
+    /// Appends an enum discriminant (callers assign stable tags by hand —
+    /// `as`-cast discriminants would silently renumber on reordering).
+    pub fn put_enum(&mut self, discriminant: u8) {
+        self.buf.push(Self::TAG_ENUM);
+        self.buf.push(discriminant);
+    }
+
+    /// The serialized bytes so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// FNV-1a digest of the bytes written so far.
+    pub fn digest(&self) -> u64 {
+        Fnv64::digest(&self.buf)
+    }
+}
+
+impl ValuePredictorKind {
+    /// Stable serialization tag (explicit, so reordering the enum cannot
+    /// silently change digests).
+    fn canon_tag(self) -> u8 {
+        match self {
+            ValuePredictorKind::VtageTwoDeltaStride => 0,
+            ValuePredictorKind::Vtage => 1,
+            ValuePredictorKind::TwoDeltaStride => 2,
+            ValuePredictorKind::Stride => 3,
+            ValuePredictorKind::LastValue => 4,
+            ValuePredictorKind::Fcm => 5,
+        }
+    }
+}
+
+impl FuConfig {
+    /// Appends the functional-unit pool in field order.
+    pub fn write_canon(&self, c: &mut CanonicalBytes) {
+        c.put_u64(self.int_alu as u64);
+        c.put_u64(self.int_muldiv as u64);
+        c.put_u64(self.fp_alu as u64);
+        c.put_u64(self.fp_muldiv as u64);
+        c.put_u64(self.mem_ports as u64);
+    }
+}
+
+impl VpConfig {
+    /// Appends the value-prediction configuration in field order.
+    pub fn write_canon(&self, c: &mut CanonicalBytes) {
+        c.put_enum(self.kind.canon_tag());
+        c.put_u64(self.seed);
+    }
+}
+
+impl EoleConfig {
+    /// Appends the EOLE toggles and port budgets in field order.
+    pub fn write_canon(&self, c: &mut CanonicalBytes) {
+        c.put_bool(self.early);
+        c.put_bool(self.late);
+        c.put_u64(self.ee_stages as u64);
+        c.put_opt_u64(self.levt_read_ports_per_bank.map(|p| p as u64));
+        c.put_opt_u64(self.ee_writes_per_bank.map(|p| p as u64));
+    }
+}
+
+fn write_cache(c: &mut CanonicalBytes, cache: &CacheConfig) {
+    c.put_u64(cache.sets as u64);
+    c.put_u64(cache.ways as u64);
+    c.put_u64(cache.line_bytes);
+    c.put_u64(cache.latency);
+}
+
+fn write_dram(c: &mut CanonicalBytes, dram: &DramConfig) {
+    c.put_u64(dram.ranks as u64);
+    c.put_u64(dram.banks_per_rank as u64);
+    c.put_u64(dram.row_bytes);
+    c.put_u64(dram.t_row_hit);
+    c.put_u64(dram.t_row_closed);
+    c.put_u64(dram.t_row_conflict);
+    c.put_u64(dram.t_bus);
+}
+
+fn write_prefetch(c: &mut CanonicalBytes, pf: &PrefetchConfig) {
+    c.put_u64(pf.entries as u64);
+    c.put_u64(pf.degree as u64);
+    c.put_u64(pf.distance);
+}
+
+fn write_hierarchy(c: &mut CanonicalBytes, mem: &HierarchyConfig) {
+    write_cache(c, &mem.l1i);
+    write_cache(c, &mem.l1d);
+    write_cache(c, &mem.l2);
+    write_dram(c, &mem.dram);
+    c.put_u64(mem.l1d_mshrs as u64);
+    c.put_u64(mem.l1i_mshrs as u64);
+    c.put_u64(mem.l2_mshrs as u64);
+    match &mem.prefetch {
+        None => c.put_opt_u64(None),
+        Some(pf) => {
+            c.put_opt_u64(Some(0));
+            write_prefetch(c, pf);
+        }
+    }
+}
+
+impl CoreConfig {
+    /// Appends the complete configuration, nested blocks included, in
+    /// declaration order behind the `eole-core-config/v1` format marker.
+    pub fn write_canon(&self, c: &mut CanonicalBytes) {
+        c.put_str("eole-core-config/v1");
+        c.put_str(&self.name);
+        c.put_u64(self.fetch_width as u64);
+        c.put_u64(self.rename_width as u64);
+        c.put_u64(self.commit_width as u64);
+        c.put_u64(self.issue_width as u64);
+        c.put_u64(self.iq_entries as u64);
+        c.put_u64(self.rob_entries as u64);
+        c.put_u64(self.lq_entries as u64);
+        c.put_u64(self.sq_entries as u64);
+        c.put_u64(self.int_prf as u64);
+        c.put_u64(self.fp_prf as u64);
+        c.put_u64(self.prf_banks as u64);
+        c.put_u64(self.frontend_depth);
+        c.put_u64(self.btb_miss_bubble);
+        c.put_u64(self.max_taken_per_cycle as u64);
+        self.fu.write_canon(c);
+        write_hierarchy(c, &self.mem);
+        match &self.vp {
+            None => c.put_opt_u64(None),
+            Some(vp) => {
+                c.put_opt_u64(Some(0));
+                vp.write_canon(c);
+            }
+        }
+        self.eole.write_canon(c);
+        c.put_opt_u64(self.levt_depth_override);
+        c.put_u64(self.branch_seed);
+    }
+
+    /// The canonical byte serialization (see module docs).
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut c = CanonicalBytes::new();
+        self.write_canon(&mut c);
+        c.into_bytes()
+    }
+
+    /// Content digest: FNV-1a over [`CoreConfig::canonical_bytes`]. Two
+    /// configurations share a digest iff they agree on every field
+    /// (including the display name; rename a variant and it is a new
+    /// identity — deliberate, so stored results always carry the name
+    /// they were produced under).
+    pub fn digest(&self) -> u64 {
+        Fnv64::digest(&self.canonical_bytes())
+    }
+
+    /// The digest as 16 lowercase hex digits (filenames, JSON payloads).
+    pub fn digest_hex(&self) -> String {
+        format!("{:016x}", self.digest())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(Fnv64::digest(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(Fnv64::digest(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(Fnv64::digest(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_clone_stable() {
+        let a = CoreConfig::eole_4_64();
+        let b = a.clone();
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+        assert_eq!(a.digest_hex().len(), 16);
+    }
+
+    #[test]
+    fn presets_have_pairwise_distinct_digests() {
+        let presets = CoreConfig::all_presets();
+        for (i, a) in presets.iter().enumerate() {
+            for b in &presets[i + 1..] {
+                assert_ne!(a.digest(), b.digest(), "{} vs {}", a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn none_and_some_zero_are_distinct() {
+        let base = CoreConfig::eole_4_64();
+        let pinned = base
+            .clone()
+            .to_builder()
+            .levt_depth_override(Some(0))
+            .build()
+            .unwrap();
+        assert_ne!(base.digest(), pinned.digest());
+    }
+
+    #[test]
+    fn string_framing_cannot_be_confused_with_adjacent_fields() {
+        // "ab" + "c" must not serialize identically to "a" + "bc".
+        let mut x = CanonicalBytes::new();
+        x.put_str("ab");
+        x.put_str("c");
+        let mut y = CanonicalBytes::new();
+        y.put_str("a");
+        y.put_str("bc");
+        assert_ne!(x.as_bytes(), y.as_bytes());
+    }
+
+    #[test]
+    fn vp_kind_tags_are_stable_and_distinct() {
+        use ValuePredictorKind as K;
+        let kinds =
+            [K::VtageTwoDeltaStride, K::Vtage, K::TwoDeltaStride, K::Stride, K::LastValue, K::Fcm];
+        let tags: Vec<u8> = kinds.iter().map(|k| k.canon_tag()).collect();
+        assert_eq!(tags, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

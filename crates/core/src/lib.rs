@@ -16,6 +16,10 @@
 //! * [`complexity`] — §6's register-file port/area arithmetic.
 //! * [`stats::SimStats`] — IPC, offload fractions (Figs. 2/4), VP
 //!   coverage/accuracy, branch MPKI.
+//! * [`canon`] — canonical configuration serialization and FNV-1a
+//!   digests ([`CoreConfig::digest`](config::CoreConfig::digest)), plus
+//!   [`canon::SIM_FINGERPRINT_VERSION`], the cycle-behavior version that
+//!   keys every stored result.
 //!
 //! ## Example
 //!
@@ -45,6 +49,7 @@
 //! # }
 //! ```
 
+pub mod canon;
 pub mod complexity;
 pub mod config;
 pub mod pipeline;

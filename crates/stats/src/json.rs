@@ -59,6 +59,29 @@ impl Json {
         }
     }
 
+    /// The value as an exact unsigned integer (`Num` whose `f64` is a
+    /// non-negative whole number within `f64`'s exact-integer range).
+    /// Counters stored by the result store round-trip through this: JSON
+    /// has one number type, and every counter the simulator emits fits in
+    /// 2^53 by a wide margin.
+    pub fn as_u64(&self) -> Option<u64> {
+        const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+        match self {
+            Json::Num(v) if *v >= 0.0 && *v <= MAX_EXACT && v.fract() == 0.0 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean (`Bool` only).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice (`Str` only).
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -264,6 +287,23 @@ mod tests {
         assert_eq!(arr.len(), 3);
         assert_eq!(arr[0].as_f64(), Some(1.0));
         assert_eq!(arr[2].get("b"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn as_u64_accepts_exact_integers_only() {
+        assert_eq!(Json::parse("12").unwrap().as_u64(), Some(12));
+        assert_eq!(Json::parse("0").unwrap().as_u64(), Some(0));
+        assert_eq!(Json::parse("9007199254740992").unwrap().as_u64(), Some(1 << 53));
+        assert_eq!(Json::parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("-3").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("\"12\"").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn as_bool_matches_bool_values_only() {
+        assert_eq!(Json::parse("true").unwrap().as_bool(), Some(true));
+        assert_eq!(Json::parse("false").unwrap().as_bool(), Some(false));
+        assert_eq!(Json::parse("1").unwrap().as_bool(), None);
     }
 
     #[test]

@@ -1,0 +1,371 @@
+//! Canonical run identity, end to end.
+//!
+//! Covers the contracts the result-caching redesign leans on:
+//!
+//! * **Digest stability** — known configurations map to known hex digests
+//!   forever (goldens below; a diff here means either the canonical
+//!   format marker was bumped intentionally, or identity silently broke).
+//! * **Digest sensitivity** — every builder setter changes the digest
+//!   (proptest-style sweep), so no configuration axis can alias another
+//!   in the store.
+//! * **Shard determinism** — an `n`-way partition of a grid is disjoint,
+//!   covers the grid, and is independent of thread counts and processes.
+//! * **`DirStore` behavior** — hit/miss/corrupt-file recovery, and the
+//!   headline property: a sharded populate + merged read-back produces
+//!   results identical to an unsharded run while simulating nothing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use eole_bench::{
+    DirStore, Executor, Grid, MemStore, Plan, ResultStore, RunKey, RunSpec, Runner, Session,
+    Shard,
+};
+use eole_core::canon::SIM_FINGERPRINT_VERSION;
+use eole_core::config::{CoreConfig, EoleConfig, FuConfig, ValuePredictorKind, VpConfig};
+use proptest::prelude::*;
+
+// ---- digest stability -----------------------------------------------------
+
+/// Golden content digests of the paper presets, captured when the
+/// canonical serialization (`eole-core-config/v1`) was introduced.
+///
+/// These must never drift: `DirStore` filenames embed them, so a silent
+/// digest change would orphan every stored result while claiming a cache
+/// miss. Changing the canonical format is allowed — bump the format
+/// marker in `eole_core::canon`, regenerate this table, and say so in
+/// the PR.
+#[rustfmt::skip]
+const GOLDEN_DIGESTS: [(&str, &str); 11] = [
+    ("Baseline_6_64", "53f18bebbc9cda39"),
+    ("Baseline_VP_6_64", "ae136a15657b2e9a"),
+    ("Baseline_VP_4_64", "edec1ccc39649a3e"),
+    ("Baseline_VP_6_48", "3ad8c07818d66358"),
+    ("EOLE_6_64", "4d160bbdcdc8aa02"),
+    ("EOLE_4_64", "e9805cb3b01144d6"),
+    ("EOLE_6_48", "546d62b6b0e8f2a0"),
+    ("EOLE_4_64_4banks", "c39d946da28ca6c2"),
+    ("EOLE_4_64_4ports_4banks", "f90fb7fbacd741de"),
+    ("OLE_4_64_4ports_4banks", "be2707880d588f4d"),
+    ("EOE_4_64_4ports_4banks", "46700618e00eb2a0"),
+];
+
+#[test]
+fn preset_digests_match_the_goldens() {
+    let presets = CoreConfig::all_presets();
+    assert_eq!(presets.len(), GOLDEN_DIGESTS.len());
+    for (config, (name, hex)) in presets.iter().zip(GOLDEN_DIGESTS) {
+        assert_eq!(config.name, name);
+        assert_eq!(
+            config.digest_hex(),
+            hex,
+            "{name}: canonical digest drifted — stored results would be orphaned"
+        );
+    }
+}
+
+#[test]
+fn sim_fingerprint_version_is_pinned() {
+    // Bumping this constant is a deliberate act (cycle behavior changed,
+    // golden fingerprints regenerated); this test makes the bump show up
+    // in the diff of a second file, PERF.md-style.
+    assert_eq!(SIM_FINGERPRINT_VERSION, 1);
+}
+
+// ---- digest sensitivity: every builder setter ------------------------------
+
+/// Every fluent setter of `CoreConfigBuilder`, as (name, mutation) pairs
+/// over a valid baseline. Each must move the digest.
+fn setter_mutations() -> Vec<(&'static str, CoreConfig)> {
+    let b = || CoreConfig::baseline_vp_6_64().to_builder();
+    vec![
+        ("name", b().name("renamed").build().unwrap()),
+        ("issue_width", b().issue_width(5).build().unwrap()),
+        ("iq", b().iq(63).build().unwrap()),
+        ("rob", b().rob(191).build().unwrap()),
+        ("lsq", b().lsq(47, 48).build().unwrap()),
+        ("front_width", b().front_width(7).build().unwrap()),
+        ("prf", b().prf(256, 192).build().unwrap()),
+        ("prf_banks", b().prf_banks(2).build().unwrap()),
+        ("frontend_depth", b().frontend_depth(14).build().unwrap()),
+        ("vp", b().vp(VpConfig { kind: ValuePredictorKind::Vtage, seed: 1 }).build().unwrap()),
+        ("vp_kind", b().vp_kind(ValuePredictorKind::Stride).build().unwrap()),
+        ("no_vp", b().no_vp().build().unwrap()),
+        ("eole", b().eole(EoleConfig { early: true, ..EoleConfig::off() }).build().unwrap()),
+        ("eole_full", b().eole_full().build().unwrap()),
+        ("ee_stages", b().eole_full().ee_stages(2).build().unwrap()),
+        ("levt_ports", b().eole_full().levt_ports(Some(3)).build().unwrap()),
+        ("ee_writes_per_bank", b().eole_full().ee_writes_per_bank(Some(2)).build().unwrap()),
+        ("fu", {
+            let mut fu = FuConfig::paper();
+            fu.int_alu = 5;
+            b().fu(fu).build().unwrap()
+        }),
+        ("mem", {
+            let mut mem = eole_mem::hierarchy::HierarchyConfig::paper();
+            mem.l1d.latency = 3;
+            b().mem(mem).build().unwrap()
+        }),
+        ("branch_seed", b().branch_seed(0x1234).build().unwrap()),
+        ("levt_depth_override", b().levt_depth_override(Some(0)).build().unwrap()),
+    ]
+}
+
+#[test]
+fn every_builder_setter_changes_the_digest() {
+    let base = CoreConfig::baseline_vp_6_64();
+    let mut seen = vec![(String::from("base"), base.digest())];
+    for (setter, mutated) in setter_mutations() {
+        let digest = mutated.digest();
+        assert_ne!(digest, base.digest(), "setter `{setter}` did not change the digest");
+        // Pairwise distinct, too: no two single-setter mutations alias.
+        for (other, d) in &seen {
+            assert_ne!(digest, *d, "`{setter}` collides with `{other}`");
+        }
+        seen.push((setter.to_string(), digest));
+    }
+}
+
+proptest! {
+    /// Randomized sweep over the numeric setters: any drawn change to a
+    /// numeric axis moves the digest, and equal inputs produce equal
+    /// digests (identity is value-based, never pointer/hash-state-based).
+    #[test]
+    fn numeric_setters_perturb_the_digest(
+        (width, iq, rob, depth, seed) in (1usize..8, 16usize..128, 64u64..512, 5u64..25, 0u64..1u64<<40)
+    ) {
+        let base = CoreConfig::baseline_vp_6_64();
+        let derived = base.clone().to_builder()
+            .issue_width(width)
+            .iq(iq)
+            .rob(rob as usize)
+            .frontend_depth(depth)
+            .branch_seed(seed)
+            .build()
+            .unwrap();
+        let twin = base.clone().to_builder()
+            .issue_width(width)
+            .iq(iq)
+            .rob(rob as usize)
+            .frontend_depth(depth)
+            .branch_seed(seed)
+            .build()
+            .unwrap();
+        prop_assert_eq!(derived.digest(), twin.digest());
+        let differs = width != base.issue_width
+            || iq != base.iq_entries
+            || rob as usize != base.rob_entries
+            || depth != base.frontend_depth
+            || seed != base.branch_seed;
+        prop_assert_eq!(derived.digest() != base.digest(), differs);
+    }
+}
+
+// ---- shard determinism over a real grid -----------------------------------
+
+fn small_grid() -> Grid {
+    Grid::new()
+        .runner(Runner::quick())
+        .configs([
+            CoreConfig::baseline_6_64(),
+            CoreConfig::baseline_vp_6_64(),
+            CoreConfig::eole_4_64(),
+        ])
+        .workload_names(&["gzip", "namd", "mcf"])
+}
+
+#[test]
+fn shard_partitions_are_disjoint_cover_the_grid_and_ignore_thread_counts() {
+    let grid = small_grid();
+    let keys: Vec<RunKey> = grid.specs().iter().map(RunSpec::run_key).collect();
+    for n in [1usize, 2, 3, 4, 7] {
+        let plan = Plan::new(&grid, n);
+        let shards = plan.shards();
+        let total: usize = shards.iter().map(Vec::len).sum();
+        assert_eq!(total, keys.len(), "n={n}: exact cover");
+        for key in &keys {
+            let owners: Vec<usize> = (1..=n)
+                .filter(|&k| Shard::new(k, n).unwrap().owns(key))
+                .collect();
+            assert_eq!(owners.len(), 1, "n={n}: {key:?} needs exactly one owner");
+        }
+    }
+    // Thread counts affect scheduling, never ownership: run each shard
+    // with different worker counts and check the same cells simulated.
+    let plan = Plan::new(&grid, 2);
+    for k in 1..=2 {
+        let expected: Vec<String> = plan.shard(k).iter().map(RunSpec::label).collect();
+        for threads in [1usize, 4] {
+            let exec = Executor::with_threads(threads).with_shard(Shard::new(k, 2).unwrap());
+            let ran: Vec<String> = exec
+                .run(&grid)
+                .iter()
+                .filter(|r| r.stats().is_ok())
+                .map(|r| r.spec.label())
+                .collect();
+            assert_eq!(ran, expected, "shard {k}/2 with {threads} threads");
+        }
+    }
+}
+
+// ---- DirStore -------------------------------------------------------------
+
+fn temp_store_dir(tag: &str) -> std::path::PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "eole-run-identity-{}-{}-{tag}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+#[test]
+fn dir_store_hit_miss_and_corrupt_file_recovery() {
+    let dir = temp_store_dir("recovery");
+    let store = DirStore::open(&dir).unwrap();
+    let spec = RunSpec {
+        config: CoreConfig::baseline_6_64(),
+        workload: eole_workloads::workload_by_name("gzip").unwrap(),
+        runner: Runner::quick(),
+        seed: 0,
+    };
+    let key = spec.run_key();
+    // Miss on an empty store.
+    assert!(store.load(&key).is_none());
+    assert_eq!((store.hits(), store.misses(), store.corrupt()), (0, 1, 0));
+    // Save + hit.
+    let stats = eole_core::stats::SimStats { cycles: 123, committed: 456, ..Default::default() };
+    store.save(&key, &stats).unwrap();
+    assert_eq!(store.len(), 1);
+    let back = store.load(&key).expect("stored entry must hit");
+    assert_eq!((back.cycles, back.committed), (123, 456));
+    assert_eq!(store.hits(), 1);
+    // Corrupt the file on disk: the entry degrades to a miss...
+    let file = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .find(|e| e.path().extension().is_some_and(|x| x == "json"))
+        .unwrap()
+        .path();
+    std::fs::write(&file, "{ not json").unwrap();
+    assert!(store.load(&key).is_none(), "corrupt entries are misses, not errors");
+    assert_eq!(store.corrupt(), 1);
+    // ...and the next save overwrites it cleanly.
+    store.save(&key, &stats).unwrap();
+    assert_eq!(store.load(&key).unwrap().cycles, 123);
+    // A payload for a *different* key at the same path is also a miss
+    // (belt-and-braces: the payload self-identifies).
+    let mut other = spec.clone();
+    other.seed = 9;
+    let other_key = other.run_key();
+    std::fs::copy(&file, dir.join(format!("{}.json", other_key.file_stem()))).unwrap();
+    assert!(store.load(&other_key).is_none(), "foreign payloads must not be served");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stored_results_are_keyed_by_sim_version() {
+    // A key with a different sim_version must not see entries written
+    // under the current one — the "bump invalidates the store" contract.
+    let dir = temp_store_dir("simver");
+    let store = DirStore::open(&dir).unwrap();
+    let spec = RunSpec {
+        config: CoreConfig::baseline_6_64(),
+        workload: eole_workloads::workload_by_name("gzip").unwrap(),
+        runner: Runner::quick(),
+        seed: 0,
+    };
+    let key = spec.run_key();
+    store.save(&key, &Default::default()).unwrap();
+    let bumped = RunKey { sim_version: key.sim_version + 1, ..key.clone() };
+    assert_ne!(key.file_stem(), bumped.file_stem());
+    assert!(store.load(&bumped).is_none());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---- the headline property ------------------------------------------------
+
+/// Shard-populate into a `DirStore`, then read the whole grid back
+/// merged: the merged results are identical to a fresh unsharded run and
+/// cost zero simulations. This is the in-process twin of the CI step
+/// that byte-compares `results.json` payloads across processes.
+#[test]
+fn sharded_populate_plus_merge_equals_unsharded_run_with_zero_sims() {
+    let grid = small_grid();
+    let fresh = Executor::with_threads(4).run(&grid);
+
+    let dir = temp_store_dir("merge");
+    // Populate: each shard in its own executor (own process, morally).
+    for k in 1..=2 {
+        let store: Arc<dyn ResultStore> = Arc::new(DirStore::open(&dir).unwrap());
+        let exec = Executor::with_threads(2)
+            .with_store(store)
+            .with_shard(Shard::new(k, 2).unwrap());
+        let results = exec.run(&grid);
+        let ok = results.iter().filter(|r| r.stats().is_ok()).count();
+        // Successes are either this shard's own simulations or cells the
+        // earlier shard already put in the shared store.
+        assert_eq!(
+            ok,
+            exec.simulated() + exec.store_hits(),
+            "shard {k}: successes = own sims + store hits"
+        );
+        assert!(exec.simulated() > 0, "shard {k} owns a non-empty slice of this grid");
+    }
+    // Merge: unsharded executor over a warm store.
+    let store: Arc<dyn ResultStore> = Arc::new(DirStore::open(&dir).unwrap());
+    let warm = Executor::with_threads(4).with_store(store);
+    let merged = warm.run(&grid);
+    assert_eq!(warm.simulated(), 0, "a warm store serves the whole grid");
+    assert_eq!(warm.store_hits(), grid.len());
+    assert_eq!(warm.cache().generated(), 0, "no traces needed either");
+    for (a, b) in fresh.iter().zip(&merged) {
+        assert_eq!(a.spec.label(), b.spec.label());
+        let (sa, sb) = (a.stats().unwrap(), b.stats().unwrap());
+        assert_eq!(
+            format!("{sa:?}"),
+            format!("{sb:?}"),
+            "{}: stored result must equal the fresh one on every counter",
+            a.spec.label()
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The Plan-level merge produces the same vector executors produce,
+/// proving the two merge paths (in-process `Plan::merge`, cross-process
+/// store read-back) agree.
+#[test]
+fn plan_merge_agrees_with_store_merge() {
+    let grid = small_grid();
+    let plan = Plan::new(&grid, 2);
+    let session = Session::builder().runner(Runner::quick()).threads(2).build().unwrap();
+    let shard_results: Vec<_> =
+        (1..=2).map(|k| session.run_specs(plan.shard(k))).collect();
+    let merged = plan.merge(shard_results).unwrap();
+    let fresh = session.run(&grid);
+    assert_eq!(merged.len(), fresh.len());
+    for (a, b) in merged.iter().zip(&fresh) {
+        assert_eq!(a.spec.label(), b.spec.label());
+        let (sa, sb) = (a.stats().unwrap(), b.stats().unwrap());
+        assert_eq!(sa.cycles, sb.cycles, "{}", a.spec.label());
+        assert_eq!(sa.committed, sb.committed);
+    }
+}
+
+/// The MemStore path used for in-process dedup behaves like DirStore for
+/// the executor (hit counters, zero re-simulation).
+#[test]
+fn mem_store_dedups_repeat_grids() {
+    let store: Arc<dyn ResultStore> = Arc::new(MemStore::new());
+    let grid = Grid::new()
+        .runner(Runner::quick())
+        .config(CoreConfig::baseline_6_64())
+        .workload_names(&["gzip"]);
+    let exec = Executor::with_threads(1).with_store(Arc::clone(&store));
+    exec.run(&grid);
+    exec.run(&grid);
+    assert_eq!(exec.simulated(), 1);
+    assert_eq!(exec.store_hits(), 1);
+    assert_eq!(store.len(), 1);
+}

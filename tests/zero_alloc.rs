@@ -127,6 +127,35 @@ fn squash_storms_do_not_allocate() {
     assert_eq!((allocs, bytes), (0, 0), "squash recovery allocated");
 }
 
+/// Steady-state trace-cache probes are allocation-free: the cache key is
+/// the borrowed `(&'static str, u64)` pair (`Workload::name` is static),
+/// so after the one-time generation a `get_or_prepare` per run costs a
+/// hash lookup and an `Arc` bump — no `String` per probe. Guards the
+/// executor's per-run lookup path the same way the tests above guard the
+/// simulator's per-cycle path.
+#[test]
+fn trace_cache_probes_do_not_allocate() {
+    use eole_bench::{Runner, TraceCache};
+    let cache = TraceCache::new();
+    let runner = Runner::quick();
+    let w = eole_workloads::workload_by_name("gzip").unwrap();
+    // One-time generation: allocates (trace buffers, cache slot).
+    cache.get_or_prepare(&w, &runner).unwrap();
+    let (allocs, bytes) = count_allocations(|| {
+        for _ in 0..1_000 {
+            let trace = cache.get_or_prepare(&w, &runner).unwrap();
+            std::hint::black_box(&trace);
+        }
+    });
+    assert_eq!(
+        (allocs, bytes),
+        (0, 0),
+        "steady-state cache probes allocated ({allocs} allocations, {bytes} bytes)"
+    );
+    assert_eq!(cache.generated(), 1);
+    assert_eq!(cache.hits(), 1_000);
+}
+
 /// Statistics snapshots are `Copy` — sampling them from a driver loop
 /// costs no heap traffic either.
 #[test]

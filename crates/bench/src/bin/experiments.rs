@@ -32,10 +32,10 @@ const USAGE: &str = "usage: experiments [names...|all] [--quick] [--warmup N] [-
 [--format md|json|csv] [--out FILE] [--md FILE] [--store DIR] [--shard K/N] [--assert-cached]
        experiments compare OLD.json NEW.json [--threshold PCT] [--out FILE]
 experiments: table1 table2 table3 fig2 fig4 offload fig6 fig7 fig8 fig10 fig11 fig12 fig13 \
-vp_ablation ee_writes squash_cost levt_depth_ablation complexity
+vp_ablation ee_writes squash_cost levt_depth_ablation dvtage_budget bebop_block_size complexity
 compare: diff two results.json report sets (Markdown delta table on stdout; exits 1 on \
 >PCT% drops in IPC/speedup columns, default 2%)
-store/shard: --store caches per-run results on disk (eole-result/v1, one file per run key); \
+store/shard: --store caches per-run results on disk (eole-result/v2, one file per run key); \
 --shard K/N simulates only the cells this process owns (populate pass, no reports) — merge by \
 re-running unsharded with the same --store; --assert-cached exits 1 if anything simulated";
 

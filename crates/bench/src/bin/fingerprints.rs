@@ -10,8 +10,14 @@
 //! commit — stored results from the old behavior are stale (`PERF.md`
 //! documents the rule).
 //!
+//! With `--digests` it instead prints the `("name", "hex"),` canonical
+//! content-digest table `tests/run_identity.rs` pins — regenerate that
+//! one ONLY when the canonical serialization format marker
+//! (`eole-core-config/vN`) is deliberately bumped.
+//!
 //! ```text
 //! cargo run --release -p eole-bench --bin fingerprints
+//! cargo run --release -p eole-bench --bin fingerprints -- --digests
 //! ```
 
 use eole_bench::{Grid, Runner, Session};
@@ -22,6 +28,13 @@ use eole_core::config::CoreConfig;
 pub const GOLDEN_RUNNER: Runner = Runner { warmup: 2_000, measure: 5_000 };
 
 fn main() {
+    if std::env::args().any(|a| a == "--digests") {
+        println!("// canonical config digests (eole-core-config format marker)");
+        for c in CoreConfig::all_presets() {
+            println!("(\"{}\", \"{}\"),", c.name, c.digest_hex());
+        }
+        return;
+    }
     let runner = GOLDEN_RUNNER;
     let session = Session::new(runner);
     // Workload-major grid order matches the committed table: one trace

@@ -16,15 +16,24 @@
 //! With `--baseline FILE`, the previous payload's `current` section is
 //! embedded as `baseline` and the gmean speedup is computed;
 //! `--min-speedup X` then turns the exit status into a regression gate.
+//!
+//! The payload also carries a `microbench` section — raw
+//! `evaluate_stream` lookups/sec per predictor kind (LVP through
+//! D-VTAGE), isolating predictor table cost from pipeline cost — unless
+//! `--no-microbench` skips it.
 
 use eole_bench::{RunSpec, Runner, Session};
 use eole_core::config::CoreConfig;
+use eole_predictors::value::{
+    evaluate_stream, DVtage, Fcm, LastValue, StridePredictor, TwoDeltaStride, ValuePredictor,
+    Vtage, VtageTwoDeltaStride,
+};
 use eole_stats::json::Json;
 use eole_stats::report::json_string;
 use eole_stats::summary::geometric_mean;
 
 const USAGE: &str = "usage: sim-throughput [--quick] [--warmup N] [--measure N] [--reps N] \
-[--label S] [--baseline FILE] [--min-speedup X] [--out FILE]";
+[--label S] [--baseline FILE] [--min-speedup X] [--out FILE] [--no-microbench]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}\n{USAGE}");
@@ -83,6 +92,49 @@ fn measure(session: &Session, spec: &RunSpec, reps: usize) -> Measured {
         committed,
         seconds: best_seconds,
     }
+}
+
+/// The predictor microbench: raw `evaluate_stream` lookup throughput
+/// (one lookup = predict + train) per predictor kind over gzip's
+/// VP-eligible µ-op stream — the cost of the predictor *itself*,
+/// isolated from the timing pipeline, so a table-layout change (e.g.
+/// D-VTAGE's block organization) shows up as a lookups/sec delta in
+/// `BENCH_throughput.json` even when pipeline throughput hides it.
+fn microbench(session: &Session, reps: usize) -> String {
+    let w = eole_workloads::workload_by_name("gzip").expect("gzip is in the registry");
+    let trace = session.prepare(&w).unwrap_or_else(|e| fail(&e.to_string()));
+    let stream = eole_bench::vp_stream(&trace);
+    let seed = 0xe01e;
+    type Builder = Box<dyn Fn() -> Box<dyn ValuePredictor>>;
+    let make: Vec<(&str, Builder)> = vec![
+        ("LVP", Box::new(move || Box::new(LastValue::new(8192, seed)))),
+        ("Stride", Box::new(move || Box::new(StridePredictor::new(8192, seed)))),
+        ("2D-Stride", Box::new(move || Box::new(TwoDeltaStride::paper(seed)))),
+        ("FCM-4", Box::new(move || Box::new(Fcm::new(8192, 8192, seed)))),
+        ("VTAGE", Box::new(move || Box::new(Vtage::paper(seed)))),
+        ("VTAGE-2DStride", Box::new(move || Box::new(VtageTwoDeltaStride::paper(seed)))),
+        ("D-VTAGE", Box::new(move || Box::new(DVtage::paper(4, 4, seed)))),
+    ];
+    let mut runs = Vec::new();
+    for (name, build) in &make {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let mut p = build();
+            let start = std::time::Instant::now();
+            let stats = evaluate_stream(&mut *p, trace.history(), stream.iter().copied());
+            let secs = start.elapsed().as_secs_f64();
+            std::hint::black_box(stats);
+            best = best.min(secs);
+        }
+        let mlps = stream.len() as f64 / best / 1.0e6;
+        eprintln!("  microbench {name:<16} {mlps:>8.3} Mlookups/s");
+        runs.push(format!(
+            "{{\"predictor\":{},\"mlookups_per_sec\":{mlps:.4},\"events\":{}}}",
+            json_string(name),
+            stream.len()
+        ));
+    }
+    format!("{{\"workload\":\"gzip\",\"runs\":[{}]}}", runs.join(","))
 }
 
 /// One run as an `eole-throughput/v1` JSON object (strings escaped).
@@ -151,6 +203,7 @@ fn main() {
     let mut baseline_path: Option<String> = None;
     let mut min_speedup: Option<f64> = None;
     let mut out_path: Option<String> = None;
+    let mut run_microbench = true;
     let take = |args: &[String], i: &mut usize, flag: &str| -> String {
         *i += 1;
         args.get(*i).unwrap_or_else(|| fail(&format!("{flag} needs a value"))).clone()
@@ -187,6 +240,7 @@ fn main() {
                 );
             }
             "--out" => out_path = Some(take(&args, &mut i, "--out")),
+            "--no-microbench" => run_microbench = false,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -222,6 +276,9 @@ fn main() {
         runner.warmup, runner.measure
     ));
     payload.push_str(&format!("\"current\":{current}"));
+    if run_microbench {
+        payload.push_str(&format!(",\"microbench\":{}", microbench(&session, reps)));
+    }
     let mut speedup = None;
     if let Some(path) = &baseline_path {
         let (baseline_json, baseline_gmean) = load_baseline(path);

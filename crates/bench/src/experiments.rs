@@ -12,7 +12,10 @@
 use eole_core::complexity::PrfPortModel;
 use eole_core::config::{CoreConfig, ValuePredictorKind};
 use eole_core::stats::SimStats;
-use eole_predictors::value::{TwoDeltaStride, ValuePredictor, Vtage, VtageTwoDeltaStride};
+use eole_predictors::value::{
+    evaluate_stream, DVtage, DVtageConfig, EvalStats, TwoDeltaStride, ValuePredictor, Vtage,
+    VtageTwoDeltaStride,
+};
 use eole_stats::report::{Cell, ExperimentReport};
 use eole_stats::summary::geometric_mean;
 use eole_workloads::{all_workloads, Workload};
@@ -46,10 +49,10 @@ pub const PAPER_IPC: [(&str, f64); 19] = [
 ];
 
 /// Every experiment name the harness knows, in paper order.
-pub const EXPERIMENT_NAMES: [&str; 18] = [
+pub const EXPERIMENT_NAMES: [&str; 20] = [
     "table1", "table2", "table3", "fig2", "fig4", "offload", "fig6", "fig7", "fig8",
     "fig10", "fig11", "fig12", "fig13", "vp_ablation", "ee_writes", "squash_cost",
-    "levt_depth_ablation", "complexity",
+    "levt_depth_ablation", "dvtage_budget", "bebop_block_size", "complexity",
 ];
 
 /// Driver for the full experiment suite.
@@ -418,6 +421,7 @@ impl ExperimentSet {
             ("FCM-4", ValuePredictorKind::Fcm),
             ("VTAGE", ValuePredictorKind::Vtage),
             ("hybrid", ValuePredictorKind::VtageTwoDeltaStride),
+            ("D-VTAGE", ValuePredictorKind::DVtage),
         ];
         let configs: Vec<CoreConfig> = kinds
             .iter()
@@ -425,7 +429,7 @@ impl ExperimentSet {
                 CoreConfig::baseline_vp_6_64()
                     .to_builder()
                     .name(*label)
-                    .vp(eole_core::config::VpConfig { kind: *kind, seed: 0xe01e })
+                    .vp_kind(*kind)
                     .build()
                     .expect("predictor swap keeps the preset valid")
             })
@@ -529,6 +533,113 @@ impl ExperimentSet {
         )
     }
 
+    /// `dvtage_budget`: prediction quality per storage bit — D-VTAGE
+    /// (BeBoP block organization, 16-bit deltas) sized to the *same
+    /// storage budget* as the paper's VTAGE-2DStride hybrid, compared on
+    /// offline coverage/accuracy over each workload's VP-eligible µ-op
+    /// stream. The hybrid spends most of its 385 KB on full 64-bit
+    /// values and full tags; at equal budget the differential layout
+    /// affords several times the entries, so its usable coverage should
+    /// dominate — the metric the old per-instruction interface could
+    /// not even measure.
+    pub fn dvtage_budget(&self) -> Result<ExperimentReport, RunError> {
+        let seed = 0xe01e;
+        let budget_bits = VtageTwoDeltaStride::paper(seed).storage_bits();
+        let dv_cfg = DVtageConfig::with_budget_bits(budget_bits, 4, 4);
+        let dv_kb = DVtage::new(dv_cfg.clone(), seed).storage_bits() as f64 / 8.0 / 1024.0;
+        let hybrid_kb = budget_bits as f64 / 8.0 / 1024.0;
+        let title = format!(
+            "D-VTAGE vs VTAGE-2DStride at equal storage budget \
+             (hybrid {hybrid_kb:.1} KB, D-VTAGE {dv_kb:.1} KB)"
+        );
+        let mut t = ExperimentReport::new("dvtage_budget", title)
+        .column("bench")
+        .column_unit("hybrid cov", "fraction")
+        .column_unit("D-VTAGE cov", "fraction")
+        .column_unit("hybrid acc", "fraction")
+        .column_unit("D-VTAGE acc", "fraction");
+        let mut cov = (Vec::new(), Vec::new());
+        let mut acc = (Vec::new(), Vec::new());
+        for w in &self.workloads {
+            let trace = self.session.prepare(w)?;
+            let stream = crate::vp_stream(&trace);
+            let run = |p: &mut dyn ValuePredictor| -> EvalStats {
+                evaluate_stream(p, trace.history(), stream.iter().copied())
+            };
+            let hybrid = run(&mut VtageTwoDeltaStride::paper(seed));
+            let dvtage = run(&mut DVtage::new(dv_cfg.clone(), seed));
+            cov.0.push(hybrid.coverage());
+            cov.1.push(dvtage.coverage());
+            acc.0.push(hybrid.accuracy());
+            acc.1.push(dvtage.accuracy());
+            t.add_row(vec![
+                w.name.into(),
+                Cell::Num(hybrid.coverage()),
+                Cell::Num(dvtage.coverage()),
+                Cell::Num(hybrid.accuracy()),
+                Cell::Num(dvtage.accuracy()),
+            ]);
+        }
+        t.add_row(vec![
+            "gmean".into(),
+            Cell::Num(geometric_mean(&cov.0).unwrap_or(0.0)),
+            Cell::Num(geometric_mean(&cov.1).unwrap_or(0.0)),
+            Cell::Num(geometric_mean(&acc.0).unwrap_or(0.0)),
+            Cell::Num(geometric_mean(&acc.1).unwrap_or(0.0)),
+        ]);
+        Ok(t)
+    }
+
+    /// `bebop_block_size`: the BeBoP access-granularity sweep, run
+    /// through the timing pipeline on the D-VTAGE front. Larger fetch
+    /// blocks cut predictor reads per committed µ-op (toward 1/B) while
+    /// block-shared tags cost some coverage; the per-confidence-level
+    /// counters (saturated share, sub-saturated accuracy) show where the
+    /// FPC gate — not the tables — bounds coverage.
+    pub fn bebop_block_size(&self) -> Result<ExperimentReport, RunError> {
+        const BLOCKS: [usize; 4] = [1, 2, 4, 8];
+        let configs: Vec<CoreConfig> = BLOCKS
+            .iter()
+            .map(|b| {
+                CoreConfig::baseline_dvtage_6_64()
+                    .to_builder()
+                    .name(format!("DVTAGE_6_64_b{b}"))
+                    .vp_block(*b, 4)
+                    .build()
+                    .expect("block sweep keeps the preset valid")
+            })
+            .collect();
+        let mut t = ExperimentReport::new(
+            "bebop_block_size",
+            "BeBoP block-size sweep on Baseline_DVTAGE_6_64 (4 banks, 64-deep spec window)",
+        )
+        .column("bench")
+        .column_unit("cov b=1", "fraction")
+        .column_unit("cov b=2", "fraction")
+        .column_unit("cov b=4", "fraction")
+        .column_unit("cov b=8", "fraction")
+        .column_unit("reads/µop b=1", "reads")
+        .column_unit("reads/µop b=8", "reads")
+        .column_unit("sat share b=4", "fraction")
+        .column_unit("sub-sat acc b=4", "fraction");
+        let rows = self.run_grid(configs)?;
+        for (w, stats) in self.workloads.iter().zip(&rows) {
+            let b4 = &stats[2];
+            t.add_row(vec![
+                w.name.into(),
+                Cell::Num(stats[0].vp_coverage()),
+                Cell::Num(stats[1].vp_coverage()),
+                Cell::Num(stats[2].vp_coverage()),
+                Cell::Num(stats[3].vp_coverage()),
+                Cell::Num(stats[0].vp_reads_per_committed()),
+                Cell::Num(stats[3].vp_reads_per_committed()),
+                Cell::Num(b4.vp_saturated_share()),
+                Cell::Num(b4.vp_subsaturated_accuracy()),
+            ]);
+        }
+        Ok(t)
+    }
+
     /// §6.2–6.3: register-file ports and relative area.
     pub fn complexity(&self) -> Result<ExperimentReport, RunError> {
         let base6 = PrfPortModel::new(6, 8, 8, false, false);
@@ -594,6 +705,8 @@ impl ExperimentSet {
             "ee_writes" => self.ablation_ee_writes(),
             "squash_cost" => self.squash_cost(),
             "levt_depth_ablation" => self.levt_depth_ablation(),
+            "dvtage_budget" => self.dvtage_budget(),
+            "bebop_block_size" => self.bebop_block_size(),
             "complexity" => self.complexity(),
             other => Err(RunError::UnknownExperiment(other.to_string())),
         }
@@ -632,10 +745,49 @@ mod tests {
         }
     }
 
+    /// The PR's acceptance bar: at an equal (in fact smaller) storage
+    /// budget, D-VTAGE's usable coverage over the quick suite is at
+    /// least the VTAGE-2DStride hybrid's — prediction quality per
+    /// storage bit, measured suite-wide (gmean row).
+    #[test]
+    fn dvtage_budget_meets_the_equal_storage_bar() {
+        let set = ExperimentSet::new(Runner::quick());
+        let t = set.dvtage_budget().unwrap();
+        let gmean = t.num_rows() - 1;
+        let hybrid_cov = t.value(gmean, 1).unwrap();
+        let dvtage_cov = t.value(gmean, 2).unwrap();
+        assert!(
+            dvtage_cov >= hybrid_cov,
+            "D-VTAGE gmean coverage {dvtage_cov:.3} below hybrid {hybrid_cov:.3} at equal budget"
+        );
+        // Usable predictions stay reliable on both sides (FPC holds the
+        // ~1-per-mille misprediction line the paper leans on).
+        for row in 0..gmean {
+            assert!(t.value(row, 3).unwrap() > 0.99, "hybrid accuracy row {row}");
+            assert!(t.value(row, 4).unwrap() > 0.99, "D-VTAGE accuracy row {row}");
+        }
+    }
+
+    #[test]
+    fn bebop_block_size_cuts_predictor_reads() {
+        let set = quick_set();
+        let t = set.bebop_block_size().unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.columns().len(), 9);
+        for row in 0..t.num_rows() {
+            let reads_b1 = t.value(row, 5).unwrap();
+            let reads_b8 = t.value(row, 6).unwrap();
+            assert!(
+                reads_b8 < reads_b1,
+                "row {row}: 8-µ-op blocks must need fewer reads ({reads_b8} vs {reads_b1})"
+            );
+        }
+    }
+
     #[test]
     fn by_name_covers_every_experiment_and_rejects_unknowns() {
         let set = quick_set();
-        for name in ["table1", "table2", "complexity", "squash_cost"] {
+        for name in ["table1", "table2", "complexity", "squash_cost", "dvtage_budget"] {
             assert!(set.by_name(name).is_ok(), "{name}");
         }
         match set.by_name("fig99") {

@@ -76,6 +76,21 @@ use eole_core::pipeline::{PreparedTrace, Simulator};
 use eole_core::stats::SimStats;
 use eole_workloads::Workload;
 
+/// The VP-eligible µ-op stream of a prepared trace, as
+/// `(pc, history position, actual value)` triples — the input shape of
+/// `eole_predictors::value::evaluate_stream`. One definition shared by
+/// the `dvtage_budget` experiment and the `sim-throughput` predictor
+/// microbench, so offline evaluations can never disagree on eligibility
+/// or address formation.
+pub fn vp_stream(trace: &PreparedTrace) -> Vec<(u64, u32, u64)> {
+    trace
+        .insts()
+        .iter()
+        .filter(|di| di.inst.is_vp_eligible())
+        .map(|di| (eole_isa::Program::inst_addr(di.pc), di.bhist_pos, di.result))
+        .collect()
+}
+
 /// Warmup/measurement methodology for one experiment run.
 #[derive(Clone, Copy, Debug)]
 pub struct Runner {

@@ -8,7 +8,7 @@
 //!   what makes caching sound.
 //! * [`ResultStore`] — where completed runs live. [`MemStore`] keeps them
 //!   in memory (tests, single-process dedup); [`DirStore`] persists one
-//!   JSON file per key (`eole-result/v1`, schema in `EXPERIMENTS.md`) so
+//!   JSON file per key (`eole-result/v2`, schema in `EXPERIMENTS.md`) so
 //!   repeated invocations — and shards of a partitioned grid — share
 //!   work across processes.
 //!
@@ -170,7 +170,7 @@ impl ResultStore for MemStore {
     }
 }
 
-/// An on-disk [`ResultStore`]: one `eole-result/v1` JSON file per key.
+/// An on-disk [`ResultStore`]: one `eole-result/v2` JSON file per key.
 ///
 /// Writes go through a sibling temp file and an atomic rename (the same
 /// discipline the `experiments --out` path uses), so a crashed or killed
@@ -281,7 +281,9 @@ impl ResultStore for DirStore {
     }
 }
 
-// ---- eole-result/v1 payload ------------------------------------------------
+// ---- eole-result/v2 payload ----------------------------------------------
+// (v2 = v1 plus the per-confidence-level and block-front counters; v1
+// files degrade to cache misses and are overwritten on the next save.)
 
 fn cache_stats_json(name: &str, accesses: u64, misses: u64) -> String {
     format!("\"{name}\":{{\"accesses\":{accesses},\"misses\":{misses}}}")
@@ -293,7 +295,7 @@ fn cache_stats_json(name: &str, accesses: u64, misses: u64) -> String {
 /// simulations.
 pub fn render_result_payload(key: &RunKey, s: &SimStats) -> String {
     let mut out = String::with_capacity(1536);
-    out.push_str("{\"schema\":\"eole-result/v1\",");
+    out.push_str("{\"schema\":\"eole-result/v2\",");
     out.push_str(&format!("\"sim_version\":{},", key.sim_version));
     out.push_str(&format!(
         "\"key\":{{\"config\":{},\"config_digest\":\"{:016x}\",\"workload\":{},\"warmup\":{},\"measure\":{},\"seed\":{}}},",
@@ -320,6 +322,10 @@ pub fn render_result_payload(key: &RunKey, s: &SimStats) -> String {
         format!("\"vp_squash_cycles_frontend\":{}", s.vp_squash_cycles_frontend),
         format!("\"vp_squash_cycles_levt\":{}", s.vp_squash_cycles_levt),
         format!("\"vp_squash_cycles_window\":{}", s.vp_squash_cycles_window),
+        format!("\"vp_pred_by_level\":[{}]", join_u64s(&s.vp_pred_by_level)),
+        format!("\"vp_correct_by_level\":[{}]", join_u64s(&s.vp_correct_by_level)),
+        format!("\"vp_block_reads\":{}", s.vp_block_reads),
+        format!("\"vp_window_rejects\":{}", s.vp_window_rejects),
         format!("\"early_executed\":{}", s.early_executed),
         format!("\"late_executed_alu\":{}", s.late_executed_alu),
         format!("\"late_executed_branches\":{}", s.late_executed_branches),
@@ -355,6 +361,25 @@ pub fn render_result_payload(key: &RunKey, s: &SimStats) -> String {
     out
 }
 
+fn join_u64s(values: &[u64]) -> String {
+    values.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+}
+
+fn u64_array8(v: &Json, key: &str) -> Result<[u64; 8], String> {
+    let arr = v
+        .get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing or non-array field `{key}`"))?;
+    if arr.len() != 8 {
+        return Err(format!("`{key}` must hold 8 levels, got {}", arr.len()));
+    }
+    let mut out = [0u64; 8];
+    for (slot, e) in out.iter_mut().zip(arr) {
+        *slot = e.as_u64().ok_or_else(|| format!("non-integer entry in `{key}`"))?;
+    }
+    Ok(out)
+}
+
 fn u64_field(v: &Json, key: &str) -> Result<u64, String> {
     v.get(key)
         .and_then(Json::as_u64)
@@ -372,14 +397,14 @@ fn cache_stats_field(
     })
 }
 
-/// Parses an `eole-result/v1` payload back into [`SimStats`], verifying
+/// Parses an `eole-result/v2` payload back into [`SimStats`], verifying
 /// that it belongs to `key` (schema, sim version, digest, workload,
 /// methodology, seed). Any mismatch or malformation is an error — the
 /// caller treats it as a cache miss.
 pub fn parse_result_payload(text: &str, key: &RunKey) -> Result<SimStats, String> {
     let v = Json::parse(text)?;
-    if v.get("schema").and_then(Json::as_str) != Some("eole-result/v1") {
-        return Err("not an eole-result/v1 payload".into());
+    if v.get("schema").and_then(Json::as_str) != Some("eole-result/v2") {
+        return Err("not an eole-result/v2 payload".into());
     }
     if u64_field(&v, "sim_version")? != u64::from(key.sim_version) {
         return Err("sim_version mismatch".into());
@@ -412,6 +437,10 @@ pub fn parse_result_payload(text: &str, key: &RunKey) -> Result<SimStats, String
         vp_squash_cycles_frontend: u64_field(s, "vp_squash_cycles_frontend")?,
         vp_squash_cycles_levt: u64_field(s, "vp_squash_cycles_levt")?,
         vp_squash_cycles_window: u64_field(s, "vp_squash_cycles_window")?,
+        vp_pred_by_level: u64_array8(s, "vp_pred_by_level")?,
+        vp_correct_by_level: u64_array8(s, "vp_correct_by_level")?,
+        vp_block_reads: u64_field(s, "vp_block_reads")?,
+        vp_window_rejects: u64_field(s, "vp_window_rejects")?,
         early_executed: u64_field(s, "early_executed")?,
         late_executed_alu: u64_field(s, "late_executed_alu")?,
         late_executed_branches: u64_field(s, "late_executed_branches")?,
@@ -474,12 +503,18 @@ mod tests {
         fill!(
             cycles, committed, fetched, squashed, vp_eligible, vp_predicted, vp_used,
             vp_used_correct, vp_used_wrong, vp_squashes, vp_squash_cycles_frontend,
-            vp_squash_cycles_levt, vp_squash_cycles_window, early_executed, late_executed_alu,
-            late_executed_branches, levt_port_stalls, ee_write_stalls, cond_branches,
-            branch_mispredicts, hc_branches, hc_branch_mispredicts, indirect_mispredicts,
-            btb_miss_bubbles, memory_order_squashes, sq_forwards, stall_rob_full,
-            stall_iq_full, stall_lsq_full, stall_prf
+            vp_squash_cycles_levt, vp_squash_cycles_window, vp_block_reads,
+            vp_window_rejects, early_executed, late_executed_alu, late_executed_branches,
+            levt_port_stalls, ee_write_stalls, cond_branches, branch_mispredicts,
+            hc_branches, hc_branch_mispredicts, indirect_mispredicts, btb_miss_bubbles,
+            memory_order_squashes, sq_forwards, stall_rob_full, stall_iq_full,
+            stall_lsq_full, stall_prf
         );
+        for lvl in 0..8 {
+            s.vp_pred_by_level[lvl] = n + lvl as u64;
+            s.vp_correct_by_level[lvl] = n + 8 + lvl as u64;
+        }
+        n += 16;
         s.mem.l1i.accesses = n;
         s.mem.l1i.misses = n + 1;
         s.mem.l1d.accesses = n + 2;

@@ -179,6 +179,7 @@ impl ValuePredictorKind {
             ValuePredictorKind::Stride => 3,
             ValuePredictorKind::LastValue => 4,
             ValuePredictorKind::Fcm => 5,
+            ValuePredictorKind::DVtage => 6,
         }
     }
 }
@@ -195,10 +196,15 @@ impl FuConfig {
 }
 
 impl VpConfig {
-    /// Appends the value-prediction configuration in field order.
+    /// Appends the value-prediction configuration in field order
+    /// (including the BeBoP block-front shape — part of run identity
+    /// since `eole-core-config/v2`).
     pub fn write_canon(&self, c: &mut CanonicalBytes) {
         c.put_enum(self.kind.canon_tag());
         c.put_u64(self.seed);
+        c.put_u64(self.block_size as u64);
+        c.put_u64(self.banks as u64);
+        c.put_opt_u64(self.spec_window.map(|w| w as u64));
     }
 }
 
@@ -255,9 +261,11 @@ fn write_hierarchy(c: &mut CanonicalBytes, mem: &HierarchyConfig) {
 
 impl CoreConfig {
     /// Appends the complete configuration, nested blocks included, in
-    /// declaration order behind the `eole-core-config/v1` format marker.
+    /// declaration order behind the `eole-core-config/v2` format marker
+    /// (v2 = v1 plus the `VpConfig` block-front fields; the bump is what
+    /// makes every v1 digest change loudly instead of aliasing).
     pub fn write_canon(&self, c: &mut CanonicalBytes) {
-        c.put_str("eole-core-config/v1");
+        c.put_str("eole-core-config/v2");
         c.put_str(&self.name);
         c.put_u64(self.fetch_width as u64);
         c.put_u64(self.rename_width as u64);
@@ -367,9 +375,30 @@ mod tests {
     #[test]
     fn vp_kind_tags_are_stable_and_distinct() {
         use ValuePredictorKind as K;
-        let kinds =
-            [K::VtageTwoDeltaStride, K::Vtage, K::TwoDeltaStride, K::Stride, K::LastValue, K::Fcm];
+        let kinds = [
+            K::VtageTwoDeltaStride,
+            K::Vtage,
+            K::TwoDeltaStride,
+            K::Stride,
+            K::LastValue,
+            K::Fcm,
+            K::DVtage,
+        ];
         let tags: Vec<u8> = kinds.iter().map(|k| k.canon_tag()).collect();
-        assert_eq!(tags, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(tags, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn block_front_fields_are_part_of_identity() {
+        let base = CoreConfig::baseline_dvtage_6_64();
+        let block8 = base.clone().to_builder().vp_block(8, 4).build().unwrap();
+        let banks1 = base.clone().to_builder().vp_block(4, 1).build().unwrap();
+        let unbounded = base.clone().to_builder().vp_spec_window(None).build().unwrap();
+        let digests = [base.digest(), block8.digest(), banks1.digest(), unbounded.digest()];
+        for (i, a) in digests.iter().enumerate() {
+            for b in &digests[i + 1..] {
+                assert_ne!(a, b, "block-front axes must not alias");
+            }
+        }
     }
 }

@@ -49,6 +49,74 @@ pub mod latency {
     pub const SQ_FORWARD: u64 = 2;
 }
 
+/// A configuration constraint violation, as data.
+///
+/// Every shape panic formerly reachable from a bad `CoreConfig` (the
+/// `assert!`s in `Prf::new`, the free-form `String` from `validate`) now
+/// reports through this type: a bad grid cell surfaces as a typed
+/// `RunError` in the executor instead of aborting the process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A fetch/rename/commit/issue width or window capacity is zero.
+    ZeroSize(&'static str),
+    /// A banking/blocking parameter must be a power of two.
+    NotPowerOfTwo {
+        /// The offending field.
+        field: &'static str,
+        /// The rejected value.
+        got: usize,
+    },
+    /// PRF registers must divide evenly across banks.
+    PrfNotBankDivisible {
+        /// Registers in the offending class.
+        regs: usize,
+        /// Configured bank count.
+        banks: usize,
+    },
+    /// The PRF must at least cover the 32 architectural registers with
+    /// renaming headroom.
+    PrfTooSmall {
+        /// Integer physical registers.
+        int_prf: usize,
+        /// FP physical registers.
+        fp_prf: usize,
+    },
+    /// EOLE requires value prediction (validation happens at commit).
+    EoleWithoutVp,
+    /// The Early Execution block is 1 or 2 stages deep (Fig. 2).
+    BadEeStages(usize),
+    /// The VP speculative window, when bounded, must hold ≥ 1 µ-op.
+    EmptySpecWindow,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroSize(what) => write!(f, "{what} must be non-zero"),
+            ConfigError::NotPowerOfTwo { field, got } => {
+                write!(f, "{field} must be a power of two, got {got}")
+            }
+            ConfigError::PrfNotBankDivisible { regs, banks } => {
+                write!(f, "PRF size {regs} must divide evenly across {banks} banks")
+            }
+            ConfigError::PrfTooSmall { int_prf, fp_prf } => write!(
+                f,
+                "PRF ({int_prf} INT / {fp_prf} FP) must at least cover the 32 \
+                 architectural registers with renaming headroom (≥ 64 each)"
+            ),
+            ConfigError::EoleWithoutVp => {
+                write!(f, "EOLE requires value prediction (validation at commit)")
+            }
+            ConfigError::BadEeStages(got) => write!(f, "ee_stages must be 1 or 2, got {got}"),
+            ConfigError::EmptySpecWindow => {
+                write!(f, "vp.spec_window, when bounded, must hold at least 1 µ-op")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Which value predictor drives the VP pipeline.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ValuePredictorKind {
@@ -64,21 +132,55 @@ pub enum ValuePredictorKind {
     LastValue,
     /// Order-4 FCM.
     Fcm,
+    /// D-VTAGE: block-based differential VTAGE (BeBoP, HPCA 2015) — the
+    /// cost-aware realization of the hybrid, and the only kind that
+    /// natively exploits `block_size`/`banks` in its table layout.
+    DVtage,
 }
 
-/// Value-prediction configuration.
+/// Value-prediction configuration: predictor choice plus the shape of
+/// the block-based access front (BeBoP).
 #[derive(Clone, Debug)]
 pub struct VpConfig {
     /// Predictor choice.
     pub kind: ValuePredictorKind,
     /// Seed for the probabilistic confidence counters.
     pub seed: u64,
+    /// µ-ops per predictor fetch block (power of two). 1 models the
+    /// pre-BeBoP per-instruction access the paper argues against.
+    pub block_size: usize,
+    /// Predictor storage banks (power of two).
+    pub banks: usize,
+    /// Bound on in-flight (predicted, unretired) µ-ops — the hardware's
+    /// speculative-history checkpoint budget. `None` = unbounded (the
+    /// idealization); a full window refuses further predictions.
+    pub spec_window: Option<usize>,
 }
 
 impl VpConfig {
-    /// The paper's VTAGE-2DStride hybrid.
+    /// The paper's VTAGE-2DStride hybrid, accessed per instruction with
+    /// an unbounded speculative window (the EOLE paper's idealized
+    /// predictor front — behavior-identical to the pre-block pipeline).
     pub fn paper() -> Self {
-        VpConfig { kind: ValuePredictorKind::VtageTwoDeltaStride, seed: 0xe01e }
+        VpConfig {
+            kind: ValuePredictorKind::VtageTwoDeltaStride,
+            seed: 0xe01e,
+            block_size: 1,
+            banks: 1,
+            spec_window: None,
+        }
+    }
+
+    /// The BeBoP-style D-VTAGE front: 4-µ-op fetch blocks, 4 banks, a
+    /// 64-µ-op speculative window.
+    pub fn dvtage() -> Self {
+        VpConfig {
+            kind: ValuePredictorKind::DVtage,
+            block_size: 4,
+            banks: 4,
+            spec_window: Some(64),
+            ..Self::paper()
+        }
     }
 }
 
@@ -273,6 +375,34 @@ impl CoreConfigBuilder {
         self
     }
 
+    /// Sets the BeBoP access shape — µ-ops per predictor fetch block and
+    /// storage banks — of the already-enabled VP configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if value prediction has not been enabled yet (authoring
+    /// order error; enable with [`CoreConfigBuilder::vp`] first).
+    #[must_use]
+    pub fn vp_block(mut self, block_size: usize, banks: usize) -> Self {
+        let vp = self.config.vp.as_mut().expect("enable VP before shaping its block front");
+        vp.block_size = block_size;
+        vp.banks = banks;
+        self
+    }
+
+    /// Bounds (or unbounds, with `None`) the VP speculative window of the
+    /// already-enabled VP configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if value prediction has not been enabled yet.
+    #[must_use]
+    pub fn vp_spec_window(mut self, window: Option<usize>) -> Self {
+        let vp = self.config.vp.as_mut().expect("enable VP before bounding its window");
+        vp.spec_window = window;
+        self
+    }
+
     /// Disables value prediction (and therefore EOLE).
     #[must_use]
     pub fn no_vp(mut self) -> Self {
@@ -350,7 +480,7 @@ impl CoreConfigBuilder {
     ///
     /// Returns the first constraint violated (see
     /// [`CoreConfig::validate`]).
-    pub fn build(self) -> Result<CoreConfig, String> {
+    pub fn build(self) -> Result<CoreConfig, ConfigError> {
         self.config.validate()?;
         Ok(self.config)
     }
@@ -478,8 +608,27 @@ impl CoreConfig {
         c
     }
 
-    /// Every named preset of the paper's evaluation, in paper order —
-    /// the population the golden cycle-exactness fingerprints cover.
+    /// `Baseline_DVTAGE_6_64`: the 6-issue VP baseline with the BeBoP
+    /// D-VTAGE front (4-µ-op blocks, 4 banks, 64-deep speculative
+    /// window) instead of the idealized per-instruction hybrid.
+    pub fn baseline_dvtage_6_64() -> Self {
+        let mut c = Self::base("Baseline_DVTAGE_6_64", 6, 64);
+        c.vp = Some(VpConfig::dvtage());
+        c
+    }
+
+    /// `EOLE_DVTAGE_4_64`: the headline 4-issue EOLE pipeline on the
+    /// BeBoP D-VTAGE front — the paper's cost argument end to end.
+    pub fn eole_dvtage_4_64() -> Self {
+        let mut c = Self::base("EOLE_DVTAGE_4_64", 4, 64);
+        c.vp = Some(VpConfig::dvtage());
+        c.eole = EoleConfig::full();
+        c
+    }
+
+    /// Every named preset of the paper's evaluation, in paper order,
+    /// plus the D-VTAGE/BeBoP pair — the population the golden
+    /// cycle-exactness fingerprints cover.
     pub fn all_presets() -> Vec<CoreConfig> {
         vec![
             CoreConfig::baseline_6_64(),
@@ -493,6 +642,8 @@ impl CoreConfig {
             CoreConfig::eole_4_64_ports(4, 4),
             CoreConfig::ole_4_64_ports(4, 4),
             CoreConfig::eoe_4_64_ports(4, 4),
+            CoreConfig::baseline_dvtage_6_64(),
+            CoreConfig::eole_dvtage_4_64(),
         ]
     }
 
@@ -500,28 +651,53 @@ impl CoreConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// The first violated constraint, as a typed [`ConfigError`] — every
+    /// shape that would previously panic deeper in the stack (PRF
+    /// banking, VP block geometry) reports here instead.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.fetch_width == 0 || self.rename_width == 0 || self.commit_width == 0 {
-            return Err("widths must be non-zero".into());
+            return Err(ConfigError::ZeroSize("fetch/rename/commit width"));
         }
         if self.issue_width == 0 || self.iq_entries == 0 || self.rob_entries == 0 {
-            return Err("window sizes must be non-zero".into());
+            return Err(ConfigError::ZeroSize("issue width / IQ / ROB"));
         }
         if !self.prf_banks.is_power_of_two() {
-            return Err(format!("prf_banks {} must be a power of two", self.prf_banks));
+            return Err(ConfigError::NotPowerOfTwo { field: "prf_banks", got: self.prf_banks });
         }
-        if !self.int_prf.is_multiple_of(self.prf_banks) || !self.fp_prf.is_multiple_of(self.prf_banks) {
-            return Err("PRF size must divide evenly across banks".into());
+        if !self.int_prf.is_multiple_of(self.prf_banks) {
+            return Err(ConfigError::PrfNotBankDivisible {
+                regs: self.int_prf,
+                banks: self.prf_banks,
+            });
+        }
+        if !self.fp_prf.is_multiple_of(self.prf_banks) {
+            return Err(ConfigError::PrfNotBankDivisible {
+                regs: self.fp_prf,
+                banks: self.prf_banks,
+            });
         }
         if (self.eole.early || self.eole.late) && self.vp.is_none() {
-            return Err("EOLE requires value prediction (validation at commit)".into());
+            return Err(ConfigError::EoleWithoutVp);
         }
         if !(1..=2).contains(&self.eole.ee_stages) {
-            return Err("ee_stages must be 1 or 2".into());
+            return Err(ConfigError::BadEeStages(self.eole.ee_stages));
         }
         if self.int_prf < 64 || self.fp_prf < 64 {
-            return Err("PRF must at least cover the architectural registers".into());
+            return Err(ConfigError::PrfTooSmall { int_prf: self.int_prf, fp_prf: self.fp_prf });
+        }
+        if let Some(vp) = &self.vp {
+            if !vp.block_size.is_power_of_two() {
+                return Err(ConfigError::NotPowerOfTwo {
+                    field: "vp.block_size",
+                    got: vp.block_size,
+                });
+            }
+            if !vp.banks.is_power_of_two() {
+                return Err(ConfigError::NotPowerOfTwo { field: "vp.banks", got: vp.banks });
+            }
+            if vp.spec_window == Some(0) {
+                return Err(ConfigError::EmptySpecWindow);
+            }
         }
         Ok(())
     }
@@ -547,19 +723,7 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        for c in [
-            CoreConfig::baseline_6_64(),
-            CoreConfig::baseline_vp_6_64(),
-            CoreConfig::baseline_vp_4_64(),
-            CoreConfig::baseline_vp_6_48(),
-            CoreConfig::eole_6_64(),
-            CoreConfig::eole_4_64(),
-            CoreConfig::eole_6_48(),
-            CoreConfig::eole_4_64_banked(4),
-            CoreConfig::eole_4_64_ports(4, 4),
-            CoreConfig::ole_4_64_ports(4, 4),
-            CoreConfig::eoe_4_64_ports(4, 4),
-        ] {
+        for c in CoreConfig::all_presets() {
             c.validate().unwrap_or_else(|e| panic!("{} invalid: {e}", c.name));
         }
     }
@@ -568,14 +732,71 @@ mod tests {
     fn eole_without_vp_is_rejected() {
         let mut c = CoreConfig::baseline_6_64();
         c.eole = EoleConfig::full();
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::EoleWithoutVp));
     }
 
     #[test]
     fn banking_must_divide_prf() {
         let mut c = CoreConfig::eole_4_64();
         c.prf_banks = 3;
-        assert!(c.validate().is_err());
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::NotPowerOfTwo { field: "prf_banks", got: 3 })
+        );
+        c.prf_banks = 8;
+        c.int_prf = 252; // not divisible by 8
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::PrfNotBankDivisible { regs: 252, banks: 8 })
+        );
+    }
+
+    #[test]
+    fn vp_block_geometry_is_validated_as_typed_errors() {
+        let bad_block = CoreConfig::baseline_dvtage_6_64().to_builder().vp_block(3, 4).build();
+        assert_eq!(
+            bad_block.unwrap_err(),
+            ConfigError::NotPowerOfTwo { field: "vp.block_size", got: 3 }
+        );
+        let bad_banks = CoreConfig::baseline_dvtage_6_64().to_builder().vp_block(4, 6).build();
+        assert_eq!(
+            bad_banks.unwrap_err(),
+            ConfigError::NotPowerOfTwo { field: "vp.banks", got: 6 }
+        );
+        let empty = CoreConfig::baseline_dvtage_6_64()
+            .to_builder()
+            .vp_spec_window(Some(0))
+            .build();
+        assert_eq!(empty.unwrap_err(), ConfigError::EmptySpecWindow);
+        // Display is human-readable (reaches RunError rendering).
+        assert!(ConfigError::EmptySpecWindow.to_string().contains("spec_window"));
+    }
+
+    #[test]
+    fn dvtage_presets_use_the_bebop_front() {
+        let c = CoreConfig::baseline_dvtage_6_64();
+        let vp = c.vp.as_ref().unwrap();
+        assert_eq!(vp.kind, ValuePredictorKind::DVtage);
+        assert_eq!((vp.block_size, vp.banks, vp.spec_window), (4, 4, Some(64)));
+        let e = CoreConfig::eole_dvtage_4_64();
+        assert!(e.eole.early && e.eole.late);
+        assert_eq!(e.issue_width, 4);
+        // The paper presets keep the behavior-neutral shape.
+        let p = CoreConfig::baseline_vp_6_64();
+        let vp = p.vp.as_ref().unwrap();
+        assert_eq!((vp.block_size, vp.banks, vp.spec_window), (1, 1, None));
+    }
+
+    #[test]
+    fn builder_shapes_the_block_front() {
+        let c = CoreConfig::builder()
+            .vp(VpConfig::paper())
+            .vp_block(8, 2)
+            .vp_spec_window(Some(32))
+            .build()
+            .unwrap();
+        let vp = c.vp.unwrap();
+        assert_eq!((vp.block_size, vp.banks, vp.spec_window), (8, 2, Some(32)));
     }
 
     #[test]

@@ -4,7 +4,6 @@
 //! numbers.
 
 use eole_isa::InstClass;
-use eole_predictors::value::ValuePredictor as _;
 
 use super::state::{pck, Simulator};
 
@@ -124,6 +123,13 @@ impl Simulator<'_> {
     /// Squashes every µ-op with sequence ≥ `first_bad` and rewinds the
     /// trace cursor so they refetch.
     pub(super) fn squash_from(&mut self, first_bad: u64) {
+        // One notification rolls the whole VP speculative window back to
+        // the cut: every in-flight (queried) instance with seq ≥
+        // `first_bad` is dropped youngest-first — exactly the µ-ops the
+        // front-queue and ROB walks below discard.
+        if let Some(vp) = self.vp.as_mut() {
+            vp.squash_from(first_bad);
+        }
         let mut min_trace_idx: Option<usize> = None;
         // Front-end queue (not yet renamed).
         while let Some(back) = self.front_q.back() {
@@ -133,11 +139,6 @@ impl Simulator<'_> {
             let fu = self.front_q.pop_back().expect("non-empty");
             min_trace_idx =
                 Some(min_trace_idx.map_or(fu.trace_idx, |m| m.min(fu.trace_idx)));
-            if fu.vp_queried {
-                if let Some(vp) = self.vp.as_mut() {
-                    vp.squash(pck(self.trace.insts()[fu.trace_idx].pc));
-                }
-            }
             self.stats.squashed += 1;
         }
         // ROB walk, youngest first: undo renaming.
@@ -150,11 +151,6 @@ impl Simulator<'_> {
             if let Some(d) = e.dst {
                 self.spec_rat[d.arch_flat as usize] = d.old;
                 self.prf.free(d.class, d.new);
-            }
-            if e.vp_queried {
-                if let Some(vp) = self.vp.as_mut() {
-                    vp.squash(pck(self.trace.insts()[e.trace_idx].pc));
-                }
             }
             self.stats.squashed += 1;
         }

@@ -1,9 +1,12 @@
 //! Front end: trace-driven fetch with I-cache timing, branch prediction
-//! (TAGE + BTB + RAS), and the value-predictor query at fetch time (§4.2).
+//! (TAGE + BTB + RAS), and the block-granular value-predictor query at
+//! fetch time (§4.2 / BeBoP): the predictor is read once per (cycle,
+//! fetch block) and each VP-eligible µ-op registers an in-flight
+//! instance in the speculative window — unless the window is full, in
+//! which case the µ-op simply travels unpredicted.
 
 use eole_isa::InstClass;
 use eole_predictors::branch::{BranchConfidence, DirectionPredictor};
-use eole_predictors::value::ValuePredictor as _;
 
 use super::state::{pck, FrontUop, Simulator};
 
@@ -39,20 +42,34 @@ impl Simulator<'_> {
                 pred_some: false,
                 pred_used: false,
                 pred_correct: false,
+                pred_level: 0,
+                pred_value_correct: false,
                 hc: false,
                 awaited: false,
                 ind_mispredict: false,
             };
             let view = self.trace.history.view(di.bhist_pos as usize);
-            // Value prediction at fetch (§4.2).
+            // Value prediction at fetch (§4.2), block-granular (BeBoP).
             if let Some(vp) = self.vp.as_mut() {
                 if di.inst.is_vp_eligible() {
-                    fu.vp_queried = true;
-                    if let Some(p) = vp.predict(pck(di.pc), view) {
+                    let q = vp.predict(self.cycle, seq, pck(di.pc), view);
+                    if q.new_block {
+                        self.stats.vp_block_reads += 1;
+                    }
+                    // Only accepted queries registered an in-flight
+                    // instance, so only they are trained at commit or
+                    // dropped at squash.
+                    fu.vp_queried = q.accepted;
+                    if !q.accepted {
+                        self.stats.vp_window_rejects += 1;
+                    }
+                    if let Some(p) = q.pred {
                         fu.pred_some = true;
+                        fu.pred_level = p.level;
+                        fu.pred_value_correct = p.value == di.result;
                         if p.confident {
                             fu.pred_used = true;
-                            fu.pred_correct = p.value == di.result;
+                            fu.pred_correct = fu.pred_value_correct;
                         }
                     }
                 }

@@ -6,7 +6,6 @@
 
 use eole_isa::InstClass;
 use eole_predictors::branch::DirectionPredictor;
-use eole_predictors::value::ValuePredictor as _;
 
 use super::state::{pck, RobEntry, Simulator};
 
@@ -95,7 +94,9 @@ impl Simulator<'_> {
         }
     }
 
-    /// Value-predictor training (the "T" in LE/VT) for a retiring µ-op.
+    /// Value-predictor training (the "T" in LE/VT) for a retiring µ-op:
+    /// retires the µ-op's in-flight speculative-window instance and
+    /// trains the block predictor with the architectural result.
     pub(super) fn levt_train(&mut self, e: &RobEntry) {
         if !e.vp_eligible {
             return;
@@ -103,6 +104,11 @@ impl Simulator<'_> {
         self.stats.vp_eligible += 1;
         if e.pred_some {
             self.stats.vp_predicted += 1;
+            let lvl = (e.pred_level & 7) as usize;
+            self.stats.vp_pred_by_level[lvl] += 1;
+            if e.pred_value_correct {
+                self.stats.vp_correct_by_level[lvl] += 1;
+            }
         }
         if e.pred_used {
             self.stats.vp_used += 1;
@@ -114,7 +120,7 @@ impl Simulator<'_> {
         let view = self.trace.history.view(di.bhist_pos as usize);
         if let Some(vp) = self.vp.as_mut() {
             if e.vp_queried {
-                vp.train(pck(di.pc), view, di.result);
+                vp.commit(e.seq, pck(di.pc), view, di.result);
             }
         }
     }

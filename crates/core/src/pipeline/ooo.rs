@@ -185,6 +185,8 @@ impl Simulator<'_> {
                 pred_some: fu.pred_some,
                 pred_used: fu.pred_used,
                 pred_correct: fu.pred_correct,
+                pred_level: fu.pred_level,
+                pred_value_correct: fu.pred_value_correct,
                 hc: fu.hc,
                 awaited: fu.awaited,
                 ind_mispredict: fu.ind_mispredict,

@@ -10,12 +10,12 @@ use eole_predictors::branch::{Btb, ReturnStack, Tage};
 use eole_predictors::history::BranchHistory;
 use eole_predictors::storesets::StoreSets;
 use eole_predictors::value::{
-    AnyValuePredictor, Fcm, LastValue, StridePredictor, TwoDeltaStride, Vtage,
-    VtageTwoDeltaStride,
+    AnyValuePredictor, BlockBackend, BlockParams, BlockVp, DVtage, DVtageConfig, Fcm, LastValue,
+    StridePredictor, TwoDeltaStride, Vtage, VtageTwoDeltaStride,
 };
 
 use super::window::SeqRing;
-use crate::config::{CoreConfig, ValuePredictorKind};
+use crate::config::{ConfigError, CoreConfig, ValuePredictorKind, VpConfig};
 use crate::prf::{PhysReg, Prf, NOT_READY};
 use crate::stats::SimStats;
 
@@ -39,6 +39,12 @@ impl PreparedTrace {
         self.insts.len()
     }
 
+    /// The precomputed correct-path branch-outcome log (predictors index
+    /// it by each µ-op's `bhist_pos`; offline evaluation replays it).
+    pub fn history(&self) -> &BranchHistory {
+        &self.history
+    }
+
     /// True if the trace holds no µ-ops.
     pub fn is_empty(&self) -> bool {
         self.insts.is_empty()
@@ -60,8 +66,9 @@ pub enum SimError {
         /// Instructions committed up to that point.
         committed: u64,
     },
-    /// Configuration rejected by [`CoreConfig::validate`].
-    BadConfig(String),
+    /// Configuration rejected by [`CoreConfig::validate`] (or a shape
+    /// the PRF/predictor constructors refuse) — typed, not a panic.
+    BadConfig(ConfigError),
 }
 
 impl std::fmt::Display for SimError {
@@ -121,6 +128,13 @@ pub(super) struct FrontUop {
     pub(super) pred_some: bool,
     pub(super) pred_used: bool,
     pub(super) pred_correct: bool,
+    /// FPC level of the prediction at fetch (0–7; meaningful iff
+    /// `pred_some`).
+    pub(super) pred_level: u8,
+    /// Whether the predicted value matched the trace result — tracked
+    /// for *every* prediction, not just used ones, so per-confidence-
+    /// level accuracy is observable.
+    pub(super) pred_value_correct: bool,
     /// Very-high-confidence conditional branch (storage-free TAGE conf).
     pub(super) hc: bool,
     /// Fetch stalls until this µ-op resolves (mispredicted control).
@@ -149,6 +163,8 @@ pub(super) struct RobEntry {
     pub(super) pred_some: bool,
     pub(super) pred_used: bool,
     pub(super) pred_correct: bool,
+    pub(super) pred_level: u8,
+    pub(super) pred_value_correct: bool,
     pub(super) hc: bool,
     pub(super) awaited: bool,
     pub(super) ind_mispredict: bool,
@@ -175,6 +191,8 @@ impl RobEntry {
             pred_some: false,
             pred_used: false,
             pred_correct: false,
+            pred_level: 0,
+            pred_value_correct: false,
             hc: false,
             awaited: false,
             ind_mispredict: false,
@@ -249,9 +267,9 @@ pub(super) fn pck(pc: u32) -> u64 {
     Program::inst_addr(pc)
 }
 
-/// Builds the configured predictor as a by-value enum: the fetch path
-/// queries it every cycle, and static dispatch keeps that query free of
-/// the `Box<dyn>` pointer chase.
+/// Builds a legacy per-instruction predictor as a by-value enum: the
+/// fetch path queries it every cycle, and static dispatch keeps that
+/// query free of the `Box<dyn>` pointer chase.
 fn make_value_predictor(kind: ValuePredictorKind, seed: u64) -> AnyValuePredictor {
     match kind {
         ValuePredictorKind::VtageTwoDeltaStride => VtageTwoDeltaStride::paper(seed).into(),
@@ -260,7 +278,29 @@ fn make_value_predictor(kind: ValuePredictorKind, seed: u64) -> AnyValuePredicto
         ValuePredictorKind::Stride => StridePredictor::new(8192, seed).into(),
         ValuePredictorKind::LastValue => LastValue::new(8192, seed).into(),
         ValuePredictorKind::Fcm => Fcm::new(8192, 8192, seed).into(),
+        ValuePredictorKind::DVtage => unreachable!("DVtage is a native block backend"),
     }
+}
+
+/// Builds the block-based VP subsystem the pipeline talks to: the
+/// configured backend (native D-VTAGE, or a legacy predictor behind the
+/// block adapter) plus the speculative window, pre-sized to the
+/// pipeline's maximum in-flight µ-op count so steady-state registration
+/// never allocates.
+fn make_block_vp(vp: &VpConfig, window_hint: usize) -> BlockVp {
+    let params = BlockParams {
+        block_size: vp.block_size,
+        banks: vp.banks,
+        spec_window: vp.spec_window,
+    };
+    let backend = match vp.kind {
+        ValuePredictorKind::DVtage => BlockBackend::DVtage(DVtage::new(
+            DVtageConfig::paper(vp.block_size, vp.banks),
+            vp.seed,
+        )),
+        kind => BlockBackend::Legacy(make_value_predictor(kind, vp.seed)),
+    };
+    BlockVp::new(backend, params, window_hint)
 }
 
 /// Reusable per-cycle scratch buffers: cleared at the top of the stage
@@ -302,7 +342,7 @@ pub struct Simulator<'t> {
     pub(super) tage: Tage,
     pub(super) btb: Btb,
     pub(super) ras: ReturnStack,
-    pub(super) vp: Option<AnyValuePredictor>,
+    pub(super) vp: Option<BlockVp>,
 
     // Rename.
     pub(super) spec_rat: [PhysReg; 64],
@@ -362,10 +402,14 @@ impl<'t> Simulator<'t> {
             tage: Tage::paper(config.branch_seed),
             btb: Btb::paper(),
             ras: ReturnStack::paper(),
-            vp: config.vp.as_ref().map(|v| make_value_predictor(v.kind, v.seed)),
+            vp: config
+                .vp
+                .as_ref()
+                .map(|v| make_block_vp(v, front_cap + config.rob_entries)),
             spec_rat,
             commit_rat: spec_rat,
-            prf: Prf::new(config.int_prf, config.fp_prf, config.prf_banks),
+            prf: Prf::try_new(config.int_prf, config.fp_prf, config.prf_banks)
+                .map_err(SimError::BadConfig)?,
             writer_info: [None; 64],
             prev_group_cycle: u64::MAX,
             rob: SeqRing::new(config.rob_entries, RobEntry::vacant()),

@@ -12,6 +12,8 @@
 
 use eole_isa::RegClass;
 
+use crate::config::ConfigError;
+
 /// A physical register index within its class.
 pub type PhysReg = u16;
 
@@ -44,14 +46,38 @@ impl Prf {
     /// across `banks` banks. Registers `0..32` of each class are reserved
     /// for the initial architectural mapping and marked ready at cycle 0.
     ///
+    /// # Errors
+    ///
+    /// A typed [`ConfigError`] unless sizes divide evenly by `banks` and
+    /// cover the architectural registers — the former `assert!` panics,
+    /// now reportable through `CoreConfig::builder().build()` / the
+    /// executor's `RunError` instead of aborting the process.
+    pub fn try_new(int_regs: usize, fp_regs: usize, banks: usize) -> Result<Self, ConfigError> {
+        if banks == 0 || !banks.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo { field: "prf_banks", got: banks });
+        }
+        for regs in [int_regs, fp_regs] {
+            if !regs.is_multiple_of(banks) {
+                return Err(ConfigError::PrfNotBankDivisible { regs, banks });
+            }
+        }
+        if int_regs < 64 || fp_regs < 64 {
+            return Err(ConfigError::PrfTooSmall { int_prf: int_regs, fp_prf: fp_regs });
+        }
+        Ok(Self::build_unchecked(int_regs, fp_regs, banks))
+    }
+
+    /// Infallible [`Prf::try_new`] for tests and callers with
+    /// pre-validated shapes.
+    ///
     /// # Panics
     ///
-    /// Panics unless sizes divide evenly by `banks` and cover the
-    /// architectural registers.
+    /// Panics with the rendered [`ConfigError`] on an invalid shape.
     pub fn new(int_regs: usize, fp_regs: usize, banks: usize) -> Self {
-        assert!(banks >= 1);
-        assert!(int_regs.is_multiple_of(banks) && fp_regs.is_multiple_of(banks));
-        assert!(int_regs >= 64 && fp_regs >= 64, "need headroom beyond the 32 arch regs");
+        Self::try_new(int_regs, fp_regs, banks).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn build_unchecked(int_regs: usize, fp_regs: usize, banks: usize) -> Self {
         let build = |n: usize| -> ClassFile {
             let mut ready = vec![NOT_READY; n];
             let mut free = vec![Vec::new(); banks];
@@ -132,6 +158,23 @@ impl Prf {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bad_shapes_are_typed_errors_not_panics() {
+        assert_eq!(
+            Prf::try_new(256, 256, 3).unwrap_err(),
+            ConfigError::NotPowerOfTwo { field: "prf_banks", got: 3 }
+        );
+        assert_eq!(
+            Prf::try_new(250, 256, 4).unwrap_err(),
+            ConfigError::PrfNotBankDivisible { regs: 250, banks: 4 }
+        );
+        assert_eq!(
+            Prf::try_new(64, 32, 1).unwrap_err(),
+            ConfigError::PrfTooSmall { int_prf: 64, fp_prf: 32 }
+        );
+        assert!(Prf::try_new(256, 256, 4).is_ok());
+    }
 
     #[test]
     fn initial_arch_mapping_is_ready() {

@@ -43,6 +43,21 @@ pub struct SimStats {
     /// Squash-cost cycles charged to the OoO window: age of the oldest
     /// discarded in-flight µ-op at squash time (work thrown away).
     pub vp_squash_cycles_window: u64,
+    /// Committed predictions by FPC confidence level at fetch time
+    /// (index = level 0–7; only level 7 — saturated — is *used*).
+    pub vp_pred_by_level: [u64; 8],
+    /// Of those, predictions whose value matched the architectural
+    /// result (correctness is tracked for every level, so the
+    /// quality-per-confidence-bit curve is observable, not just the
+    /// saturated point).
+    pub vp_correct_by_level: [u64; 8],
+    /// Predictor reads at fetch: one per (cycle, fetch block) — the
+    /// BeBoP access count (block size 1 degenerates to one read per
+    /// queried µ-op).
+    pub vp_block_reads: u64,
+    /// Fetch-time queries refused because the speculative window was
+    /// full (the µ-op traveled unpredicted).
+    pub vp_window_rejects: u64,
 
     // ---- EOLE ------------------------------------------------------------
     /// Committed µ-ops executed in the Early Execution block.
@@ -152,6 +167,40 @@ impl SimStats {
         }
     }
 
+    /// Fraction of committed predictions sitting at saturated (usable)
+    /// confidence — how much of the predictor's work the FPC gate lets
+    /// through.
+    pub fn vp_saturated_share(&self) -> f64 {
+        if self.vp_predicted == 0 {
+            0.0
+        } else {
+            self.vp_pred_by_level[7] as f64 / self.vp_predicted as f64
+        }
+    }
+
+    /// Correctness of committed predictions *below* saturation — the
+    /// accuracy the FPC gate is holding back (high values here mean the
+    /// confidence ramp is the coverage bottleneck, not the tables).
+    pub fn vp_subsaturated_accuracy(&self) -> f64 {
+        let pred: u64 = self.vp_pred_by_level[..7].iter().sum();
+        let correct: u64 = self.vp_correct_by_level[..7].iter().sum();
+        if pred == 0 {
+            1.0
+        } else {
+            correct as f64 / pred as f64
+        }
+    }
+
+    /// Predictor reads per committed µ-op (the BeBoP access-cost metric:
+    /// block size B cuts this toward 1/B of the per-instruction rate).
+    pub fn vp_reads_per_committed(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.vp_block_reads as f64 / self.committed as f64
+        }
+    }
+
     /// Coverage of value prediction: used predictions / eligible µ-ops.
     pub fn vp_coverage(&self) -> f64 {
         if self.vp_eligible == 0 {
@@ -246,6 +295,22 @@ mod tests {
         assert_eq!(s.vp_squash_cycles(), 50);
         assert!((s.vp_squash_cost_fraction() - 0.05).abs() < 1e-12);
         assert_eq!(SimStats::default().vp_squash_cost_fraction(), 0.0);
+    }
+
+    #[test]
+    fn confidence_level_metrics() {
+        let mut s = SimStats { committed: 1000, vp_predicted: 100, ..Default::default() };
+        s.vp_pred_by_level[7] = 40;
+        s.vp_pred_by_level[3] = 60;
+        s.vp_correct_by_level[7] = 40;
+        s.vp_correct_by_level[3] = 45;
+        s.vp_block_reads = 250;
+        assert!((s.vp_saturated_share() - 0.4).abs() < 1e-12);
+        assert!((s.vp_subsaturated_accuracy() - 0.75).abs() < 1e-12);
+        assert!((s.vp_reads_per_committed() - 0.25).abs() < 1e-12);
+        assert_eq!(SimStats::default().vp_saturated_share(), 0.0);
+        assert_eq!(SimStats::default().vp_subsaturated_accuracy(), 1.0);
+        assert_eq!(SimStats::default().vp_reads_per_committed(), 0.0);
     }
 
     #[test]

@@ -4,8 +4,11 @@
 //! primary sources and sized per the paper's Tables 1-2:
 //!
 //! * **Value predictors** ([`value`]): last-value, stride, 2-delta stride,
-//!   order-4 FCM, VTAGE, and the evaluated [`value::VtageTwoDeltaStride`]
-//!   hybrid -- all gated by Forward Probabilistic Counters ([`fpc`]).
+//!   order-4 FCM, VTAGE, the evaluated [`value::VtageTwoDeltaStride`]
+//!   hybrid, and the block-based [`value::DVtage`] (BeBoP, HPCA 2015) --
+//!   all gated by Forward Probabilistic Counters ([`fpc`]). The timing
+//!   core drives them through [`value::BlockVp`], the fetch-block-granular
+//!   front with the speculative in-flight window.
 //! * **Branch predictors** ([`branch`]): TAGE (1 + 12 components) with
 //!   storage-free confidence (very-high-confidence branches are the ones
 //!   EOLE late-executes), a 2-way 4K BTB, and a 32-entry return stack.

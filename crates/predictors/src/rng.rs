@@ -7,7 +7,7 @@
 //! change between crate versions.
 
 /// A seeded xorshift64* generator.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SimRng {
     state: u64,
 }

@@ -10,8 +10,8 @@
 
 use crate::history::HistoryView;
 use crate::value::{
-    Fcm, LastValue, StridePredictor, TwoDeltaStride, ValuePrediction, ValuePredictor, Vtage,
-    VtageTwoDeltaStride,
+    DVtage, Fcm, LastValue, StridePredictor, TwoDeltaStride, ValuePrediction, ValuePredictor,
+    Vtage, VtageTwoDeltaStride,
 };
 
 /// A value predictor held by value — every kind the harness knows.
@@ -29,6 +29,11 @@ pub enum AnyValuePredictor {
     LastValue(LastValue),
     /// Order-4 FCM.
     Fcm(Fcm),
+    /// Block-based differential VTAGE (BeBoP/D-VTAGE, HPCA 2015) — on
+    /// this per-instruction path it runs in its offline commit-
+    /// immediately mode; the timing core uses it through
+    /// [`crate::value::BlockVp`] instead.
+    DVtage(DVtage),
 }
 
 macro_rules! dispatch {
@@ -40,6 +45,7 @@ macro_rules! dispatch {
             AnyValuePredictor::Stride($p) => $body,
             AnyValuePredictor::LastValue($p) => $body,
             AnyValuePredictor::Fcm($p) => $body,
+            AnyValuePredictor::DVtage($p) => $body,
         }
     };
 }
@@ -105,6 +111,12 @@ impl From<Fcm> for AnyValuePredictor {
     }
 }
 
+impl From<DVtage> for AnyValuePredictor {
+    fn from(p: DVtage) -> Self {
+        AnyValuePredictor::DVtage(p)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +151,7 @@ mod tests {
             StridePredictor::new(256, 1).into(),
             LastValue::new(256, 1).into(),
             Fcm::new(256, 256, 1).into(),
+            crate::value::DVtage::paper(4, 4, 1).into(),
         ];
         for mut p in kinds {
             assert!(!p.name().is_empty());

@@ -7,21 +7,28 @@
 //! uses the [`VtageTwoDeltaStride`] hybrid with Forward Probabilistic
 //! Counter confidence.
 //!
-//! ## Protocol
+//! ## Protocols
 //!
-//! The timing core drives a predictor with three calls:
+//! There are two interfaces at two altitudes:
 //!
-//! * [`ValuePredictor::predict`] at **fetch** for every VP-eligible µ-op —
-//!   this may register an in-flight instance for predictors that extrapolate
-//!   from the last committed value;
-//! * exactly one of [`ValuePredictor::train`] at **commit** (which also
-//!   retires the in-flight instance and updates tables/confidence) or
-//!   [`ValuePredictor::squash`] when the µ-op is squashed.
+//! * **The block protocol** ([`BlockVp`], module [`block`]) is what the
+//!   timing core drives: [`BlockVp::predict`] at **fetch** (fetch-block-
+//!   granular access, speculative-window registration), exactly one of
+//!   [`BlockVp::commit`] at **retire** or a covering
+//!   [`BlockVp::squash_from`] on a pipeline squash. The native backend
+//!   is [`DVtage`]; the five per-instruction predictors ride behind the
+//!   legacy adapter.
+//! * **The per-instruction protocol** ([`ValuePredictor`]) survives for
+//!   offline evaluation ([`evaluate_stream`], the predictor microbench,
+//!   the `predictor_showdown` example) and as the adapter target:
+//!   `predict` at fetch, exactly one of `train` at commit or `squash`.
 //!
 //! A prediction is *used* by the pipeline only when `confident` is true
 //! (saturated FPC), per §4.2.
 
 mod any;
+mod block;
+mod dvtage;
 mod fcm;
 mod hybrid;
 mod last_value;
@@ -29,6 +36,8 @@ mod stride;
 mod vtage;
 
 pub use any::AnyValuePredictor;
+pub use block::{BlockBackend, BlockParams, BlockQuery, BlockVp};
+pub use dvtage::{DVtage, DVtageConfig};
 pub use fcm::Fcm;
 pub use hybrid::{StrideOnly, VtageTwoDeltaStride};
 pub use last_value::LastValue;
@@ -185,7 +194,7 @@ mod proptests {
     use proptest::prelude::*;
 
     fn any_predictor(kind: u8, seed: u64) -> Box<dyn ValuePredictor> {
-        match kind % 6 {
+        match kind % 7 {
             0 => Box::new(LastValue::new(256, seed)),
             1 => Box::new(StridePredictor::new(256, seed)),
             2 => Box::new(TwoDeltaStride::new(256, seed)),
@@ -196,6 +205,15 @@ mod proptests {
                     tagged_entries: 64,
                     history_lengths: vec![2, 4, 8],
                     base_tag_bits: 8,
+                },
+                seed,
+            )),
+            5 => Box::new(DVtage::new(
+                DVtageConfig {
+                    lvt_entries: 256,
+                    base_entries: 256,
+                    tagged_entries: 64,
+                    ..DVtageConfig::paper(1, 1)
                 },
                 seed,
             )),
@@ -238,7 +256,7 @@ mod proptests {
         /// are never wrong, for every computational predictor.
         #[test]
         fn confident_never_wrong_on_pure_stride(
-            kind in prop::sample::select(vec![1u8, 2, 5]),
+            kind in prop::sample::select(vec![1u8, 2, 5, 6]),
             stride in -1000i64..1000,
             start: u64,
         ) {

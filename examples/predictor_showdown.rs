@@ -11,8 +11,8 @@
 
 use eole::predictors::history::BranchHistory;
 use eole::predictors::value::{
-    evaluate_stream, Fcm, LastValue, StridePredictor, TwoDeltaStride, ValuePredictor, Vtage,
-    VtageTwoDeltaStride,
+    evaluate_stream, DVtage, Fcm, LastValue, StridePredictor, TwoDeltaStride, ValuePredictor,
+    Vtage, VtageTwoDeltaStride,
 };
 use eole::prelude::*;
 
@@ -38,6 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(Fcm::new(8192, 8192, 4)),
         Box::new(Vtage::paper(5)),
         Box::new(VtageTwoDeltaStride::paper(6)),
+        Box::new(DVtage::paper(4, 4, 7)),
     ];
 
     let mut report = ExperimentReport::new("predictor_showdown", "value predictor showdown")

@@ -5,9 +5,12 @@
 //! a *pure* optimization: for every preset configuration and workload the
 //! simulator must reproduce, bit for bit, the `(cycles, committed,
 //! squashed)` counters the pre-refactor `VecDeque` simulator produced.
-//! This table was captured at commit 581994e (PR 2) with the
-//! `fingerprints` tool and pins that contract forever: any future change
-//! that moves one of these numbers is a *model* change and must say so —
+//! The 209 paper-preset rows were captured at commit 581994e (PR 2) with
+//! the `fingerprints` tool and pin that contract forever — the PR 5
+//! block-based predictor refactor (BeBoP/D-VTAGE) reproduced all of them
+//! bit-for-bit, and appended 38 rows for the two new D-VTAGE presets
+//! (`Baseline_DVTAGE_6_64`, `EOLE_DVTAGE_4_64`). Any future change that
+//! moves one of these numbers is a *model* change and must say so —
 //! regenerate with `cargo run --release -p eole-bench --bin fingerprints`
 //! and justify the diff in the PR.
 //!
@@ -25,7 +28,7 @@ const GOLDEN_RUNNER: Runner = Runner { warmup: 2_000, measure: 5_000 };
 
 /// `(config, workload, cycles, committed, squashed)` — captured pre-refactor.
 #[rustfmt::skip]
-const FINGERPRINTS: [(&str, &str, u64, u64, u64); 209] = [
+const FINGERPRINTS: [(&str, &str, u64, u64, u64); 247] = [
     ("Baseline_6_64", "gzip", 3009, 5001, 0),
     ("Baseline_VP_6_64", "gzip", 3012, 5001, 0),
     ("Baseline_VP_4_64", "gzip", 3235, 5001, 0),
@@ -37,6 +40,8 @@ const FINGERPRINTS: [(&str, &str, u64, u64, u64); 209] = [
     ("EOLE_4_64_4ports_4banks", "gzip", 3159, 5001, 0),
     ("OLE_4_64_4ports_4banks", "gzip", 3175, 5001, 0),
     ("EOE_4_64_4ports_4banks", "gzip", 3168, 5001, 0),
+    ("Baseline_DVTAGE_6_64", "gzip", 3016, 5001, 0),
+    ("EOLE_DVTAGE_4_64", "gzip", 3159, 5001, 0),
     ("Baseline_6_64", "wupwise", 3074, 5003, 0),
     ("Baseline_VP_6_64", "wupwise", 3059, 5003, 0),
     ("Baseline_VP_4_64", "wupwise", 3072, 5003, 0),
@@ -48,6 +53,8 @@ const FINGERPRINTS: [(&str, &str, u64, u64, u64); 209] = [
     ("EOLE_4_64_4ports_4banks", "wupwise", 3071, 5002, 0),
     ("OLE_4_64_4ports_4banks", "wupwise", 3071, 5002, 0),
     ("EOE_4_64_4ports_4banks", "wupwise", 3072, 5003, 0),
+    ("Baseline_DVTAGE_6_64", "wupwise", 3063, 5003, 0),
+    ("EOLE_DVTAGE_4_64", "wupwise", 3055, 5003, 0),
     ("Baseline_6_64", "applu", 2926, 5000, 0),
     ("Baseline_VP_6_64", "applu", 2950, 5000, 0),
     ("Baseline_VP_4_64", "applu", 2926, 5000, 0),
@@ -59,6 +66,8 @@ const FINGERPRINTS: [(&str, &str, u64, u64, u64); 209] = [
     ("EOLE_4_64_4ports_4banks", "applu", 2926, 5000, 0),
     ("OLE_4_64_4ports_4banks", "applu", 2926, 5000, 0),
     ("EOE_4_64_4ports_4banks", "applu", 2926, 5000, 0),
+    ("Baseline_DVTAGE_6_64", "applu", 2950, 5000, 0),
+    ("EOLE_DVTAGE_4_64", "applu", 2926, 5000, 0),
     ("Baseline_6_64", "vpr", 15774, 5001, 0),
     ("Baseline_VP_6_64", "vpr", 15774, 5001, 0),
     ("Baseline_VP_4_64", "vpr", 15775, 5001, 0),
@@ -70,6 +79,8 @@ const FINGERPRINTS: [(&str, &str, u64, u64, u64); 209] = [
     ("EOLE_4_64_4ports_4banks", "vpr", 15775, 5001, 0),
     ("OLE_4_64_4ports_4banks", "vpr", 15775, 5001, 0),
     ("EOE_4_64_4ports_4banks", "vpr", 15775, 5001, 0),
+    ("Baseline_DVTAGE_6_64", "vpr", 15774, 5001, 0),
+    ("EOLE_DVTAGE_4_64", "vpr", 15775, 5001, 0),
     ("Baseline_6_64", "art", 10343, 5000, 0),
     ("Baseline_VP_6_64", "art", 10351, 5000, 890),
     ("Baseline_VP_4_64", "art", 10351, 5000, 881),
@@ -81,6 +92,8 @@ const FINGERPRINTS: [(&str, &str, u64, u64, u64); 209] = [
     ("EOLE_4_64_4ports_4banks", "art", 10351, 5000, 612),
     ("OLE_4_64_4ports_4banks", "art", 10351, 5000, 612),
     ("EOE_4_64_4ports_4banks", "art", 10351, 5000, 890),
+    ("Baseline_DVTAGE_6_64", "art", 10343, 5000, 0),
+    ("EOLE_DVTAGE_4_64", "art", 10343, 5000, 0),
     ("Baseline_6_64", "crafty", 1114, 5004, 0),
     ("Baseline_VP_6_64", "crafty", 1114, 5004, 0),
     ("Baseline_VP_4_64", "crafty", 1445, 5004, 0),
@@ -92,6 +105,8 @@ const FINGERPRINTS: [(&str, &str, u64, u64, u64); 209] = [
     ("EOLE_4_64_4ports_4banks", "crafty", 1255, 5004, 0),
     ("OLE_4_64_4ports_4banks", "crafty", 1372, 5004, 0),
     ("EOE_4_64_4ports_4banks", "crafty", 1252, 5004, 0),
+    ("Baseline_DVTAGE_6_64", "crafty", 1114, 5004, 0),
+    ("EOLE_DVTAGE_4_64", "crafty", 1255, 5004, 0),
     ("Baseline_6_64", "parser", 91404, 5004, 0),
     ("Baseline_VP_6_64", "parser", 91404, 5004, 0),
     ("Baseline_VP_4_64", "parser", 91474, 5004, 0),
@@ -103,6 +118,8 @@ const FINGERPRINTS: [(&str, &str, u64, u64, u64); 209] = [
     ("EOLE_4_64_4ports_4banks", "parser", 91404, 5004, 0),
     ("OLE_4_64_4ports_4banks", "parser", 91404, 5004, 0),
     ("EOE_4_64_4ports_4banks", "parser", 91404, 5004, 0),
+    ("Baseline_DVTAGE_6_64", "parser", 91404, 5004, 0),
+    ("EOLE_DVTAGE_4_64", "parser", 91404, 5004, 0),
     ("Baseline_6_64", "vortex", 11773, 5000, 0),
     ("Baseline_VP_6_64", "vortex", 11773, 5000, 0),
     ("Baseline_VP_4_64", "vortex", 11773, 5000, 0),
@@ -114,6 +131,8 @@ const FINGERPRINTS: [(&str, &str, u64, u64, u64); 209] = [
     ("EOLE_4_64_4ports_4banks", "vortex", 11773, 5000, 0),
     ("OLE_4_64_4ports_4banks", "vortex", 11773, 5000, 0),
     ("EOE_4_64_4ports_4banks", "vortex", 11773, 5000, 0),
+    ("Baseline_DVTAGE_6_64", "vortex", 11773, 5000, 0),
+    ("EOLE_DVTAGE_4_64", "vortex", 11773, 5000, 0),
     ("Baseline_6_64", "bzip2", 14432, 5000, 0),
     ("Baseline_VP_6_64", "bzip2", 14449, 5005, 0),
     ("Baseline_VP_4_64", "bzip2", 14449, 5005, 0),
@@ -125,6 +144,8 @@ const FINGERPRINTS: [(&str, &str, u64, u64, u64); 209] = [
     ("EOLE_4_64_4ports_4banks", "bzip2", 14449, 5005, 0),
     ("OLE_4_64_4ports_4banks", "bzip2", 14449, 5005, 0),
     ("EOE_4_64_4ports_4banks", "bzip2", 14449, 5005, 0),
+    ("Baseline_DVTAGE_6_64", "bzip2", 14432, 5000, 0),
+    ("EOLE_DVTAGE_4_64", "bzip2", 14432, 5000, 0),
     ("Baseline_6_64", "gcc", 5174, 5003, 0),
     ("Baseline_VP_6_64", "gcc", 5126, 5003, 0),
     ("Baseline_VP_4_64", "gcc", 5139, 5003, 0),
@@ -136,6 +157,8 @@ const FINGERPRINTS: [(&str, &str, u64, u64, u64); 209] = [
     ("EOLE_4_64_4ports_4banks", "gcc", 5126, 5003, 0),
     ("OLE_4_64_4ports_4banks", "gcc", 5126, 5003, 0),
     ("EOE_4_64_4ports_4banks", "gcc", 5129, 5003, 0),
+    ("Baseline_DVTAGE_6_64", "gcc", 5174, 5003, 0),
+    ("EOLE_DVTAGE_4_64", "gcc", 5195, 5003, 0),
     ("Baseline_6_64", "gamess", 4943, 5000, 0),
     ("Baseline_VP_6_64", "gamess", 4943, 5000, 0),
     ("Baseline_VP_4_64", "gamess", 4943, 5000, 0),
@@ -147,6 +170,8 @@ const FINGERPRINTS: [(&str, &str, u64, u64, u64); 209] = [
     ("EOLE_4_64_4ports_4banks", "gamess", 4943, 5000, 0),
     ("OLE_4_64_4ports_4banks", "gamess", 4943, 5000, 0),
     ("EOE_4_64_4ports_4banks", "gamess", 4943, 5000, 0),
+    ("Baseline_DVTAGE_6_64", "gamess", 4943, 5000, 0),
+    ("EOLE_DVTAGE_4_64", "gamess", 4943, 5000, 0),
     ("Baseline_6_64", "mcf", 99083, 5000, 0),
     ("Baseline_VP_6_64", "mcf", 99082, 5000, 0),
     ("Baseline_VP_4_64", "mcf", 99082, 5000, 0),
@@ -158,6 +183,8 @@ const FINGERPRINTS: [(&str, &str, u64, u64, u64); 209] = [
     ("EOLE_4_64_4ports_4banks", "mcf", 99083, 5000, 0),
     ("OLE_4_64_4ports_4banks", "mcf", 99083, 5000, 0),
     ("EOE_4_64_4ports_4banks", "mcf", 99082, 5000, 0),
+    ("Baseline_DVTAGE_6_64", "mcf", 99083, 5000, 0),
+    ("EOLE_DVTAGE_4_64", "mcf", 99083, 5005, 250),
     ("Baseline_6_64", "milc", 12198, 5000, 0),
     ("Baseline_VP_6_64", "milc", 12198, 5000, 0),
     ("Baseline_VP_4_64", "milc", 12198, 5000, 0),
@@ -169,6 +196,8 @@ const FINGERPRINTS: [(&str, &str, u64, u64, u64); 209] = [
     ("EOLE_4_64_4ports_4banks", "milc", 12198, 5000, 0),
     ("OLE_4_64_4ports_4banks", "milc", 12198, 5000, 0),
     ("EOE_4_64_4ports_4banks", "milc", 12198, 5000, 0),
+    ("Baseline_DVTAGE_6_64", "milc", 12198, 5000, 0),
+    ("EOLE_DVTAGE_4_64", "milc", 12198, 5000, 0),
     ("Baseline_6_64", "namd", 9198, 5003, 0),
     ("Baseline_VP_6_64", "namd", 9048, 5003, 0),
     ("Baseline_VP_4_64", "namd", 9050, 5003, 0),
@@ -180,6 +209,8 @@ const FINGERPRINTS: [(&str, &str, u64, u64, u64); 209] = [
     ("EOLE_4_64_4ports_4banks", "namd", 9009, 5002, 0),
     ("OLE_4_64_4ports_4banks", "namd", 9050, 5002, 0),
     ("EOE_4_64_4ports_4banks", "namd", 9049, 5003, 0),
+    ("Baseline_DVTAGE_6_64", "namd", 9200, 5003, 0),
+    ("EOLE_DVTAGE_4_64", "namd", 9125, 5003, 0),
     ("Baseline_6_64", "gobmk", 40157, 5001, 0),
     ("Baseline_VP_6_64", "gobmk", 40157, 5001, 0),
     ("Baseline_VP_4_64", "gobmk", 40166, 5001, 0),
@@ -191,6 +222,8 @@ const FINGERPRINTS: [(&str, &str, u64, u64, u64); 209] = [
     ("EOLE_4_64_4ports_4banks", "gobmk", 40157, 5001, 0),
     ("OLE_4_64_4ports_4banks", "gobmk", 40166, 5001, 0),
     ("EOE_4_64_4ports_4banks", "gobmk", 40157, 5001, 0),
+    ("Baseline_DVTAGE_6_64", "gobmk", 40175, 5001, 19),
+    ("EOLE_DVTAGE_4_64", "gobmk", 40175, 5001, 19),
     ("Baseline_6_64", "hmmer", 3750, 5000, 0),
     ("Baseline_VP_6_64", "hmmer", 3750, 5000, 0),
     ("Baseline_VP_4_64", "hmmer", 3750, 5000, 0),
@@ -202,6 +235,8 @@ const FINGERPRINTS: [(&str, &str, u64, u64, u64); 209] = [
     ("EOLE_4_64_4ports_4banks", "hmmer", 3750, 5000, 0),
     ("OLE_4_64_4ports_4banks", "hmmer", 3750, 5000, 0),
     ("EOE_4_64_4ports_4banks", "hmmer", 3750, 5000, 0),
+    ("Baseline_DVTAGE_6_64", "hmmer", 3750, 5000, 0),
+    ("EOLE_DVTAGE_4_64", "hmmer", 3750, 5000, 0),
     ("Baseline_6_64", "sjeng", 18582, 5005, 0),
     ("Baseline_VP_6_64", "sjeng", 18582, 5005, 0),
     ("Baseline_VP_4_64", "sjeng", 18650, 5004, 0),
@@ -213,6 +248,8 @@ const FINGERPRINTS: [(&str, &str, u64, u64, u64); 209] = [
     ("EOLE_4_64_4ports_4banks", "sjeng", 18602, 5004, 0),
     ("OLE_4_64_4ports_4banks", "sjeng", 18646, 5003, 0),
     ("EOE_4_64_4ports_4banks", "sjeng", 18644, 5002, 0),
+    ("Baseline_DVTAGE_6_64", "sjeng", 18582, 5005, 0),
+    ("EOLE_DVTAGE_4_64", "sjeng", 18643, 5003, 0),
     ("Baseline_6_64", "h264", 2512, 5005, 0),
     ("Baseline_VP_6_64", "h264", 2520, 5005, 0),
     ("Baseline_VP_4_64", "h264", 2804, 5003, 0),
@@ -224,6 +261,8 @@ const FINGERPRINTS: [(&str, &str, u64, u64, u64); 209] = [
     ("EOLE_4_64_4ports_4banks", "h264", 2773, 5003, 0),
     ("OLE_4_64_4ports_4banks", "h264", 2804, 5003, 0),
     ("EOE_4_64_4ports_4banks", "h264", 2773, 5003, 0),
+    ("Baseline_DVTAGE_6_64", "h264", 2520, 5005, 0),
+    ("EOLE_DVTAGE_4_64", "h264", 2773, 5003, 0),
     ("Baseline_6_64", "lbm", 24376, 5002, 0),
     ("Baseline_VP_6_64", "lbm", 24057, 5002, 0),
     ("Baseline_VP_4_64", "lbm", 24057, 5002, 0),
@@ -235,6 +274,8 @@ const FINGERPRINTS: [(&str, &str, u64, u64, u64); 209] = [
     ("EOLE_4_64_4ports_4banks", "lbm", 24057, 5002, 0),
     ("OLE_4_64_4ports_4banks", "lbm", 24057, 5002, 0),
     ("EOE_4_64_4ports_4banks", "lbm", 24057, 5002, 0),
+    ("Baseline_DVTAGE_6_64", "lbm", 24057, 5002, 0),
+    ("EOLE_DVTAGE_4_64", "lbm", 24057, 5002, 0),
 ];
 
 /// Every preset × workload reproduces its pre-refactor fingerprint.

@@ -27,8 +27,11 @@ use proptest::prelude::*;
 
 // ---- digest stability -----------------------------------------------------
 
-/// Golden content digests of the paper presets, captured when the
-/// canonical serialization (`eole-core-config/v1`) was introduced.
+/// Golden content digests of the presets under the canonical
+/// serialization format `eole-core-config/v2` (v2 added the `VpConfig`
+/// block-front fields — block size, banks, speculative-window bound —
+/// in PR 5; the v1 table was regenerated with
+/// `fingerprints --digests`, as the format-bump protocol requires).
 ///
 /// These must never drift: `DirStore` filenames embed them, so a silent
 /// digest change would orphan every stored result while claiming a cache
@@ -36,18 +39,20 @@ use proptest::prelude::*;
 /// marker in `eole_core::canon`, regenerate this table, and say so in
 /// the PR.
 #[rustfmt::skip]
-const GOLDEN_DIGESTS: [(&str, &str); 11] = [
-    ("Baseline_6_64", "53f18bebbc9cda39"),
-    ("Baseline_VP_6_64", "ae136a15657b2e9a"),
-    ("Baseline_VP_4_64", "edec1ccc39649a3e"),
-    ("Baseline_VP_6_48", "3ad8c07818d66358"),
-    ("EOLE_6_64", "4d160bbdcdc8aa02"),
-    ("EOLE_4_64", "e9805cb3b01144d6"),
-    ("EOLE_6_48", "546d62b6b0e8f2a0"),
-    ("EOLE_4_64_4banks", "c39d946da28ca6c2"),
-    ("EOLE_4_64_4ports_4banks", "f90fb7fbacd741de"),
-    ("OLE_4_64_4ports_4banks", "be2707880d588f4d"),
-    ("EOE_4_64_4ports_4banks", "46700618e00eb2a0"),
+const GOLDEN_DIGESTS: [(&str, &str); 13] = [
+    ("Baseline_6_64", "08fc4b38732fe42c"),
+    ("Baseline_VP_6_64", "07bfd3568c8e3d29"),
+    ("Baseline_VP_4_64", "3da6b6251695ff0d"),
+    ("Baseline_VP_6_48", "f8d911f3c644591f"),
+    ("EOLE_6_64", "2f60b433787cc2e3"),
+    ("EOLE_4_64", "e4ad4e528af13c3f"),
+    ("EOLE_6_48", "0b47a243af6fbd45"),
+    ("EOLE_4_64_4banks", "68acbfe662d96405"),
+    ("EOLE_4_64_4ports_4banks", "33800ff968d7b7a9"),
+    ("OLE_4_64_4ports_4banks", "b94ed7297c65ff4c"),
+    ("EOE_4_64_4ports_4banks", "da3e259796cc6217"),
+    ("Baseline_DVTAGE_6_64", "b23ab8218f6ed9ee"),
+    ("EOLE_DVTAGE_4_64", "36778713a5e0277a"),
 ];
 
 #[test]
@@ -88,8 +93,15 @@ fn setter_mutations() -> Vec<(&'static str, CoreConfig)> {
         ("prf", b().prf(256, 192).build().unwrap()),
         ("prf_banks", b().prf_banks(2).build().unwrap()),
         ("frontend_depth", b().frontend_depth(14).build().unwrap()),
-        ("vp", b().vp(VpConfig { kind: ValuePredictorKind::Vtage, seed: 1 }).build().unwrap()),
+        ("vp", {
+            let vp = VpConfig { kind: ValuePredictorKind::Vtage, seed: 1, ..VpConfig::paper() };
+            b().vp(vp).build().unwrap()
+        }),
         ("vp_kind", b().vp_kind(ValuePredictorKind::Stride).build().unwrap()),
+        ("vp_dvtage", b().vp_kind(ValuePredictorKind::DVtage).build().unwrap()),
+        ("vp_block", b().vp_block(4, 4).build().unwrap()),
+        ("vp_block_banks", b().vp_block(1, 4).build().unwrap()),
+        ("vp_spec_window", b().vp_spec_window(Some(32)).build().unwrap()),
         ("no_vp", b().no_vp().build().unwrap()),
         ("eole", b().eole(EoleConfig { early: true, ..EoleConfig::off() }).build().unwrap()),
         ("eole_full", b().eole_full().build().unwrap()),

@@ -102,6 +102,15 @@ fn eole_pipeline_steps_without_allocating() {
     assert_zero_alloc_steady_state(CoreConfig::eole_6_64());
 }
 
+/// The block-based D-VTAGE front (BeBoP blocks, banked tables, bounded
+/// speculative window) runs out of pre-sized structures too: window
+/// registration, speculative-last lookup, commit training, and window
+/// rollback are all allocation-free.
+#[test]
+fn dvtage_block_pipeline_steps_without_allocating() {
+    assert_zero_alloc_steady_state(CoreConfig::baseline_dvtage_6_64());
+}
+
 #[test]
 fn banked_port_limited_eole_steps_without_allocating() {
     assert_zero_alloc_steady_state(CoreConfig::eole_4_64_ports(4, 4));

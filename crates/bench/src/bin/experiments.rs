@@ -29,6 +29,7 @@ use eole_stats::report::ExperimentReport;
 use eole_workloads::all_workloads;
 
 const USAGE: &str = "usage: experiments [names...|all] [--quick] [--warmup N] [--measure N] \
+[--intervals K] [--interval-warmup W] \
 [--format md|json|csv] [--out FILE] [--md FILE] [--store DIR] [--shard K/N] [--assert-cached]
        experiments compare OLD.json NEW.json [--threshold PCT] [--out FILE]
 experiments: table1 table2 table3 fig2 fig4 offload fig6 fig7 fig8 fig10 fig11 fig12 fig13 \
@@ -37,7 +38,12 @@ compare: diff two results.json report sets (Markdown delta table on stdout; exit
 >PCT% drops in IPC/speedup columns, default 2%)
 store/shard: --store caches per-run results on disk (eole-result/v2, one file per run key); \
 --shard K/N simulates only the cells this process owns (populate pass, no reports) — merge by \
-re-running unsharded with the same --store; --assert-cached exits 1 if anything simulated";
+re-running unsharded with the same --store; --assert-cached exits 1 if anything simulated
+intervals: --intervals K splits every run into K deterministic intervals simulated \
+concurrently and stitched (committed counts exact, cycles within the pinned budget; stored \
+under interval-tagged keys); --interval-warmup W sets the per-interval warmup window in \
+µ-ops (default warmup/2, min 1000); EOLE_INTERVAL_PARANOID=1 cross-checks every stitched \
+run against a serial one";
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}\n{USAGE}");
@@ -110,6 +116,8 @@ fn main() {
     let mut store_dir: Option<String> = None;
     let mut shard: Option<Shard> = None;
     let mut assert_cached = false;
+    let mut intervals = 0u32;
+    let mut interval_warmup: Option<u64> = None;
     let take = |args: &[String], i: &mut usize, flag: &str| -> String {
         *i += 1;
         args.get(*i).unwrap_or_else(|| fail(&format!("{flag} needs a value"))).clone()
@@ -138,6 +146,18 @@ fn main() {
             "--md" => {
                 format = Format::Markdown;
                 out_path = Some(take(&args, &mut i, "--md"));
+            }
+            "--intervals" => {
+                intervals = take(&args, &mut i, "--intervals")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--intervals takes a number"));
+            }
+            "--interval-warmup" => {
+                interval_warmup = Some(
+                    take(&args, &mut i, "--interval-warmup")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--interval-warmup takes a number")),
+                );
             }
             "--store" => store_dir = Some(take(&args, &mut i, "--store")),
             "--shard" => {
@@ -175,7 +195,14 @@ fn main() {
         std::fs::remove_file(&probe).ok();
     }
 
-    let mut builder = Session::builder().runner(runner).shard(shard);
+    if interval_warmup.is_some() && intervals == 0 {
+        fail("--interval-warmup requires --intervals");
+    }
+    let mut builder = Session::builder()
+        .runner(runner)
+        .shard(shard)
+        .intervals(intervals)
+        .interval_warmup(interval_warmup);
     if let Some(dir) = &store_dir {
         builder = builder.store_dir(dir.clone());
     }
@@ -192,7 +219,16 @@ fn main() {
     let mut populated = 0usize;
     for name in &selected {
         match set.by_name(name) {
-            Ok(report) => reports.push(report),
+            Ok(mut report) => {
+                if let Some(p) = set.session().intervals() {
+                    report.push_note(format!(
+                        "interval-stitched: k={} warmup={} µ-ops (committed counts exact, \
+                         cycles within the pinned budget — see PERF.md)",
+                        p.k, p.warmup
+                    ));
+                }
+                reports.push(report);
+            }
             // A populate pass owns only part of each grid: foreign cells
             // surface as NotInShard, which just means "this experiment's
             // report belongs to the merge pass".

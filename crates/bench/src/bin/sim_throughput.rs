@@ -2,10 +2,16 @@
 //!
 //! Measures how many µ-ops per wall-clock second `Simulator::step` retires
 //! in steady state (after warmup), per (configuration, workload) pair of
-//! the quick suite, and emits the `eole-throughput/v1` JSON payload
+//! the quick suite, and emits the `eole-throughput/v2` JSON payload
 //! (schema in `PERF.md`). This is the regression harness for the hot
 //! loop: CI runs it per push, and `BENCH_throughput.json` at the repo
 //! root records the trajectory.
+//!
+//! v2 adds a `threads` section: the full suite re-run interval-parallel
+//! (`--intervals K` pieces per run) at 1, 2, and machine-size workers,
+//! recording wall-clock seconds and the speedup over one worker — the
+//! scaling record for interval-parallel simulation. `--baseline` still
+//! accepts v1 payloads (they just have no threads section).
 //!
 //! ```text
 //! cargo run --release -p eole-bench --bin sim-throughput
@@ -22,7 +28,7 @@
 //! D-VTAGE), isolating predictor table cost from pipeline cost — unless
 //! `--no-microbench` skips it.
 
-use eole_bench::{RunSpec, Runner, Session};
+use eole_bench::{IntervalPolicy, RunSpec, Runner, Session};
 use eole_core::config::CoreConfig;
 use eole_predictors::value::{
     evaluate_stream, DVtage, Fcm, LastValue, StridePredictor, TwoDeltaStride, ValuePredictor,
@@ -33,7 +39,8 @@ use eole_stats::report::json_string;
 use eole_stats::summary::geometric_mean;
 
 const USAGE: &str = "usage: sim-throughput [--quick] [--warmup N] [--measure N] [--reps N] \
-[--label S] [--baseline FILE] [--min-speedup X] [--out FILE] [--no-microbench]";
+[--label S] [--baseline FILE] [--min-speedup X] [--out FILE] [--no-microbench] \
+[--intervals K] [--no-threads-scan]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}\n{USAGE}");
@@ -164,14 +171,68 @@ fn runs_to_json(runs: &[Measured], label: &str) -> String {
     section_to_json(label, &rendered, gmean)
 }
 
+/// The interval-parallel threads scaling section: the whole suite re-run
+/// split into `k` intervals per run, at each worker count of `counts`,
+/// timing the parallel stitch wall-clock (sum over the suite's runs).
+/// The first count is the reference for `speedup_vs_first`.
+fn threads_scan(
+    session: &Session,
+    configs: &[CoreConfig],
+    runner: Runner,
+    k: u32,
+    reps: usize,
+    counts: &[usize],
+) -> String {
+    let policy = IntervalPolicy::of(k, &runner);
+    let mut entries: Vec<String> = Vec::new();
+    let mut reference = None;
+    for &t in counts {
+        let mut seconds = f64::INFINITY;
+        let mut committed = 0u64;
+        for _ in 0..reps.max(1) {
+            let mut rep_seconds = 0.0;
+            let mut rep_committed = 0u64;
+            for name in SUITE_WORKLOADS {
+                let w = eole_workloads::workload_by_name(name)
+                    .unwrap_or_else(|| fail(&format!("unknown workload {name}")));
+                for config in configs {
+                    let spec =
+                        RunSpec { config: config.clone(), workload: w.clone(), runner, seed: 0 };
+                    let timed = session
+                        .time_run_intervals(&spec, t, policy)
+                        .unwrap_or_else(|e| fail(&e.to_string()));
+                    rep_seconds += timed.seconds;
+                    rep_committed += timed.stats.committed;
+                }
+            }
+            seconds = seconds.min(rep_seconds);
+            committed = rep_committed;
+        }
+        let reference = *reference.get_or_insert(seconds);
+        let speedup = if seconds > 0.0 { reference / seconds } else { 0.0 };
+        let mups = committed as f64 / seconds / 1.0e6;
+        eprintln!("  threads {t:<2} suite {seconds:>8.3}s  {mups:>8.3} Mµops/s  {speedup:.2}x vs 1");
+        entries.push(format!(
+            "{{\"threads\":{t},\"seconds\":{seconds:.6},\"mups\":{mups:.4},\"speedup_vs_1\":{speedup:.4}}}"
+        ));
+    }
+    format!(
+        "{{\"intervals\":{k},\"interval_warmup\":{},\"scales\":[{}]}}",
+        policy.warmup,
+        entries.join(",")
+    )
+}
+
 /// Extracts the `current` section of a previous payload verbatim (it
-/// becomes the new payload's `baseline`), plus its gmean.
+/// becomes the new payload's `baseline`), plus its gmean. Accepts both
+/// the v2 schema and the pre-threads v1 (identical `current` shape).
 fn load_baseline(path: &str) -> (String, f64) {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
     let v = Json::parse(&text).unwrap_or_else(|e| fail(&format!("parse {path}: {e}")));
-    if v.get("schema").and_then(Json::as_str) != Some("eole-throughput/v1") {
-        fail(&format!("{path} is not an eole-throughput/v1 payload"));
+    let schema = v.get("schema").and_then(Json::as_str);
+    if schema != Some("eole-throughput/v2") && schema != Some("eole-throughput/v1") {
+        fail(&format!("{path} is not an eole-throughput/v1 or /v2 payload"));
     }
     let current = v.get("current").unwrap_or_else(|| fail(&format!("{path}: no `current`")));
     let gmean = current
@@ -204,6 +265,8 @@ fn main() {
     let mut min_speedup: Option<f64> = None;
     let mut out_path: Option<String> = None;
     let mut run_microbench = true;
+    let mut run_threads_scan = true;
+    let mut intervals = 8u32;
     let take = |args: &[String], i: &mut usize, flag: &str| -> String {
         *i += 1;
         args.get(*i).unwrap_or_else(|| fail(&format!("{flag} needs a value"))).clone()
@@ -241,6 +304,12 @@ fn main() {
             }
             "--out" => out_path = Some(take(&args, &mut i, "--out")),
             "--no-microbench" => run_microbench = false,
+            "--no-threads-scan" => run_threads_scan = false,
+            "--intervals" => {
+                intervals = take(&args, &mut i, "--intervals")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--intervals takes a number"));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -270,7 +339,7 @@ fn main() {
 
     let current = runs_to_json(&runs, &label);
     let mut payload = String::new();
-    payload.push_str("{\"schema\":\"eole-throughput/v1\",");
+    payload.push_str("{\"schema\":\"eole-throughput/v2\",");
     payload.push_str(&format!(
         "\"runner\":{{\"warmup\":{},\"measure\":{}}},\"reps\":{reps},",
         runner.warmup, runner.measure
@@ -278,6 +347,15 @@ fn main() {
     payload.push_str(&format!("\"current\":{current}"));
     if run_microbench {
         payload.push_str(&format!(",\"microbench\":{}", microbench(&session, reps)));
+    }
+    if run_threads_scan {
+        let machine = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let mut counts = vec![1usize, 2, machine];
+        counts.sort_unstable();
+        counts.dedup();
+        eprintln!("[threads scan: intervals={intervals}, workers {counts:?}]");
+        let section = threads_scan(&session, &configs, runner, intervals, reps, &counts);
+        payload.push_str(&format!(",\"threads\":{section}"));
     }
     let mut speedup = None;
     if let Some(path) = &baseline_path {

@@ -18,7 +18,7 @@ use eole_workloads::Workload;
 use crate::plan::Shard;
 use crate::spec::{Grid, RunSpec};
 use crate::store::{ResultStore, RunKey};
-use crate::Runner;
+use crate::{check_stitched_against_serial, interval_paranoid, IntervalPolicy, Runner};
 
 /// Which phase of a run failed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -242,6 +242,7 @@ pub struct Executor {
     cache: Arc<TraceCache>,
     store: Option<Arc<dyn ResultStore>>,
     shard: Option<Shard>,
+    intervals: Option<IntervalPolicy>,
     store_hits: AtomicUsize,
     simulated: AtomicUsize,
     shard_skips: AtomicUsize,
@@ -267,6 +268,7 @@ impl Executor {
             cache: Arc::new(TraceCache::new()),
             store: None,
             shard: None,
+            intervals: None,
             store_hits: AtomicUsize::new(0),
             simulated: AtomicUsize::new(0),
             shard_skips: AtomicUsize::new(0),
@@ -294,6 +296,24 @@ impl Executor {
     pub fn with_shard(mut self, shard: Shard) -> Self {
         self.shard = if shard.is_full() { None } else { Some(shard) };
         self
+    }
+
+    /// Splits every simulated run into `policy.k` deterministic
+    /// intervals, each scheduled as its own job in the work-stealing
+    /// deques (intra-run intervals interleave with other grid cells), and
+    /// stitches the per-interval statistics back together in interval
+    /// order. A `k == 0` policy disables splitting; note that even
+    /// `k == 1` runs through the exact-boundary piece path and is stored
+    /// under an interval-tagged [`RunKey`], never the serial one.
+    #[must_use]
+    pub fn with_intervals(mut self, policy: IntervalPolicy) -> Self {
+        self.intervals = (policy.k >= 1).then_some(policy);
+        self
+    }
+
+    /// The interval policy, if interval-parallel execution is active.
+    pub fn intervals(&self) -> Option<IntervalPolicy> {
+        self.intervals
     }
 
     /// Worker count.
@@ -329,16 +349,9 @@ impl Executor {
     fn simulate(&self, spec: &RunSpec) -> Result<SimStats, RunError> {
         let trace = self.cache.get_or_prepare(&spec.workload, &spec.runner)?;
         self.simulated.fetch_add(1, Ordering::Relaxed);
-        spec.runner.try_run(&trace, spec.effective_config()).map_err(|e| match e {
-            // Attribute the workload: `try_run` cannot know it.
-            RunError::Sim { config, phase, source, .. } => RunError::Sim {
-                config,
-                workload: spec.workload.name.to_string(),
-                phase,
-                source,
-            },
-            other => other,
-        })
+        spec.runner
+            .try_run(&trace, spec.effective_config())
+            .map_err(|e| attribute_workload(e, spec))
     }
 
     fn execute(&self, spec: &RunSpec) -> Result<SimStats, RunError> {
@@ -375,10 +388,17 @@ impl Executor {
 
     /// Runs an explicit spec list; results keep the input order.
     pub fn run_specs(&self, specs: Vec<RunSpec>) -> Vec<RunResult> {
-        let n = specs.len();
-        if n == 0 {
+        if specs.is_empty() {
             return Vec::new();
         }
+        match self.intervals {
+            Some(policy) => self.run_specs_stitched(specs, policy),
+            None => self.run_specs_serial(specs),
+        }
+    }
+
+    fn run_specs_serial(&self, specs: Vec<RunSpec>) -> Vec<RunResult> {
+        let n = specs.len();
         let workers = self.threads.min(n);
         // Deal indices round-robin so every worker starts with a spread of
         // workloads (specs of one workload are adjacent in grid order).
@@ -408,6 +428,149 @@ impl Executor {
             }
         });
         results.into_iter().map(|r| r.expect("all specs executed")).collect()
+    }
+
+    /// Interval-parallel execution: each pending spec fans out into
+    /// `policy.k` piece jobs sharing the work-stealing deques, the last
+    /// piece to finish stitches the run (in interval order, so the result
+    /// is deterministic regardless of scheduling). Store and shard are
+    /// consulted up front under the interval-tagged key.
+    fn run_specs_stitched(&self, specs: Vec<RunSpec>, policy: IntervalPolicy) -> Vec<RunResult> {
+        let n = specs.len();
+        let mut results: Vec<Option<RunResult>> = (0..n).map(|_| None).collect();
+        let mut open: Vec<usize> = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let key = RunKey::of_intervals(spec, policy);
+            if let Some(store) = &self.store {
+                if let Some(stats) = store.load(&key) {
+                    self.store_hits.fetch_add(1, Ordering::Relaxed);
+                    results[i] = Some(RunResult { spec: spec.clone(), outcome: Ok(stats) });
+                    continue;
+                }
+            }
+            if let Some(shard) = self.shard {
+                if !shard.owns(&key) {
+                    self.shard_skips.fetch_add(1, Ordering::Relaxed);
+                    let outcome = Err(RunError::NotInShard { label: spec.label(), shard });
+                    results[i] = Some(RunResult { spec: spec.clone(), outcome });
+                    continue;
+                }
+            }
+            open.push(i);
+        }
+        if open.is_empty() {
+            return results.into_iter().map(|r| r.expect("resolved in pre-pass")).collect();
+        }
+
+        struct PendingRun {
+            spec: usize,
+            pieces: Mutex<Vec<Option<Result<SimStats, RunError>>>>,
+            remaining: AtomicUsize,
+        }
+        let k = policy.k.max(1) as usize;
+        let pending: Vec<PendingRun> = open
+            .iter()
+            .map(|&i| PendingRun {
+                spec: i,
+                pieces: Mutex::new(vec![None; k]),
+                remaining: AtomicUsize::new(k),
+            })
+            .collect();
+        // Job j is piece (j % k) of pending run (j / k); dealt round-robin
+        // like serial specs so workers start with a spread of runs.
+        let jobs = pending.len() * k;
+        let workers = self.threads.min(jobs);
+        let queues: Vec<Mutex<std::collections::VecDeque<usize>>> = (0..workers)
+            .map(|w| Mutex::new((w..jobs).step_by(workers).collect()))
+            .collect();
+        let results_mutex = Mutex::new(&mut results);
+        std::thread::scope(|scope| {
+            for me in 0..workers {
+                let queues = &queues;
+                let specs = &specs;
+                let pending = &pending;
+                let results_mutex = &results_mutex;
+                scope.spawn(move || loop {
+                    let job = queues[me].lock().expect("queue poisoned").pop_front().or_else(|| {
+                        (0..queues.len())
+                            .filter(|w| *w != me)
+                            .find_map(|w| queues[w].lock().expect("queue poisoned").pop_back())
+                    });
+                    let Some(j) = job else { break };
+                    let run = &pending[j / k];
+                    let piece = j % k;
+                    let spec = &specs[run.spec];
+                    let outcome = self.simulate_piece(spec, policy, piece);
+                    run.pieces.lock().expect("pieces poisoned")[piece] = Some(outcome);
+                    if run.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        // Last piece in: stitch this run.
+                        let outcome = self.stitch(spec, policy, &run.pieces);
+                        let result = RunResult { spec: spec.clone(), outcome };
+                        results_mutex.lock().expect("no poisoned workers")[run.spec] = Some(result);
+                    }
+                });
+            }
+        });
+        results.into_iter().map(|r| r.expect("all specs executed")).collect()
+    }
+
+    fn simulate_piece(
+        &self,
+        spec: &RunSpec,
+        policy: IntervalPolicy,
+        piece: usize,
+    ) -> Result<SimStats, RunError> {
+        let trace = self.cache.get_or_prepare(&spec.workload, &spec.runner)?;
+        let (start, end) = spec.runner.interval_bounds(policy.k)[piece];
+        spec.runner
+            .try_run_piece(&trace, spec.effective_config(), start, end, policy.warmup)
+            .map_err(|e| attribute_workload(e, spec))
+    }
+
+    /// Merges a completed run's pieces in interval order, applies the
+    /// paranoid serial cross-check when requested, and persists the result
+    /// under the interval-tagged key.
+    fn stitch(
+        &self,
+        spec: &RunSpec,
+        policy: IntervalPolicy,
+        pieces: &Mutex<Vec<Option<Result<SimStats, RunError>>>>,
+    ) -> Result<SimStats, RunError> {
+        self.simulated.fetch_add(1, Ordering::Relaxed);
+        let mut stitched = SimStats::default();
+        let mut pieces = pieces.lock().expect("pieces poisoned");
+        for slot in pieces.iter_mut() {
+            let piece = slot.take().expect("remaining hit zero with a piece missing")?;
+            stitched.merge(&piece);
+        }
+        if interval_paranoid() {
+            let trace = self.cache.get_or_prepare(&spec.workload, &spec.runner)?;
+            let serial = spec
+                .runner
+                .try_run_serial_exact(&trace, spec.effective_config())
+                .map_err(|e| attribute_workload(e, spec))?;
+            check_stitched_against_serial(&spec.label(), policy, &stitched, &serial);
+        }
+        if let Some(store) = &self.store {
+            store
+                .save(&RunKey::of_intervals(spec, policy), &stitched)
+                .map_err(|reason| RunError::Store { label: spec.label(), reason })?;
+        }
+        Ok(stitched)
+    }
+}
+
+/// Fills in the workload name on a [`RunError::Sim`] — the `Runner` run
+/// helpers cannot know it.
+pub(crate) fn attribute_workload(e: RunError, spec: &RunSpec) -> RunError {
+    match e {
+        RunError::Sim { config, phase, source, .. } => RunError::Sim {
+            config,
+            workload: spec.workload.name.to_string(),
+            phase,
+            source,
+        },
+        other => other,
     }
 }
 

@@ -91,6 +91,48 @@ pub fn vp_stream(trace: &PreparedTrace) -> Vec<(u64, u32, u64)> {
         .collect()
 }
 
+/// Interval-parallel execution policy: split one run's measurement
+/// region into `k` deterministic intervals, warm each with a
+/// functional-warmup prefix of `warmup` µ-ops, simulate them
+/// independently, and stitch the per-interval [`SimStats`] into one
+/// result (see `PERF.md`, "Interval-parallel simulation").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IntervalPolicy {
+    /// Number of intervals (`<= 1` means serial execution).
+    pub k: u32,
+    /// Predictor/cache warmup window simulated before each interval's
+    /// measurement region (µ-ops).
+    pub warmup: u64,
+}
+
+impl IntervalPolicy {
+    /// A policy of `k` intervals with the methodology's default warmup
+    /// window ([`Runner::default_interval_warmup`]).
+    pub fn of(k: u32, runner: &Runner) -> Self {
+        IntervalPolicy { k, warmup: runner.default_interval_warmup() }
+    }
+
+    /// True when this policy actually splits the run.
+    pub fn is_split(&self) -> bool {
+        self.k > 1
+    }
+}
+
+/// Relative cycle-error budget of a stitched run against the
+/// exact-boundary serial run (0.5%): the `EOLE_INTERVAL_PARANOID=1` mode
+/// and the golden stitched-vs-serial table both pin it.
+pub const INTERVAL_CYCLE_BUDGET: f64 = 0.005;
+
+/// True when `EOLE_INTERVAL_PARANOID=1`-style validation is requested:
+/// every stitched run also executes the serial comparator, reports the
+/// delta on stderr, and panics if committed/squashed counts diverge or
+/// the cycle error exceeds [`INTERVAL_CYCLE_BUDGET`]. Read once (the
+/// executor consults this per stitched run).
+pub fn interval_paranoid() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("EOLE_INTERVAL_PARANOID").is_some())
+}
+
 /// Warmup/measurement methodology for one experiment run.
 #[derive(Clone, Copy, Debug)]
 pub struct Runner {
@@ -176,8 +218,115 @@ impl Runner {
         Ok((sim.stats(), seconds))
     }
 
-    /// Infallible [`Runner::try_prepare`] for benches and examples where a
-    /// kernel failure is a bug by definition.
+    /// Default per-interval functional-warmup window: half the
+    /// methodology's own warmup (floored at 1 000 µ-ops). Enough to warm
+    /// caches and predictor tables on the Table 3 kernels while keeping
+    /// the total redundant work (`k × warmup`) well under the measured
+    /// region for the quick suite.
+    pub fn default_interval_warmup(&self) -> u64 {
+        (self.warmup / 2).max(1_000)
+    }
+
+    /// The measurement-region boundaries of a `k`-way interval split, as
+    /// half-open `[start, end)` windows in committed-µ-op positions.
+    /// Commit order is trace order, so these are also trace indices: the
+    /// windows partition `[warmup, warmup + measure)` exactly, with the
+    /// remainder spread across intervals (`start_i = warmup +
+    /// ⌊i·measure/k⌋`).
+    pub fn interval_bounds(&self, k: u32) -> Vec<(u64, u64)> {
+        let k = u64::from(k).max(1);
+        (0..k)
+            .map(|i| {
+                (
+                    self.warmup + i * self.measure / k,
+                    self.warmup + (i + 1) * self.measure / k,
+                )
+            })
+            .collect()
+    }
+
+    /// One interval piece: builds a simulator at `start - warmup_window`
+    /// (clamped at the trace head), warms it to `start` with exact
+    /// commit boundaries, resets counters, and measures `[start, end)`
+    /// exactly. The serial comparator is the single piece
+    /// `[warmup, warmup + measure)` with `warmup_window = warmup` —
+    /// i.e. [`Runner::try_run_serial_exact`].
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Sim`] tagged with the failing phase, as
+    /// [`Runner::try_run`] (workload attributed by the executor).
+    pub fn try_run_piece(
+        &self,
+        trace: &PreparedTrace,
+        config: CoreConfig,
+        start: u64,
+        end: u64,
+        warmup_window: u64,
+    ) -> Result<SimStats, RunError> {
+        let name = config.name.clone();
+        let err = |phase: RunPhase, source| RunError::Sim {
+            config: name.clone(),
+            workload: "-".to_string(),
+            phase,
+            source,
+        };
+        let warm_from = start.saturating_sub(warmup_window);
+        let mut sim = Simulator::new_at(trace, config, warm_from as usize)
+            .map_err(|e| err(RunPhase::Build, e))?;
+        sim.run_exact(start - warm_from).map_err(|e| err(RunPhase::Warmup, e))?;
+        sim.begin_measurement();
+        sim.run_exact(end.saturating_sub(start)).map_err(|e| err(RunPhase::Measure, e))?;
+        Ok(sim.stats())
+    }
+
+    /// The exact-boundary serial run: identical methodology to
+    /// [`Runner::try_run`] except that the warmup and measurement windows
+    /// are cut at exactly `warmup` and `measure` commits instead of
+    /// overshooting into the next commit group. This is the comparator
+    /// every stitched run is validated against — a 1-interval stitched
+    /// run *is* this run, bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// As [`Runner::try_run`].
+    pub fn try_run_serial_exact(
+        &self,
+        trace: &PreparedTrace,
+        config: CoreConfig,
+    ) -> Result<SimStats, RunError> {
+        self.try_run_piece(trace, config, self.warmup, self.warmup + self.measure, self.warmup)
+    }
+
+    /// Interval-parallel methodology, sequentially: simulates each of the
+    /// policy's `k` intervals in turn and stitches the per-interval stats
+    /// with [`SimStats::merge`]. The committed count is exactly `measure`
+    /// by construction. (The executor parallelizes the same pieces across
+    /// its worker pool; this entry point is the single-threaded
+    /// reference, and the one the compat-proptests drive.)
+    ///
+    /// # Errors
+    ///
+    /// The first failing piece's [`RunError`].
+    pub fn try_run_intervals(
+        &self,
+        trace: &PreparedTrace,
+        config: CoreConfig,
+        policy: IntervalPolicy,
+    ) -> Result<SimStats, RunError> {
+        let mut stitched = SimStats::default();
+        for (start, end) in self.interval_bounds(policy.k) {
+            let piece = self.try_run_piece(trace, config.clone(), start, end, policy.warmup)?;
+            stitched.merge(&piece);
+        }
+        if interval_paranoid() {
+            let serial = self.try_run_serial_exact(trace, config.clone())?;
+            check_stitched_against_serial(&config.name, policy, &stitched, &serial);
+        }
+        Ok(stitched)
+    }
+
+    /// Infallible [`Runner::try_prepare`] for benches and examples.
     ///
     /// # Panics
     ///
@@ -194,6 +343,57 @@ impl Runner {
     pub fn run(&self, trace: &PreparedTrace, config: CoreConfig) -> SimStats {
         self.try_run(trace, config).unwrap_or_else(|e| panic!("{e}"))
     }
+}
+
+/// The `EOLE_INTERVAL_PARANOID` validation: prints the stitched-vs-serial
+/// delta on stderr and panics when the stitch breaks its contract —
+/// committed or squashed counts diverging, or the cycle error exceeding
+/// [`INTERVAL_CYCLE_BUDGET`].
+///
+/// # Panics
+///
+/// On any contract violation (the validation mode's failure signal; the
+/// CI smoke step relies on the nonzero exit).
+pub fn check_stitched_against_serial(
+    label: &str,
+    policy: IntervalPolicy,
+    stitched: &SimStats,
+    serial: &SimStats,
+) {
+    let err = if serial.cycles == 0 {
+        0.0
+    } else {
+        (stitched.cycles as f64 - serial.cycles as f64).abs() / serial.cycles as f64
+    };
+    eprintln!(
+        "[interval-paranoid] {label} k={} w={}: cycles {} vs serial {} ({:+.4}%), \
+         committed {} vs {}, squashed {} vs {}",
+        policy.k,
+        policy.warmup,
+        stitched.cycles,
+        serial.cycles,
+        (stitched.cycles as f64 - serial.cycles as f64) / serial.cycles.max(1) as f64 * 100.0,
+        stitched.committed,
+        serial.committed,
+        stitched.squashed,
+        serial.squashed,
+    );
+    assert_eq!(
+        stitched.committed, serial.committed,
+        "{label}: stitched committed count must equal the serial run exactly"
+    );
+    assert_eq!(
+        stitched.squashed, serial.squashed,
+        "{label}: stitched squashed count must equal the serial run exactly"
+    );
+    assert!(
+        err <= INTERVAL_CYCLE_BUDGET,
+        "{label}: stitched cycle error {:.4}% exceeds the {:.2}% budget (k={}, w={})",
+        err * 100.0,
+        INTERVAL_CYCLE_BUDGET * 100.0,
+        policy.k,
+        policy.warmup,
+    );
 }
 
 #[cfg(test)]

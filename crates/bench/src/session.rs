@@ -31,7 +31,7 @@ use crate::exec::{Executor, RunError, RunResult};
 use crate::plan::Shard;
 use crate::spec::{Grid, RunSpec};
 use crate::store::{DirStore, ResultStore};
-use crate::Runner;
+use crate::{IntervalPolicy, Runner};
 
 /// Output format of the report emitters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -75,6 +75,8 @@ pub struct SessionBuilder {
     store: Option<Arc<dyn ResultStore>>,
     store_dir: Option<String>,
     shard: Option<Shard>,
+    intervals: u32,
+    interval_warmup: Option<u64>,
 }
 
 impl SessionBuilder {
@@ -115,6 +117,25 @@ impl SessionBuilder {
         self
     }
 
+    /// Splits every run into `k` deterministic intervals simulated
+    /// concurrently and stitched (`k == 0`, the default, keeps the serial
+    /// path). Interval results live under interval-tagged store keys —
+    /// see `EXPERIMENTS.md`.
+    #[must_use]
+    pub fn intervals(mut self, k: u32) -> Self {
+        self.intervals = k;
+        self
+    }
+
+    /// Overrides the per-interval functional-warmup window (µ-ops
+    /// simulated before each interval's measurement region); defaults to
+    /// [`Runner::default_interval_warmup`].
+    #[must_use]
+    pub fn interval_warmup(mut self, warmup: Option<u64>) -> Self {
+        self.interval_warmup = warmup;
+        self
+    }
+
     /// Builds the session.
     ///
     /// # Errors
@@ -136,6 +157,10 @@ impl SessionBuilder {
         }
         if let Some(shard) = self.shard {
             executor = executor.with_shard(shard);
+        }
+        if self.intervals >= 1 {
+            let warmup = self.interval_warmup.unwrap_or_else(|| runner.default_interval_warmup());
+            executor = executor.with_intervals(IntervalPolicy { k: self.intervals, warmup });
         }
         Ok(Session { runner, executor })
     }
@@ -168,6 +193,11 @@ impl Session {
     /// The executor (counters: trace cache, store hits, simulations).
     pub fn executor(&self) -> &Executor {
         &self.executor
+    }
+
+    /// The interval-parallel policy, if the session splits runs.
+    pub fn intervals(&self) -> Option<IntervalPolicy> {
+        self.executor.intervals()
     }
 
     /// Runs every spec of a grid (store consulted first, shard respected);
@@ -219,6 +249,54 @@ impl Session {
         Ok(TimedRun { stats, seconds })
     }
 
+    /// Simulates one spec interval-parallel — `policy.k` pieces pulled
+    /// from a shared counter by `threads` scoped workers — and times the
+    /// **whole** parallel stitch wall-clock (the number the threads
+    /// scaling section of `BENCH_throughput.json` records). Like
+    /// [`Session::time_run`], never touches the result store.
+    ///
+    /// # Errors
+    ///
+    /// The first piece failure, in interval order.
+    pub fn time_run_intervals(
+        &self,
+        spec: &RunSpec,
+        threads: usize,
+        policy: IntervalPolicy,
+    ) -> Result<TimedRun, RunError> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        let trace = self.prepare(&spec.workload)?;
+        let bounds = spec.runner.interval_bounds(policy.k);
+        let slots: Vec<Mutex<Option<Result<SimStats, RunError>>>> =
+            bounds.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = threads.clamp(1, bounds.len());
+        let start = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(s, e)) = bounds.get(i) else { break };
+                    let out =
+                        spec.runner.try_run_piece(&trace, spec.effective_config(), s, e, policy.warmup);
+                    *slots[i].lock().expect("slot poisoned") = Some(out);
+                });
+            }
+        });
+        let seconds = start.elapsed().as_secs_f64();
+        let mut stats = SimStats::default();
+        for slot in slots {
+            let piece = slot
+                .into_inner()
+                .expect("slot poisoned")
+                .expect("every piece executed")
+                .map_err(|e| crate::exec::attribute_workload(e, spec))?;
+            stats.merge(&piece);
+        }
+        Ok(TimedRun { stats, seconds })
+    }
+
     /// Renders a report set in the requested format. The JSON form wraps
     /// the reports with the session's runner metadata
     /// (`eole-report-set/v1`), so payloads from different methodologies
@@ -233,12 +311,21 @@ impl Session {
                 }
                 out
             }
-            Format::Json => format!(
-                "{{\"schema\":\"eole-report-set/v1\",\"runner\":{{\"warmup\":{},\"measure\":{}}},\"reports\":{}}}",
-                self.runner.warmup,
-                self.runner.measure,
-                reports_to_json(reports)
-            ),
+            Format::Json => {
+                // Additive header field: serial sessions emit the exact
+                // v1 payload bytes they always did.
+                let intervals = match self.intervals() {
+                    Some(p) => format!(",\"intervals\":{{\"k\":{},\"warmup\":{}}}", p.k, p.warmup),
+                    None => String::new(),
+                };
+                format!(
+                    "{{\"schema\":\"eole-report-set/v1\",\"runner\":{{\"warmup\":{},\"measure\":{}}}{},\"reports\":{}}}",
+                    self.runner.warmup,
+                    self.runner.measure,
+                    intervals,
+                    reports_to_json(reports)
+                )
+            }
             Format::Csv => {
                 let mut out = String::new();
                 for r in reports {

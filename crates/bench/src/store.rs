@@ -58,6 +58,15 @@ pub struct RunKey {
     pub measure: u64,
     /// Replication seed (0 = the paper's seeds, unperturbed).
     pub seed: u64,
+    /// Interval count of a stitched run (`0` = serial). Stitched results
+    /// are *never* stored under the serial key: interval execution cuts
+    /// windows at exact commit boundaries and approximates cycle counts
+    /// within a budget, so its results must not silently replace serial
+    /// ones. A nonzero count (with its warmup window) tags the key.
+    pub intervals: u32,
+    /// Per-interval functional-warmup window (µ-ops; meaningful iff
+    /// `intervals > 0`).
+    pub interval_warmup: u64,
 }
 
 impl RunKey {
@@ -71,7 +80,25 @@ impl RunKey {
             warmup: spec.runner.warmup,
             measure: spec.runner.measure,
             seed: spec.seed,
+            intervals: 0,
+            interval_warmup: 0,
         }
+    }
+
+    /// Derives the interval-tagged key for a stitched run of `spec`
+    /// under `policy` (a non-splitting policy degrades to the serial
+    /// key: `k <= 1` stitched runs are still exact-boundary runs, but
+    /// keeping them tagged would fragment the store for no benefit —
+    /// they are *not* bit-identical to the overshooting serial
+    /// methodology, so `k == 1` is tagged too; only `k == 0` is treated
+    /// as "no policy").
+    pub fn of_intervals(spec: &RunSpec, policy: crate::IntervalPolicy) -> RunKey {
+        let mut key = RunKey::of(spec);
+        if policy.k > 0 {
+            key.intervals = policy.k;
+            key.interval_warmup = policy.warmup;
+        }
+        key
     }
 
     /// A 64-bit digest of the whole key (shard ownership hashes this, so
@@ -85,6 +112,14 @@ impl RunKey {
         c.put_u64(self.warmup);
         c.put_u64(self.measure);
         c.put_u64(self.seed);
+        // Appended only for stitched runs, so every serial key digest —
+        // and therefore every existing store file and shard assignment —
+        // is unchanged.
+        if self.intervals > 0 {
+            c.put_str("intervals");
+            c.put_u64(u64::from(self.intervals));
+            c.put_u64(self.interval_warmup);
+        }
         c.digest()
     }
 
@@ -99,14 +134,20 @@ impl RunKey {
                 .map(|ch| if ch.is_ascii_alphanumeric() || ch == '_' || ch == '-' { ch } else { '-' })
                 .collect()
         };
+        let interval_tag = if self.intervals > 0 {
+            format!("_i{}-{}", self.intervals, self.interval_warmup)
+        } else {
+            String::new()
+        };
         format!(
-            "{}__{}__v{}_w{}_m{}_s{}__{:016x}-{:016x}",
+            "{}__{}__v{}_w{}_m{}_s{}{}__{:016x}-{:016x}",
             sanitize(&self.workload),
             sanitize(&self.config_name),
             self.sim_version,
             self.warmup,
             self.measure,
             self.seed,
+            interval_tag,
             self.config_digest,
             self.digest64(),
         )
@@ -297,14 +338,23 @@ pub fn render_result_payload(key: &RunKey, s: &SimStats) -> String {
     let mut out = String::with_capacity(1536);
     out.push_str("{\"schema\":\"eole-result/v2\",");
     out.push_str(&format!("\"sim_version\":{},", key.sim_version));
+    let interval_tag = if key.intervals > 0 {
+        format!(
+            ",\"intervals\":{{\"k\":{},\"warmup\":{}}}",
+            key.intervals, key.interval_warmup
+        )
+    } else {
+        String::new()
+    };
     out.push_str(&format!(
-        "\"key\":{{\"config\":{},\"config_digest\":\"{:016x}\",\"workload\":{},\"warmup\":{},\"measure\":{},\"seed\":{}}},",
+        "\"key\":{{\"config\":{},\"config_digest\":\"{:016x}\",\"workload\":{},\"warmup\":{},\"measure\":{},\"seed\":{}{}}},",
         json_string(&key.config_name),
         key.config_digest,
         json_string(&key.workload),
         key.warmup,
         key.measure,
         key.seed,
+        interval_tag,
     ));
     out.push_str("\"stats\":{");
     let m = &s.mem;
@@ -418,6 +468,17 @@ pub fn parse_result_payload(text: &str, key: &RunKey) -> Result<SimStats, String
         || u64_field(k, "seed")? != key.seed
     {
         return Err("key mismatch".into());
+    }
+    // Interval tag: a serial key must see no tag, a stitched key must see
+    // its exact (k, warmup) — a stitched payload can never satisfy a
+    // serial lookup or vice versa.
+    match k.get("intervals") {
+        None if key.intervals == 0 => {}
+        Some(tag)
+            if key.intervals > 0
+                && u64_field(tag, "k")? == u64::from(key.intervals)
+                && u64_field(tag, "warmup")? == key.interval_warmup => {}
+        _ => return Err("interval-tag mismatch".into()),
     }
     let s = v.get("stats").ok_or("missing `stats`")?;
     let mem = s.get("mem").ok_or("missing `stats.mem`")?;

@@ -22,6 +22,12 @@ impl Simulator<'_> {
             }
         }
         while committed < self.config.commit_width {
+            // Exact-boundary mode (`run_exact`): cut the commit group at
+            // the ceiling instead of overshooting past it. `u64::MAX`
+            // (the `run` path) never triggers.
+            if self.total_committed >= self.commit_limit {
+                break;
+            }
             let Some(e) = self.rob.front() else { break };
             if !self.levt_complete(e, now) {
                 break;

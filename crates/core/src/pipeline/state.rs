@@ -6,7 +6,7 @@ use std::collections::VecDeque;
 
 use eole_isa::{InstClass, Program, RegClass, Trace};
 use eole_mem::hierarchy::MemoryHierarchy;
-use eole_predictors::branch::{Btb, ReturnStack, Tage};
+use eole_predictors::branch::{Btb, DirectionPredictor, ReturnStack, Tage};
 use eole_predictors::history::BranchHistory;
 use eole_predictors::storesets::StoreSets;
 use eole_predictors::value::{
@@ -370,6 +370,12 @@ pub struct Simulator<'t> {
     /// True when the previous [`Simulator::step`] performed no action —
     /// the precondition for event-driven fast-forwarding in `run`.
     pub(super) idle: bool,
+    /// Hard commit ceiling (`u64::MAX` = none): [`Simulator::do_commit`]
+    /// never retires the µ-op that would push `total_committed` past it.
+    /// Set only inside [`Simulator::run_exact`], so the overshooting
+    /// [`Simulator::run`] semantics the golden fingerprints pin are
+    /// untouched.
+    pub(super) commit_limit: u64,
     pub(super) stats: SimStats,
 }
 
@@ -423,10 +429,139 @@ impl<'t> Simulator<'t> {
             mem: MemoryHierarchy::new(&config.mem),
             scratch: Scratch::new(config.prf_banks),
             idle: false,
+            commit_limit: u64::MAX,
             stats: SimStats::default(),
             trace,
             config,
         })
+    }
+
+    /// Builds a simulator whose fetch cursor starts at trace index
+    /// `start`, with predictor and cache state reconstructed by a
+    /// functional replay of the skipped prefix — the entry point of
+    /// interval-parallel simulation.
+    ///
+    /// The trace is fully deterministic, so no architectural
+    /// reconstruction is needed: every µ-op carries its result, address,
+    /// and taken/target outcome, and branch-history positions
+    /// (`bhist_pos`) are absolute, so predictors indexed through
+    /// [`PreparedTrace::history`] see exactly the history a from-zero run
+    /// would at the same µ-op. Microarchitectural state is rebuilt by
+    /// [`Simulator::functional_warm`] over `[0, start)`; callers then
+    /// typically run a short *detailed* warmup window before their
+    /// measurement region to settle timing-local state (see
+    /// `Runner::try_run_intervals` in `eole-bench`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] as [`Simulator::new`] does.
+    pub fn new_at(
+        trace: &'t PreparedTrace,
+        config: CoreConfig,
+        start: usize,
+    ) -> Result<Self, SimError> {
+        let mut sim = Self::new(trace, config)?;
+        sim.functional_warm(start);
+        Ok(sim)
+    }
+
+    /// Functionally replays trace µ-ops `[cursor, upto)` through the
+    /// long-lived microarchitectural state — predictor tables and cache
+    /// hierarchy — without cycle-level pipeline simulation, then leaves
+    /// the fetch cursor at `upto`.
+    ///
+    /// The replay is in commit order with architectural outcomes, which
+    /// reconstructs everything that is a pure function of the committed
+    /// prefix *exactly*: TAGE is trained with the same `(pc, history,
+    /// taken)` triples a detailed run trains it with at commit, the value
+    /// predictor sees the same in-order query/train pairs its backend
+    /// sees at fetch/commit (speculative-window depth effects are
+    /// transient and settle during the caller's detailed warmup window),
+    /// and the return stack replays its call/return pushes and pops.
+    /// Cache and DRAM state is approximate — tags are touched in trace
+    /// order at a synthetic clock rather than out-of-order issue order —
+    /// which is what the interval cycle-error budget covers (`PERF.md`).
+    ///
+    /// The pipeline clock advances monotonically past every modeled
+    /// access so the hierarchy never observes time running backwards; a
+    /// subsequent [`Simulator::run`] simply continues from that cycle.
+    pub fn functional_warm(&mut self, upto: usize) {
+        let upto = upto.min(self.trace.len());
+        let mut cycle = self.cycle;
+        // Throwaway sequence numbers for the query/train pairs: each pair
+        // drains the speculative window before the next, and `next_seq`
+        // itself must stay untouched (ROB slots are seq-addressed from
+        // the ring's base).
+        let mut seq = 0u64;
+        while self.cursor < upto {
+            let di = &self.trace.insts()[self.cursor];
+            let view = self.trace.history.view(di.bhist_pos as usize);
+            // I-cache: one touch per line transition, as fetch does.
+            let line = pck(di.pc) & !63;
+            if line != self.last_fetch_line {
+                self.last_fetch_line = line;
+                cycle = cycle.max(self.mem.fetch(line, cycle));
+            }
+            // Value predictor: the same in-order query/train pair the
+            // detailed machine issues at fetch and commit.
+            if let Some(vp) = self.vp.as_mut() {
+                if di.inst.is_vp_eligible() {
+                    let q = vp.predict(cycle, seq, pck(di.pc), view);
+                    if q.accepted {
+                        vp.commit(seq, pck(di.pc), view, di.result);
+                    }
+                    seq += 1;
+                }
+            }
+            // Control predictors: predict-then-train mirrors the fetch /
+            // pre-commit split of the detailed machine.
+            let cls = di.class();
+            match cls {
+                InstClass::Branch => {
+                    let pred = self.tage.predict(pck(di.pc), view);
+                    if pred.taken {
+                        self.btb.insert(pck(di.pc), di.inst.imm as u32);
+                    }
+                    self.tage.update(pck(di.pc), view, di.taken);
+                }
+                InstClass::Jump | InstClass::Call => {
+                    self.btb.insert(pck(di.pc), di.next_pc);
+                    if cls == InstClass::Call {
+                        self.ras.push(di.pc + 1);
+                    }
+                }
+                InstClass::Return => {
+                    self.ras.pop();
+                }
+                InstClass::JumpIndirect | InstClass::CallIndirect => {
+                    self.btb.insert(pck(di.pc), di.next_pc);
+                    if cls == InstClass::CallIndirect {
+                        self.ras.push(di.pc + 1);
+                    }
+                }
+                InstClass::Load => {
+                    cycle = cycle.max(self.mem.load(pck(di.pc), di.addr, cycle));
+                }
+                InstClass::Store => {
+                    self.mem.store(pck(di.pc), di.addr, cycle);
+                }
+                _ => {}
+            }
+            self.cursor += 1;
+            cycle += 1;
+        }
+        self.cycle = cycle;
+        // The replay clock can advance far past the deadlock watchdog's
+        // window; re-arm it so the first detailed commit isn't declared
+        // overdue.
+        self.last_commit_cycle = cycle;
+    }
+
+    /// Trace index of the next µ-op to fetch (equals the number of
+    /// committed µ-ops whenever the pipeline is drained; commit order is
+    /// trace order).
+    pub fn cursor(&self) -> usize {
+        self.cursor
     }
 
     /// The active configuration.
@@ -489,6 +624,24 @@ impl<'t> Simulator<'t> {
             }
         }
         Ok(())
+    }
+
+    /// Like [`Simulator::run`], but commits **exactly** `insts` more
+    /// µ-ops (or fewer if the trace drains): the final commit group is
+    /// cut at the target instead of overshooting up to `commit_width - 1`
+    /// µ-ops past it. Interval-parallel simulation is built on this —
+    /// exact boundaries are what make per-interval committed counts add
+    /// up to the serial count bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] if no commit happens for 100k cycles.
+    pub fn run_exact(&mut self, insts: u64) -> Result<(), SimError> {
+        self.commit_limit = self.total_committed.saturating_add(insts);
+        let out = self.run(insts);
+        debug_assert!(out.is_err() || self.finished() || self.total_committed == self.commit_limit);
+        self.commit_limit = u64::MAX;
+        out
     }
 
     /// Advances the pipeline by one cycle.

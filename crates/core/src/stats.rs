@@ -243,6 +243,54 @@ impl SimStats {
     pub fn reset(&mut self) {
         *self = SimStats::default();
     }
+
+    /// Accumulates another window's counters into this one — the stitch
+    /// operation of interval-parallel simulation. Every counter is a sum
+    /// (cycles included: the stitched cycle count is the serial sum of
+    /// the per-interval measurement windows); derived metrics computed on
+    /// the stitched struct are therefore suite-level ratios, exactly as
+    /// they would be for one long window.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.cycles += other.cycles;
+        self.committed += other.committed;
+        self.fetched += other.fetched;
+        self.squashed += other.squashed;
+        self.vp_eligible += other.vp_eligible;
+        self.vp_predicted += other.vp_predicted;
+        self.vp_used += other.vp_used;
+        self.vp_used_correct += other.vp_used_correct;
+        self.vp_used_wrong += other.vp_used_wrong;
+        self.vp_squashes += other.vp_squashes;
+        self.vp_squash_cycles_frontend += other.vp_squash_cycles_frontend;
+        self.vp_squash_cycles_levt += other.vp_squash_cycles_levt;
+        self.vp_squash_cycles_window += other.vp_squash_cycles_window;
+        for (a, b) in self.vp_pred_by_level.iter_mut().zip(&other.vp_pred_by_level) {
+            *a += b;
+        }
+        for (a, b) in self.vp_correct_by_level.iter_mut().zip(&other.vp_correct_by_level) {
+            *a += b;
+        }
+        self.vp_block_reads += other.vp_block_reads;
+        self.vp_window_rejects += other.vp_window_rejects;
+        self.early_executed += other.early_executed;
+        self.late_executed_alu += other.late_executed_alu;
+        self.late_executed_branches += other.late_executed_branches;
+        self.levt_port_stalls += other.levt_port_stalls;
+        self.ee_write_stalls += other.ee_write_stalls;
+        self.cond_branches += other.cond_branches;
+        self.branch_mispredicts += other.branch_mispredicts;
+        self.hc_branches += other.hc_branches;
+        self.hc_branch_mispredicts += other.hc_branch_mispredicts;
+        self.indirect_mispredicts += other.indirect_mispredicts;
+        self.btb_miss_bubbles += other.btb_miss_bubbles;
+        self.memory_order_squashes += other.memory_order_squashes;
+        self.sq_forwards += other.sq_forwards;
+        self.stall_rob_full += other.stall_rob_full;
+        self.stall_iq_full += other.stall_iq_full;
+        self.stall_lsq_full += other.stall_lsq_full;
+        self.stall_prf += other.stall_prf;
+        self.mem.merge(&other.mem);
+    }
 }
 
 #[cfg(test)]

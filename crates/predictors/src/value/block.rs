@@ -35,7 +35,7 @@
 //! pipeline made before the refactor; the 209 pre-refactor golden
 //! fingerprints pin that.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use crate::history::HistoryView;
 use crate::value::{AnyValuePredictor, DVtage, ValuePrediction, ValuePredictor};
@@ -80,9 +80,11 @@ pub enum BlockBackend {
 struct SpecEntry {
     seq: u64,
     pc: u64,
-    /// The predicted value, if the backend produced one — the
-    /// speculative "last value" for younger instances of the same pc.
-    value: Option<u64>,
+    /// The `spec_last` index entry this instance shadowed at push time —
+    /// `(seq, value)` of the previous youngest instance of the same pc,
+    /// or `None` if this was the only one. Restored on a squash pop, so
+    /// window rollback keeps the O(1) index exact without a scan.
+    prev: Option<(u64, Option<u64>)>,
 }
 
 /// Outcome of one fetch-time query.
@@ -105,6 +107,13 @@ pub struct BlockVp {
     backend: BlockBackend,
     params: BlockParams,
     window: VecDeque<SpecEntry>,
+    /// Per-pc index of the *youngest* in-flight instance: pc → `(seq,
+    /// predicted value)`. Replaces the old O(window) backward scan in
+    /// [`BlockVp::predict`] with an O(1) probe; kept exact across
+    /// push/commit/squash via the `prev` links on [`SpecEntry`].
+    /// Pre-sized to the window capacity, so steady-state inserts never
+    /// rehash (the zero-allocation contract).
+    spec_last: HashMap<u64, (u64, Option<u64>)>,
     /// Last (cycle, block) the predictor was read for.
     last_access: Option<(u64, u64)>,
 }
@@ -119,6 +128,7 @@ impl BlockVp {
             backend,
             params,
             window: VecDeque::with_capacity(cap + 1),
+            spec_last: HashMap::with_capacity(cap + 1),
             last_access: None,
         }
     }
@@ -164,13 +174,15 @@ impl BlockVp {
             BlockBackend::Legacy(p) => p.predict(pc, hist),
             BlockBackend::DVtage(d) => {
                 // Youngest in-flight instance of the same static µ-op
-                // anchors the speculative delta chain.
-                let spec_last =
-                    self.window.iter().rev().find(|e| e.pc == pc).and_then(|e| e.value);
+                // anchors the speculative delta chain — one index probe,
+                // not a backward window scan.
+                let spec_last = self.spec_last.get(&pc).and_then(|(_, v)| *v);
                 d.predict_spec(pc, hist, spec_last)
             }
         };
-        self.window.push_back(SpecEntry { seq, pc, value: pred.map(|p| p.value) });
+        let value = pred.map(|p| p.value);
+        let prev = self.spec_last.insert(pc, (seq, value));
+        self.window.push_back(SpecEntry { seq, pc, prev });
         BlockQuery { pred, accepted: true, new_block }
     }
 
@@ -183,6 +195,12 @@ impl BlockVp {
             front.is_some_and(|e| e.seq == seq && e.pc == pc),
             "commit of seq {seq} does not match the window head {front:?}"
         );
+        // The index owner for a pc is its youngest instance; the retiring
+        // oldest instance owns it only when it is the *sole* one in
+        // flight — then the entry dies with it.
+        if self.spec_last.get(&pc).is_some_and(|(s, _)| *s == seq) {
+            self.spec_last.remove(&pc);
+        }
         match &mut self.backend {
             BlockBackend::Legacy(p) => p.train(pc, hist, actual),
             BlockBackend::DVtage(d) => d.train_commit(pc, hist, actual),
@@ -197,6 +215,24 @@ impl BlockVp {
                 break;
             }
             let e = self.window.pop_back().expect("non-empty");
+            // A popped instance is the youngest of its pc (anything
+            // younger was popped before it), so it owns the index entry.
+            // Restore the instance it shadowed — still in flight iff its
+            // seq has not slid past the window head (the window never
+            // holds two instances of one pc with the shadowed one
+            // squashed first: squashes pop youngest-first). Seqs are
+            // strictly increasing across the window even with post-squash
+            // reuse, so the head comparison is exact.
+            match e.prev {
+                Some((pseq, pval))
+                    if self.window.front().is_some_and(|f| f.seq <= pseq) =>
+                {
+                    self.spec_last.insert(e.pc, (pseq, pval));
+                }
+                _ => {
+                    self.spec_last.remove(&e.pc);
+                }
+            }
             if let BlockBackend::Legacy(p) = &mut self.backend {
                 p.squash(e.pc);
             }

@@ -139,6 +139,7 @@ pub struct ExperimentReport {
     title: String,
     columns: Vec<ColumnSpec>,
     rows: Vec<Vec<Cell>>,
+    notes: Vec<String>,
 }
 
 impl ExperimentReport {
@@ -150,7 +151,22 @@ impl ExperimentReport {
             title: title.into(),
             columns: Vec::new(),
             rows: Vec::new(),
+            notes: Vec::new(),
         }
+    }
+
+    /// Appends a methodology annotation (e.g. "stitched from 8
+    /// intervals, warmup 5000 µ-ops") rendered under the title in every
+    /// format. Annotations never change the data grid — they exist so a
+    /// report built from approximate (interval-stitched) runs can never
+    /// masquerade as a serial one.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Methodology annotations, in insertion order.
+    pub fn notes(&self) -> &[String] {
+        &self.notes
     }
 
     /// Appends a unitless column (builder style).
@@ -271,6 +287,9 @@ impl ExperimentReport {
             line
         };
         let mut out = format!("== {} ==\n", self.title);
+        for n in &self.notes {
+            out.push_str(&format!("[{n}]\n"));
+        }
         out.push_str(&fmt_row(&headers));
         let total: usize =
             widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
@@ -286,6 +305,9 @@ impl ExperimentReport {
     pub fn render_markdown(&self) -> String {
         let headers = self.header_labels();
         let mut out = format!("### {}\n\n", self.title);
+        for n in &self.notes {
+            out.push_str(&format!("_{n}_\n\n"));
+        }
         out.push_str(&format!("| {} |\n", headers.join(" | ")));
         out.push_str(&format!("|{}\n", "---|".repeat(headers.len())));
         for r in &self.rows {
@@ -303,6 +325,18 @@ impl ExperimentReport {
         out.push_str("{\"schema\":\"eole-report/v1\",");
         out.push_str(&format!("\"id\":{},", json_string(&self.id)));
         out.push_str(&format!("\"title\":{},", json_string(&self.title)));
+        // Additive to the v1 schema: only emitted when annotations exist,
+        // so unannotated payloads stay byte-identical to older ones.
+        if !self.notes.is_empty() {
+            out.push_str("\"notes\":[");
+            for (i, n) in self.notes.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_string(n));
+            }
+            out.push_str("],");
+        }
         out.push_str("\"columns\":[");
         for (i, c) in self.columns.iter().enumerate() {
             if i > 0 {

@@ -1,0 +1,240 @@
+//! Interval-parallel simulation: stitched-vs-serial contracts.
+//!
+//! A run split into K intervals (`Runner::try_run_intervals`) must
+//! reproduce the serial run's *architectural* record exactly — committed
+//! and squashed µ-op counts — because every interval reconstructs
+//! predictor state by functionally replaying its prefix
+//! (`Simulator::functional_warm`) and then warms timing-local state with
+//! a detailed window of W µ-ops. Cycle counts are allowed to drift only
+//! within the pinned budget (`INTERVAL_CYCLE_BUDGET`, 0.5%). The golden
+//! table below pins both properties for every quick-suite preset; the
+//! proptest extends the exactness contract to random (K, W, runner)
+//! draws.
+
+use eole_bench::{
+    check_stitched_against_serial, Grid, IntervalPolicy, MemStore, ResultStore, RunKey, RunSpec,
+    Runner, Session, INTERVAL_CYCLE_BUDGET,
+};
+use eole_core::config::CoreConfig;
+use eole_core::stats::SimStats;
+use eole_workloads::workload_by_name;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// The `sim-throughput` quick-suite axes: the paper's reference configs
+/// over an INT/FP/memory-bound workload spread.
+fn suite_configs() -> Vec<CoreConfig> {
+    vec![
+        CoreConfig::baseline_6_64(),
+        CoreConfig::baseline_vp_6_64(),
+        CoreConfig::eole_6_64(),
+        CoreConfig::eole_4_64_ports(4, 4),
+    ]
+}
+
+const SUITE_WORKLOADS: [&str; 5] = ["gzip", "h264", "mcf", "namd", "hmmer"];
+
+fn stitched_and_serial(
+    runner: Runner,
+    config: &CoreConfig,
+    workload: &str,
+    policy: IntervalPolicy,
+) -> (SimStats, SimStats) {
+    let w = workload_by_name(workload).expect("suite workload");
+    let trace = runner.try_prepare(&w).expect("trace");
+    let stitched = runner.try_run_intervals(&trace, config.clone(), policy).expect("stitched");
+    let serial = runner.try_run_serial_exact(&trace, config.clone()).expect("serial");
+    (stitched, serial)
+}
+
+/// The golden stitched-vs-serial table: every quick-suite preset, split
+/// k=2 and k=8, must keep committed and squashed counts exact and cycle
+/// error inside the pinned budget.
+#[test]
+fn quick_suite_stitched_matches_serial_within_budget() {
+    let runner = Runner::quick();
+    for workload in SUITE_WORKLOADS {
+        for config in &suite_configs() {
+            for k in [2u32, 8] {
+                let policy = IntervalPolicy::of(k, &runner);
+                let (stitched, serial) = stitched_and_serial(runner, config, workload, policy);
+                let label = format!("{}/{workload} k={k}", config.name);
+                assert_eq!(stitched.committed, serial.committed, "{label}: committed");
+                assert_eq!(stitched.committed, runner.measure, "{label}: covers the window");
+                assert_eq!(stitched.squashed, serial.squashed, "{label}: squashed");
+                let err = (stitched.cycles as f64 - serial.cycles as f64).abs()
+                    / serial.cycles as f64;
+                assert!(
+                    err <= INTERVAL_CYCLE_BUDGET,
+                    "{label}: cycle error {:.4}% exceeds the {:.1}% budget ({} vs {})",
+                    err * 100.0,
+                    INTERVAL_CYCLE_BUDGET * 100.0,
+                    stitched.cycles,
+                    serial.cycles,
+                );
+                // The paranoid-mode checker asserts the same contract;
+                // exercising it here keeps it honest (it must not panic
+                // on an in-budget pair).
+                check_stitched_against_serial(&label, policy, &stitched, &serial);
+            }
+        }
+    }
+}
+
+/// k=1 through the interval path is the exact-boundary serial run,
+/// bit for bit — the degenerate stitch is a pure pass-through.
+#[test]
+fn single_interval_is_bit_identical_to_serial_exact() {
+    let runner = Runner::quick();
+    let w = workload_by_name("hmmer").unwrap();
+    let trace = runner.try_prepare(&w).unwrap();
+    let config = CoreConfig::eole_6_64();
+    let policy = IntervalPolicy { k: 1, warmup: runner.warmup };
+    let stitched = runner.try_run_intervals(&trace, config.clone(), policy).unwrap();
+    let serial = runner.try_run_serial_exact(&trace, config).unwrap();
+    assert_eq!(stitched.cycles, serial.cycles);
+    assert_eq!(stitched.committed, serial.committed);
+    assert_eq!(stitched.squashed, serial.squashed);
+    assert_eq!(stitched.fetched, serial.fetched);
+    assert_eq!(stitched.vp_used, serial.vp_used);
+    assert_eq!(stitched.vp_squashes, serial.vp_squashes);
+    assert_eq!(stitched.branch_mispredicts, serial.branch_mispredicts);
+}
+
+/// Interval-tagged run keys never collide with serial keys: the tag
+/// participates in the digest, the file stem, and the payload.
+#[test]
+fn interval_keys_are_distinct_from_serial_keys() {
+    let runner = Runner::quick();
+    let spec = RunSpec {
+        config: CoreConfig::eole_6_64(),
+        workload: workload_by_name("gzip").unwrap(),
+        runner,
+        seed: 0,
+    };
+    let serial = RunKey::of(&spec);
+    let tagged = RunKey::of_intervals(&spec, IntervalPolicy { k: 4, warmup: 1_000 });
+    assert_eq!(serial.intervals, 0);
+    assert_eq!(tagged.intervals, 4);
+    assert_ne!(serial.digest64(), tagged.digest64(), "tag must change the digest");
+    assert!(!serial.file_stem().contains("_i"), "serial stems carry no tag");
+    assert!(tagged.file_stem().contains("_i4-1000"), "{}", tagged.file_stem());
+    // Different k or W are different digests too (different approximations).
+    let other = RunKey::of_intervals(&spec, IntervalPolicy { k: 8, warmup: 1_000 });
+    assert_ne!(tagged.digest64(), other.digest64());
+
+    // Store round-trip: a result saved under the tagged key is invisible
+    // to the serial key and vice versa.
+    let store = MemStore::new();
+    let stats = SimStats { cycles: 7, committed: 42, ..SimStats::default() };
+    store.save(&tagged, &stats).unwrap();
+    assert!(store.load(&serial).is_none(), "serial lookup must miss the tagged result");
+    let back = store.load(&tagged).expect("tagged lookup hits");
+    assert_eq!(back.cycles, 7);
+    assert_eq!(back.committed, 42);
+}
+
+/// The executor's interval path: grid results equal the library-level
+/// stitch, results keep grid order, and a warm store serves the repeat
+/// grid with zero simulations — under the interval-tagged keys.
+#[test]
+fn executor_interval_path_matches_library_stitch_and_caches() {
+    let runner = Runner::quick();
+    let policy = IntervalPolicy::of(4, &runner);
+    let grid = Grid::new()
+        .runner(runner)
+        .configs([CoreConfig::baseline_6_64(), CoreConfig::eole_6_64()])
+        .workload_names(&["gzip", "namd"]);
+    let store: Arc<dyn ResultStore> = Arc::new(MemStore::new());
+    let session = Session::builder()
+        .runner(runner)
+        .threads(3)
+        .intervals(4)
+        .store(Arc::clone(&store))
+        .build()
+        .unwrap();
+    assert_eq!(session.intervals(), Some(policy));
+    let results = session.run(&grid);
+    assert_eq!(results.len(), 4);
+    assert_eq!(session.executor().simulated(), 4);
+    for (r, spec) in results.iter().zip(grid.specs()) {
+        assert_eq!(r.spec.label(), spec.label(), "stitched results keep grid order");
+        let got = r.stats().expect("stitched run succeeds");
+        let trace = runner.try_prepare(&spec.workload).unwrap();
+        let want = runner.try_run_intervals(&trace, spec.effective_config(), policy).unwrap();
+        assert_eq!(got.cycles, want.cycles, "{}", spec.label());
+        assert_eq!(got.committed, want.committed);
+        assert_eq!(got.squashed, want.squashed);
+    }
+    // Warm repeat: all four cells come from the store under tagged keys.
+    let warm = Session::builder()
+        .runner(runner)
+        .threads(2)
+        .intervals(4)
+        .store(Arc::clone(&store))
+        .build()
+        .unwrap();
+    let again = warm.run(&grid);
+    assert_eq!(warm.executor().simulated(), 0, "warm store serves every stitched cell");
+    assert_eq!(warm.executor().store_hits(), 4);
+    for (a, b) in results.iter().zip(&again) {
+        assert_eq!(a.stats().unwrap().cycles, b.stats().unwrap().cycles);
+    }
+    // A serial session over the same grid must NOT see the stitched
+    // results (tagged keys are invisible to serial lookups).
+    let serial = Session::builder()
+        .runner(runner)
+        .threads(2)
+        .store(Arc::clone(&store))
+        .build()
+        .unwrap();
+    serial.run(&grid);
+    assert_eq!(serial.executor().store_hits(), 0, "serial keys must miss stitched results");
+    assert_eq!(serial.executor().simulated(), 4);
+}
+
+/// The session JSON header advertises the interval policy (additive
+/// field; serial sessions emit the unchanged v1 payload).
+#[test]
+fn session_json_header_carries_the_interval_tag() {
+    let with = Session::builder()
+        .runner(Runner { warmup: 11, measure: 22 })
+        .intervals(3)
+        .interval_warmup(Some(7))
+        .build()
+        .unwrap();
+    let payload = with.render(&[], eole_bench::Format::Json);
+    assert!(payload.contains("\"intervals\":{\"k\":3,\"warmup\":7}"), "{payload}");
+    let without = Session::builder().runner(Runner { warmup: 11, measure: 22 }).build().unwrap();
+    let payload = without.render(&[], eole_bench::Format::Json);
+    assert!(!payload.contains("intervals"), "serial payloads must be byte-stable: {payload}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The architectural-exactness contract under random (K, W, runner):
+    /// stitched committed and squashed counts equal the exact-boundary
+    /// serial run's, for a VP-heavy config on the suite's worst squasher
+    /// (hmmer) and a VP-less baseline on gzip.
+    #[test]
+    fn stitched_counts_equal_serial_for_random_k_w_and_runner(
+        k in 1u32..9,
+        warmup_window in 500u64..4_000,
+        warmup in 1_000u64..4_000,
+        measure in 2_000u64..10_000,
+        vp in any::<bool>(),
+    ) {
+        let runner = Runner { warmup, measure };
+        let policy = IntervalPolicy { k, warmup: warmup_window };
+        let (config, workload) = if vp {
+            (CoreConfig::eole_6_64(), "hmmer")
+        } else {
+            (CoreConfig::baseline_6_64(), "gzip")
+        };
+        let (stitched, serial) = stitched_and_serial(runner, &config, workload, policy);
+        prop_assert_eq!(stitched.committed, serial.committed);
+        prop_assert_eq!(stitched.committed, measure);
+        prop_assert_eq!(stitched.squashed, serial.squashed);
+    }
+}

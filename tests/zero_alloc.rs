@@ -116,6 +116,17 @@ fn banked_port_limited_eole_steps_without_allocating() {
     assert_zero_alloc_steady_state(CoreConfig::eole_4_64_ports(4, 4));
 }
 
+/// A tight speculative-window bound keeps the window pinned at its cap:
+/// every cycle mixes accepted registrations, full-window refusals, and
+/// index restores on squash. The per-pc `spec_last` index is pre-sized to
+/// the cap, so none of that churn — insert, shadow-restore, remove —
+/// may ever rehash or allocate.
+#[test]
+fn tight_spec_window_churn_does_not_allocate() {
+    let config = CoreConfig::baseline_dvtage_6_64().to_builder().vp_spec_window(Some(8)).build();
+    assert_zero_alloc_steady_state(config.expect("bounded window of 8 is valid"));
+}
+
 /// Squash recovery (the heaviest non-steady path: ROB walk, queue purges,
 /// predictor squash callbacks, cursor rewind) is also allocation-free.
 #[test]

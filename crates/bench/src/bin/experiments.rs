@@ -17,7 +17,11 @@
 //!
 //! `--store DIR` caches every run in a persistent `DirStore`: a repeat
 //! invocation serves all cells from disk and simulates nothing
-//! (`--assert-cached` turns that into an exit-status gate). `--shard K/N`
+//! (`--assert-cached` turns that into an exit-status gate).
+//! `--store tcp://HOST:PORT` shares one cache across machines through an
+//! `eole-stored` daemon — concurrent sessions single-flight each key, so
+//! a cold grid run by N sessions still simulates each cell exactly once,
+//! and a dying daemon degrades to local simulation. `--shard K/N`
 //! runs only the grid cells this process owns — a *populate* pass that
 //! fills the store and emits no reports; a final unsharded `--store DIR`
 //! invocation merges everything into the same payload an unsharded run
@@ -30,15 +34,18 @@ use eole_workloads::all_workloads;
 
 const USAGE: &str = "usage: experiments [names...|all] [--quick] [--warmup N] [--measure N] \
 [--intervals K] [--interval-warmup W] \
-[--format md|json|csv] [--out FILE] [--md FILE] [--store DIR] [--shard K/N] [--assert-cached]
+[--format md|json|csv] [--out FILE] [--md FILE] [--store DIR|tcp://HOST:PORT] [--shard K/N] \
+[--assert-cached]
        experiments compare OLD.json NEW.json [--threshold PCT] [--out FILE]
 experiments: table1 table2 table3 fig2 fig4 offload fig6 fig7 fig8 fig10 fig11 fig12 fig13 \
 vp_ablation ee_writes squash_cost levt_depth_ablation dvtage_budget bebop_block_size complexity
 compare: diff two results.json report sets (Markdown delta table on stdout; exits 1 on \
 >PCT% drops in IPC/speedup columns, default 2%)
-store/shard: --store caches per-run results on disk (eole-result/v2, one file per run key); \
---shard K/N simulates only the cells this process owns (populate pass, no reports) — merge by \
-re-running unsharded with the same --store; --assert-cached exits 1 if anything simulated
+store/shard: --store caches per-run results on disk (eole-result/v2, one file per run key) or, \
+with tcp://HOST:PORT, in a shared eole-stored daemon (single-flight dedup across sessions; \
+graceful local fallback if the daemon dies); --shard K/N simulates only the cells this process \
+owns (populate pass, no reports) — merge by re-running unsharded with the same --store; \
+--assert-cached exits 1 if anything simulated
 intervals: --intervals K splits every run into K deterministic intervals simulated \
 concurrently and stitched (committed counts exact, cycles within the pinned budget; stored \
 under interval-tagged keys); --interval-warmup W sets the per-interval warmup window in \

@@ -17,7 +17,7 @@ use eole_workloads::Workload;
 
 use crate::plan::Shard;
 use crate::spec::{Grid, RunSpec};
-use crate::store::{ResultStore, RunKey};
+use crate::store::{ResultStore, RunKey, StoreError};
 use crate::{check_stitched_against_serial, interval_paranoid, IntervalPolicy, Runner};
 
 /// Which phase of a run failed.
@@ -78,8 +78,8 @@ pub enum RunError {
     Store {
         /// Human label of the run whose result was lost.
         label: String,
-        /// Rendered I/O failure.
-        reason: String,
+        /// The typed store failure (match on the class, not the text).
+        source: StoreError,
     },
 }
 
@@ -96,8 +96,8 @@ impl std::fmt::Display for RunError {
             RunError::NotInShard { label, shard } => {
                 write!(f, "{label}: owned by another shard (this executor runs {shard})")
             }
-            RunError::Store { label, reason } => {
-                write!(f, "{label}: result store failed: {reason}")
+            RunError::Store { label, source } => {
+                write!(f, "{label}: result store failed: {source}")
             }
         }
     }
@@ -244,6 +244,7 @@ pub struct Executor {
     shard: Option<Shard>,
     intervals: Option<IntervalPolicy>,
     store_hits: AtomicUsize,
+    store_misses: AtomicUsize,
     simulated: AtomicUsize,
     shard_skips: AtomicUsize,
 }
@@ -270,6 +271,7 @@ impl Executor {
             shard: None,
             intervals: None,
             store_hits: AtomicUsize::new(0),
+            store_misses: AtomicUsize::new(0),
             simulated: AtomicUsize::new(0),
             shard_skips: AtomicUsize::new(0),
         }
@@ -336,6 +338,13 @@ impl Executor {
         self.store_hits.load(Ordering::Relaxed)
     }
 
+    /// Store lookups that found no entry (each miss is followed by a
+    /// simulation, a shard skip, or — on a degraded remote store — a
+    /// local fallback simulation).
+    pub fn store_misses(&self) -> usize {
+        self.store_misses.load(Ordering::Relaxed)
+    }
+
     /// Runs actually simulated (the "zero on a warm store" counter).
     pub fn simulated(&self) -> usize {
         self.simulated.load(Ordering::Relaxed)
@@ -364,18 +373,35 @@ impl Executor {
                 self.store_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(stats);
             }
+            self.store_misses.fetch_add(1, Ordering::Relaxed);
         }
         if let Some(shard) = self.shard {
             if !shard.owns(&key) {
                 self.shard_skips.fetch_add(1, Ordering::Relaxed);
+                // The miss above may have granted this process the key's
+                // single-flight lease; a skipped cell will never publish,
+                // so release it for the owning shard's session.
+                if let Some(store) = &self.store {
+                    store.abandon(&key);
+                }
                 return Err(RunError::NotInShard { label: spec.label(), shard });
             }
         }
-        let stats = self.simulate(spec)?;
+        let stats = match self.simulate(spec) {
+            Ok(stats) => stats,
+            Err(e) => {
+                // Wake single-flight waiters instead of making them idle
+                // out the lease TTL on a simulation that will never land.
+                if let Some(store) = &self.store {
+                    store.abandon(&key);
+                }
+                return Err(e);
+            }
+        };
         if let Some(store) = &self.store {
             store
                 .save(&key, &stats)
-                .map_err(|reason| RunError::Store { label: spec.label(), reason })?;
+                .map_err(|source| RunError::Store { label: spec.label(), source })?;
         }
         Ok(stats)
     }
@@ -447,10 +473,14 @@ impl Executor {
                     results[i] = Some(RunResult { spec: spec.clone(), outcome: Ok(stats) });
                     continue;
                 }
+                self.store_misses.fetch_add(1, Ordering::Relaxed);
             }
             if let Some(shard) = self.shard {
                 if !shard.owns(&key) {
                     self.shard_skips.fetch_add(1, Ordering::Relaxed);
+                    if let Some(store) = &self.store {
+                        store.abandon(&key);
+                    }
                     let outcome = Err(RunError::NotInShard { label: spec.label(), shard });
                     results[i] = Some(RunResult { spec: spec.clone(), outcome });
                     continue;
@@ -537,24 +567,39 @@ impl Executor {
         pieces: &Mutex<Vec<Option<Result<SimStats, RunError>>>>,
     ) -> Result<SimStats, RunError> {
         self.simulated.fetch_add(1, Ordering::Relaxed);
-        let mut stitched = SimStats::default();
-        let mut pieces = pieces.lock().expect("pieces poisoned");
-        for slot in pieces.iter_mut() {
-            let piece = slot.take().expect("remaining hit zero with a piece missing")?;
-            stitched.merge(&piece);
-        }
-        if interval_paranoid() {
-            let trace = self.cache.get_or_prepare(&spec.workload, &spec.runner)?;
-            let serial = spec
-                .runner
-                .try_run_serial_exact(&trace, spec.effective_config())
-                .map_err(|e| attribute_workload(e, spec))?;
-            check_stitched_against_serial(&spec.label(), policy, &stitched, &serial);
-        }
+        let key = RunKey::of_intervals(spec, policy);
+        let outcome = (|| -> Result<SimStats, RunError> {
+            let mut stitched = SimStats::default();
+            let mut pieces = pieces.lock().expect("pieces poisoned");
+            for slot in pieces.iter_mut() {
+                let piece = slot.take().expect("remaining hit zero with a piece missing")?;
+                stitched.merge(&piece);
+            }
+            if interval_paranoid() {
+                let trace = self.cache.get_or_prepare(&spec.workload, &spec.runner)?;
+                let serial = spec
+                    .runner
+                    .try_run_serial_exact(&trace, spec.effective_config())
+                    .map_err(|e| attribute_workload(e, spec))?;
+                check_stitched_against_serial(&spec.label(), policy, &stitched, &serial);
+            }
+            Ok(stitched)
+        })();
+        let stitched = match outcome {
+            Ok(stitched) => stitched,
+            Err(e) => {
+                // A failed stitch never publishes; release the lease the
+                // pre-pass miss may hold so single-flight waiters move on.
+                if let Some(store) = &self.store {
+                    store.abandon(&key);
+                }
+                return Err(e);
+            }
+        };
         if let Some(store) = &self.store {
             store
-                .save(&RunKey::of_intervals(spec, policy), &stitched)
-                .map_err(|reason| RunError::Store { label: spec.label(), reason })?;
+                .save(&key, &stitched)
+                .map_err(|source| RunError::Store { label: spec.label(), source })?;
         }
         Ok(stitched)
     }

@@ -60,6 +60,7 @@ pub mod compare;
 pub mod exec;
 pub mod experiments;
 pub mod plan;
+pub mod remote;
 pub mod session;
 pub mod spec;
 pub mod store;
@@ -67,9 +68,10 @@ pub mod store;
 pub use compare::Comparison;
 pub use exec::{Executor, RunError, RunPhase, RunResult, TraceCache};
 pub use plan::{Plan, Shard};
-pub use session::{Format, Session, SessionBuilder, TimedRun};
+pub use remote::RemoteStore;
+pub use session::{Format, Session, SessionBuilder, StoreSummary, TimedRun};
 pub use spec::{Grid, RunSpec};
-pub use store::{DirStore, MemStore, ResultStore, RunKey};
+pub use store::{DirStore, MemStore, ResultStore, RunKey, StoreError};
 
 use eole_core::config::CoreConfig;
 use eole_core::pipeline::{PreparedTrace, Simulator};

@@ -29,6 +29,7 @@ use eole_workloads::Workload;
 
 use crate::exec::{Executor, RunError, RunResult};
 use crate::plan::Shard;
+use crate::remote::RemoteStore;
 use crate::spec::{Grid, RunSpec};
 use crate::store::{DirStore, ResultStore};
 use crate::{IntervalPolicy, Runner};
@@ -102,7 +103,9 @@ impl SessionBuilder {
         self
     }
 
-    /// Attaches an on-disk [`DirStore`] rooted at `dir` (created by
+    /// Attaches a persistent result store by *spec*: `tcp://HOST:PORT`
+    /// connects a [`RemoteStore`] to an `eole-stored` daemon; anything
+    /// else is a directory path for an on-disk [`DirStore`] (created by
     /// [`SessionBuilder::build`]).
     #[must_use]
     pub fn store_dir(mut self, dir: impl Into<String>) -> Self {
@@ -149,7 +152,14 @@ impl SessionBuilder {
         };
         let store = match (self.store, self.store_dir) {
             (Some(store), _) => Some(store),
-            (None, Some(dir)) => Some(Arc::new(DirStore::open(dir)?) as Arc<dyn ResultStore>),
+            (None, Some(spec)) => Some(match spec.strip_prefix("tcp://") {
+                Some(addr) => {
+                    let remote = RemoteStore::connect(addr)
+                        .map_err(|e| format!("connect result store {spec}: {e}"))?;
+                    Arc::new(remote) as Arc<dyn ResultStore>
+                }
+                None => Arc::new(DirStore::open(spec)?) as Arc<dyn ResultStore>,
+            }),
             (None, None) => None,
         };
         if let Some(store) = store {
@@ -164,6 +174,28 @@ impl SessionBuilder {
         }
         Ok(Session { runner, executor })
     }
+}
+
+/// Store accounting for one session: the executor's view of cache
+/// traffic plus the backing store's health. Serialized as the flat
+/// `store` block of the `eole-report-set/v1` JSON header (flat on
+/// purpose — byte-compare tooling strips it with one non-nested-brace
+/// pattern; see `EXPERIMENTS.md`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreSummary {
+    /// Runs served from the store without simulating.
+    pub hits: usize,
+    /// Lookups that found no entry.
+    pub misses: usize,
+    /// Runs actually simulated.
+    pub sims: usize,
+    /// Runs skipped because another shard owns them.
+    pub skips: usize,
+    /// Evictions observed at the backing store (budget-limited daemons;
+    /// always 0 for local stores).
+    pub evictions_observed: u64,
+    /// True when a remote store fell back to cache-less operation.
+    pub degraded: bool,
 }
 
 /// The unified driver: everything a harness front end needs to turn
@@ -198,6 +230,19 @@ impl Session {
     /// The interval-parallel policy, if the session splits runs.
     pub fn intervals(&self) -> Option<IntervalPolicy> {
         self.executor.intervals()
+    }
+
+    /// Store accounting, if a result store is attached.
+    pub fn store_summary(&self) -> Option<StoreSummary> {
+        let store = self.executor.store()?;
+        Some(StoreSummary {
+            hits: self.executor.store_hits(),
+            misses: self.executor.store_misses(),
+            sims: self.executor.simulated(),
+            skips: self.executor.shard_skips(),
+            evictions_observed: store.observed_evictions(),
+            degraded: store.degraded(),
+        })
     }
 
     /// Runs every spec of a grid (store consulted first, shard respected);
@@ -312,17 +357,28 @@ impl Session {
                 out
             }
             Format::Json => {
-                // Additive header field: serial sessions emit the exact
-                // v1 payload bytes they always did.
+                // Additive header fields: store-less serial sessions emit
+                // the exact v1 payload bytes they always did.
                 let intervals = match self.intervals() {
                     Some(p) => format!(",\"intervals\":{{\"k\":{},\"warmup\":{}}}", p.k, p.warmup),
                     None => String::new(),
                 };
+                // Flat (no nested objects), so byte-compare tooling can
+                // strip the run-varying counters with
+                // `sed 's/,"store":{[^}]*}//'` — see `EXPERIMENTS.md`.
+                let store = match self.store_summary() {
+                    Some(s) => format!(
+                        ",\"store\":{{\"hits\":{},\"misses\":{},\"sims\":{},\"skips\":{},\"evictions_observed\":{},\"degraded\":{}}}",
+                        s.hits, s.misses, s.sims, s.skips, s.evictions_observed, s.degraded
+                    ),
+                    None => String::new(),
+                };
                 format!(
-                    "{{\"schema\":\"eole-report-set/v1\",\"runner\":{{\"warmup\":{},\"measure\":{}}}{},\"reports\":{}}}",
+                    "{{\"schema\":\"eole-report-set/v1\",\"runner\":{{\"warmup\":{},\"measure\":{}}}{}{},\"reports\":{}}}",
                     self.runner.warmup,
                     self.runner.measure,
                     intervals,
+                    store,
                     reports_to_json(reports)
                 )
             }
@@ -351,14 +407,21 @@ impl Session {
         std::fs::rename(&tmp, path).map_err(|e| format!("rename {tmp} -> {path}: {e}"))
     }
 
-    /// One-line cache/store accounting for stderr status output.
+    /// One-line cache/store accounting for stderr status output (CI
+    /// parses `simulated N` out of this line; keep that token stable).
     pub fn accounting(&self) -> String {
+        let degraded = if self.executor.store().is_some_and(|s| s.degraded()) {
+            ", store DEGRADED (daemon lost; ran without the cache)"
+        } else {
+            ""
+        };
         format!(
-            "store hits {}, simulated {}, shard-skipped {}, traces generated {}",
+            "store hits {}, simulated {}, shard-skipped {}, traces generated {}{}",
             self.executor.store_hits(),
             self.executor.simulated(),
             self.executor.shard_skips(),
             self.executor.cache().generated(),
+            degraded,
         )
     }
 }

@@ -22,6 +22,8 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+pub use eole_store_service::StoreError;
+
 use eole_core::canon::{CanonicalBytes, SIM_FINGERPRINT_VERSION};
 use eole_core::stats::SimStats;
 use eole_mem::hierarchy::MemStats;
@@ -169,10 +171,10 @@ pub trait ResultStore: Send + Sync + std::fmt::Debug {
     ///
     /// # Errors
     ///
-    /// A rendered description of the I/O failure, if any. Losing a cache
-    /// write is not recoverable silently — the caller surfaces it as a
-    /// typed run error so CI catches a broken store directory.
-    fn save(&self, key: &RunKey, stats: &SimStats) -> Result<(), String>;
+    /// A typed [`StoreError`], if any. Losing a cache write is not
+    /// recoverable silently — the caller surfaces it as a typed run
+    /// error so CI catches a broken store directory.
+    fn save(&self, key: &RunKey, stats: &SimStats) -> Result<(), StoreError>;
 
     /// Number of entries currently stored.
     fn len(&self) -> usize;
@@ -180,6 +182,26 @@ pub trait ResultStore: Send + Sync + std::fmt::Debug {
     /// True when the store holds no entries.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Releases any in-flight claim this process holds on `key` without
+    /// publishing a result — called when the simulation behind a
+    /// single-flight lease fails, so waiters on a networked store are
+    /// woken instead of blocking until the lease TTL. Local stores have
+    /// no leases; the default is a no-op.
+    fn abandon(&self, _key: &RunKey) {}
+
+    /// True when the store has fallen back to cache-less operation
+    /// (e.g. the remote daemon became unreachable); loads answer `None`
+    /// and saves are dropped, so runs still complete correctly.
+    fn degraded(&self) -> bool {
+        false
+    }
+
+    /// Evictions observed at the backing store (LRU sweeps at a
+    /// budget-limited daemon); local stores never evict.
+    fn observed_evictions(&self) -> u64 {
+        0
     }
 }
 
@@ -201,7 +223,7 @@ impl ResultStore for MemStore {
         self.map.lock().expect("mem store poisoned").get(key).copied()
     }
 
-    fn save(&self, key: &RunKey, stats: &SimStats) -> Result<(), String> {
+    fn save(&self, key: &RunKey, stats: &SimStats) -> Result<(), StoreError> {
         self.map.lock().expect("mem store poisoned").insert(key.clone(), *stats);
         Ok(())
     }
@@ -224,8 +246,14 @@ pub struct DirStore {
     hits: AtomicUsize,
     misses: AtomicUsize,
     corrupt: AtomicUsize,
-    tmp_counter: AtomicUsize,
 }
+
+/// Process-global temp-name counter: two `DirStore` instances over the
+/// same directory in one process share the pid, so a per-instance
+/// counter could collide. One counter per process makes `.tmp-{pid}-{n}`
+/// unique across *every* instance (and the pid keeps it unique across
+/// processes).
+static TMP_COUNTER: AtomicUsize = AtomicUsize::new(0);
 
 impl DirStore {
     /// Opens (creating if needed) a store rooted at `dir`.
@@ -242,7 +270,6 @@ impl DirStore {
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             corrupt: AtomicUsize::new(0),
-            tmp_counter: AtomicUsize::new(0),
         })
     }
 
@@ -297,17 +324,19 @@ impl ResultStore for DirStore {
         }
     }
 
-    fn save(&self, key: &RunKey, stats: &SimStats) -> Result<(), String> {
+    fn save(&self, key: &RunKey, stats: &SimStats) -> Result<(), StoreError> {
         let path = self.path_for(key);
         let tmp = self.dir.join(format!(
             ".tmp-{}-{}",
             std::process::id(),
-            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
         let payload = render_result_payload(key, stats);
-        std::fs::write(&tmp, payload).map_err(|e| format!("write {}: {e}", tmp.display()))?;
-        std::fs::rename(&tmp, &path)
-            .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), path.display()))
+        std::fs::write(&tmp, payload)
+            .map_err(|e| StoreError::Io(format!("write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, &path).map_err(|e| {
+            StoreError::Io(format!("rename {} -> {}: {e}", tmp.display(), path.display()))
+        })
     }
 
     fn len(&self) -> usize {

@@ -1,0 +1,246 @@
+//! The `eole-store/v1` client: one lazily-(re)connected TCP connection,
+//! guarded for multi-threaded use, with connect/read timeouts and bounded
+//! retry-with-backoff — the robustness layer that lets a caller treat the
+//! daemon as *optional* (every failure is a typed [`StoreError`], never a
+//! panic or a hang).
+//!
+//! The connection matters for more than efficiency: single-flight leases
+//! are scoped to a connection server-side, so a client must issue the
+//! `Get` that granted a lease and the `Put` that publishes it over the
+//! *same* logical client. Losing the connection mid-lease releases the
+//! lease (another client may pick it up — a duplicated simulation at
+//! worst, never a lost result, since `Put` publishes with or without a
+//! lease).
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::proto::{
+    decode_response, encode_request, read_frame, write_frame, Request, Response, ServiceStats,
+    ERR_EVICTED, PROTO_VERSION,
+};
+use crate::StoreError;
+
+/// Client tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// `host:port` of the daemon.
+    pub addr: String,
+    /// Deadline for establishing a TCP connection.
+    pub connect_timeout: Duration,
+    /// Deadline for one response (extended by `wait_ms` on `Get`s, which
+    /// the server may legitimately hold that long).
+    pub io_timeout: Duration,
+    /// Transport-failure retries per request (each reconnects; protocol
+    /// errors are never retried — a confused peer stays confused).
+    pub retries: u32,
+    /// Base backoff between retries (doubles per attempt).
+    pub backoff: Duration,
+}
+
+impl ClientConfig {
+    /// Defaults tuned for a loopback or rack-local daemon: 2 s connect,
+    /// 10 s I/O, 3 retries from 100 ms backoff.
+    pub fn new(addr: impl Into<String>) -> Self {
+        ClientConfig {
+            addr: addr.into(),
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(10),
+            retries: 3,
+            backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Outcome of a single-flight [`StoreClient::get`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GetOutcome {
+    /// The stored payload.
+    Hit(Vec<u8>),
+    /// This client now holds the key's lease: produce the payload and
+    /// [`StoreClient::put`] it (or [`StoreClient::abandon`] on failure).
+    Lease,
+    /// Another client holds the lease; poll again after `retry_ms`.
+    Busy {
+        /// Server-suggested delay before the next poll.
+        retry_ms: u32,
+    },
+}
+
+/// A thread-safe client over one pooled connection.
+#[derive(Debug)]
+pub struct StoreClient {
+    config: ClientConfig,
+    conn: Mutex<Option<TcpStream>>,
+}
+
+impl StoreClient {
+    /// Builds a client and verifies the daemon is reachable and speaks
+    /// [`PROTO_VERSION`] (one `Ping` round-trip).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`]/[`StoreError::Timeout`] if the daemon is
+    /// unreachable, [`StoreError::Protocol`] on a version mismatch.
+    pub fn connect(config: ClientConfig) -> Result<StoreClient, StoreError> {
+        let client = StoreClient { config, conn: Mutex::new(None) };
+        let stream = client.dial()?;
+        *client.conn.lock().expect("client connection poisoned") = Some(stream);
+        Ok(client)
+    }
+
+    /// The configured daemon address.
+    pub fn addr(&self) -> &str {
+        &self.config.addr
+    }
+
+    /// One TCP connect + handshake (no retries here; [`StoreClient::request`]
+    /// owns the retry loop).
+    fn dial(&self) -> Result<TcpStream, StoreError> {
+        let addrs: Vec<_> = self
+            .config
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| StoreError::Io(format!("resolve {}: {e}", self.config.addr)))?
+            .collect();
+        let mut last = StoreError::Io(format!("{} resolved to no addresses", self.config.addr));
+        for addr in addrs {
+            match TcpStream::connect_timeout(&addr, self.config.connect_timeout) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    stream
+                        .set_read_timeout(Some(self.config.io_timeout))
+                        .map_err(|e| StoreError::Io(format!("set read timeout: {e}")))?;
+                    stream
+                        .set_write_timeout(Some(self.config.io_timeout))
+                        .map_err(|e| StoreError::Io(format!("set write timeout: {e}")))?;
+                    let mut stream = stream;
+                    let ping = Request::Ping { proto: PROTO_VERSION.to_string() };
+                    write_frame(&mut stream, &encode_request(&ping))?;
+                    return match decode_response(&read_frame(&mut stream)?)? {
+                        Response::Pong { proto } if proto == PROTO_VERSION => Ok(stream),
+                        Response::Pong { proto } => Err(StoreError::Protocol(format!(
+                            "daemon speaks {proto}, this client speaks {PROTO_VERSION}"
+                        ))),
+                        Response::Err { msg, .. } => Err(StoreError::Protocol(msg)),
+                        other => Err(StoreError::Protocol(format!(
+                            "unexpected handshake response {other:?}"
+                        ))),
+                    };
+                }
+                Err(e) => {
+                    last = match e.kind() {
+                        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+                            StoreError::Timeout(format!("connect {addr}: {e}"))
+                        }
+                        _ => StoreError::Io(format!("connect {addr}: {e}")),
+                    };
+                }
+            }
+        }
+        Err(last)
+    }
+
+    /// One request/response exchange with reconnect-and-retry on
+    /// transport failure. `extra_wait` stretches the read deadline for
+    /// requests the server may legitimately hold (`Get` with `wait_ms`).
+    fn request(&self, req: &Request, extra_wait: Duration) -> Result<Response, StoreError> {
+        let mut guard = self.conn.lock().expect("client connection poisoned");
+        let mut attempt = 0u32;
+        loop {
+            let result = (|| -> Result<Response, StoreError> {
+                if guard.is_none() {
+                    *guard = Some(self.dial()?);
+                }
+                let stream = guard.as_mut().expect("just connected");
+                stream
+                    .set_read_timeout(Some(self.config.io_timeout + extra_wait))
+                    .map_err(|e| StoreError::Io(format!("set read timeout: {e}")))?;
+                write_frame(stream, &encode_request(req))?;
+                decode_response(&read_frame(stream)?)
+            })();
+            match result {
+                Ok(resp) => return Ok(resp),
+                // A protocol error is not transient; a corrupt error
+                // cannot come from the transport. Everything else gets a
+                // fresh connection and a bounded, backed-off retry.
+                Err(e @ (StoreError::Protocol(_) | StoreError::Corrupt(_))) => {
+                    *guard = None;
+                    return Err(e);
+                }
+                Err(e) => {
+                    *guard = None;
+                    if attempt >= self.config.retries {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.config.backoff * 2u32.pow(attempt.min(8)));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Single-flight lookup; the server holds the response up to
+    /// `wait_ms` when another connection holds the key's lease.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`StoreError`] on transport/protocol failure or an `Err`
+    /// response.
+    pub fn get(&self, key: &str, wait_ms: u32) -> Result<GetOutcome, StoreError> {
+        let req = Request::Get { key: key.to_string(), wait_ms };
+        match self.request(&req, Duration::from_millis(u64::from(wait_ms)))? {
+            Response::Hit { payload } => Ok(GetOutcome::Hit(payload)),
+            Response::Lease => Ok(GetOutcome::Lease),
+            Response::Busy { retry_ms } => Ok(GetOutcome::Busy { retry_ms }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Publishes `payload` under `key` (releasing any lease this client
+    /// holds on it, waking the waiters).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Evicted`] if the payload exceeds the daemon's byte
+    /// budget; otherwise as [`StoreClient::get`].
+    pub fn put(&self, key: &str, payload: Vec<u8>) -> Result<(), StoreError> {
+        match self.request(&Request::Put { key: key.to_string(), payload }, Duration::ZERO)? {
+            Response::Ok => Ok(()),
+            Response::Err { code: ERR_EVICTED, .. } => Err(StoreError::Evicted),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Releases this client's lease on `key` without publishing.
+    ///
+    /// # Errors
+    ///
+    /// As [`StoreClient::get`].
+    pub fn abandon(&self, key: &str) -> Result<(), StoreError> {
+        match self.request(&Request::Abandon { key: key.to_string() }, Duration::ZERO)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Service counters snapshot.
+    ///
+    /// # Errors
+    ///
+    /// As [`StoreClient::get`].
+    pub fn stats(&self) -> Result<ServiceStats, StoreError> {
+        match self.request(&Request::Stats, Duration::ZERO)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(resp: &Response) -> StoreError {
+    match resp {
+        Response::Err { msg, .. } => StoreError::Protocol(msg.clone()),
+        other => StoreError::Protocol(format!("unexpected response {other:?}")),
+    }
+}

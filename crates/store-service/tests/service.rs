@@ -1,0 +1,256 @@
+//! End-to-end tests of the daemon: single-flight leases, eviction, and
+//! client robustness against a slow or dying server — each over a real
+//! TCP connection on loopback.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use eole_store_service::{
+    ClientConfig, GetOutcome, ServerConfig, ServerHandle, StoreClient, StoreError, StoreServer,
+};
+
+fn spawn_server(config: ServerConfig) -> ServerHandle {
+    StoreServer::bind("127.0.0.1:0", config).expect("bind loopback").spawn()
+}
+
+fn client(handle: &ServerHandle) -> StoreClient {
+    StoreClient::connect(ClientConfig::new(handle.addr().to_string())).expect("connect")
+}
+
+#[test]
+fn cold_key_leases_then_put_then_hit() {
+    let dir = tempdir("lease-roundtrip");
+    let server = spawn_server(ServerConfig::new(&dir));
+    let a = client(&server);
+    assert_eq!(a.get("k1", 0).unwrap(), GetOutcome::Lease, "cold key grants the lease");
+    a.put("k1", b"payload-1".to_vec()).unwrap();
+    assert_eq!(a.get("k1", 0).unwrap(), GetOutcome::Hit(b"payload-1".to_vec()));
+    // The entry is a plain file in DirStore layout.
+    assert_eq!(std::fs::read(std::path::Path::new(&dir).join("k1.json")).unwrap(), b"payload-1");
+    let stats = server.stats();
+    assert_eq!(stats.leases_granted, 1);
+    assert_eq!(stats.puts, 1);
+    assert_eq!(stats.hits, 1);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_requesters_single_flight_one_simulation() {
+    let dir = tempdir("single-flight");
+    let server = spawn_server(ServerConfig::new(&dir));
+    let leader = client(&server);
+    assert_eq!(leader.get("hot", 0).unwrap(), GetOutcome::Lease);
+
+    // Four more sessions race on the same cold key; every one must park
+    // on the leader's lease and wake with the published payload — zero
+    // extra leases, which is the "exactly one simulation" guarantee.
+    let woken = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                let waiter = client(&server);
+                match waiter.get("hot", 10_000).unwrap() {
+                    GetOutcome::Hit(p) => {
+                        assert_eq!(p, b"simulated-once");
+                        woken.fetch_add(1, Ordering::Relaxed);
+                    }
+                    other => panic!("waiter must get the published payload, got {other:?}"),
+                }
+            });
+        }
+        // Give the waiters time to park before publishing.
+        std::thread::sleep(Duration::from_millis(150));
+        leader.put("hot", b"simulated-once".to_vec()).unwrap();
+    });
+    assert_eq!(woken.load(Ordering::Relaxed), 4);
+    let stats = server.stats();
+    assert_eq!(stats.leases_granted, 1, "one lease, ever, for the racing key");
+    assert!(stats.lease_waits >= 1, "waiters must have parked");
+    server.shutdown();
+}
+
+#[test]
+fn abandon_passes_the_lease_to_the_next_requester() {
+    let dir = tempdir("abandon");
+    let server = spawn_server(ServerConfig::new(&dir));
+    let a = client(&server);
+    let b = client(&server);
+    assert_eq!(a.get("k", 0).unwrap(), GetOutcome::Lease);
+    assert!(matches!(b.get("k", 0).unwrap(), GetOutcome::Busy { .. }));
+    a.abandon("k").unwrap();
+    assert_eq!(b.get("k", 0).unwrap(), GetOutcome::Lease, "abandon frees the key");
+    server.shutdown();
+}
+
+#[test]
+fn dropping_the_connection_releases_the_lease() {
+    let dir = tempdir("conn-drop");
+    let server = spawn_server(ServerConfig::new(&dir));
+    let a = client(&server);
+    assert_eq!(a.get("k", 0).unwrap(), GetOutcome::Lease);
+    drop(a); // a killed client must never wedge the key
+    let b = client(&server);
+    let start = Instant::now();
+    loop {
+        match b.get("k", 1000).unwrap() {
+            GetOutcome::Lease => break,
+            GetOutcome::Busy { retry_ms } => {
+                assert!(
+                    start.elapsed() < Duration::from_secs(10),
+                    "lease must be released by the disconnect, not the TTL"
+                );
+                std::thread::sleep(Duration::from_millis(u64::from(retry_ms)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn re_requesting_a_held_lease_does_not_self_deadlock() {
+    let dir = tempdir("re-grant");
+    let server = spawn_server(ServerConfig::new(&dir));
+    let a = client(&server);
+    assert_eq!(a.get("k", 0).unwrap(), GetOutcome::Lease);
+    // The same connection asking again (e.g. an executor retry) must be
+    // re-granted immediately, not parked behind its own lease.
+    assert_eq!(a.get("k", 5000).unwrap(), GetOutcome::Lease);
+    server.shutdown();
+}
+
+#[test]
+fn eviction_is_lru_and_observable() {
+    let dir = tempdir("evict-lru");
+    let mut config = ServerConfig::new(&dir);
+    config.max_entries = Some(2);
+    let server = spawn_server(config);
+    let c = client(&server);
+    for key in ["a", "b"] {
+        assert_eq!(c.get(key, 0).unwrap(), GetOutcome::Lease);
+        c.put(key, format!("payload-{key}").into_bytes()).unwrap();
+    }
+    // Touch `a` so `b` is the least-recently-used entry.
+    assert!(matches!(c.get("a", 0).unwrap(), GetOutcome::Hit(_)));
+    assert_eq!(c.get("c", 0).unwrap(), GetOutcome::Lease);
+    c.put("c", b"payload-c".to_vec()).unwrap();
+    assert!(matches!(c.get("a", 0).unwrap(), GetOutcome::Hit(_)), "recently used survives");
+    assert!(matches!(c.get("c", 0).unwrap(), GetOutcome::Hit(_)), "fresh publish survives");
+    assert_eq!(server.stats().evictions, 1);
+    assert_eq!(server.stats().entries, 2);
+    // `b` was evicted: a re-get is a fresh lease.
+    assert_eq!(c.get("b", 0).unwrap(), GetOutcome::Lease);
+    server.shutdown();
+}
+
+#[test]
+fn byte_budget_refuses_oversized_payloads_with_evicted() {
+    let dir = tempdir("evict-budget");
+    let mut config = ServerConfig::new(&dir);
+    config.max_bytes = Some(16);
+    let server = spawn_server(config);
+    let c = client(&server);
+    assert_eq!(c.get("big", 0).unwrap(), GetOutcome::Lease);
+    let err = c.put("big", vec![0u8; 64]).unwrap_err();
+    assert_eq!(err, StoreError::Evicted, "a payload over the whole budget is refused");
+    // The refusal released the lease (waking any waiters).
+    let b = client(&server);
+    assert_eq!(b.get("big", 0).unwrap(), GetOutcome::Lease);
+    server.shutdown();
+}
+
+#[test]
+fn daemon_restart_serves_the_directory_it_left() {
+    let dir = tempdir("restart");
+    let server = spawn_server(ServerConfig::new(&dir));
+    let c = client(&server);
+    assert_eq!(c.get("persist", 0).unwrap(), GetOutcome::Lease);
+    c.put("persist", b"survives".to_vec()).unwrap();
+    server.shutdown();
+    // A fresh daemon over the same directory seeds its index from disk.
+    let server = spawn_server(ServerConfig::new(&dir));
+    let c = client(&server);
+    assert_eq!(c.get("persist", 0).unwrap(), GetOutcome::Hit(b"survives".to_vec()));
+    server.shutdown();
+}
+
+#[test]
+fn slow_server_times_out_then_client_retries_fresh_connections() {
+    // A fake daemon that completes the handshake and then goes silent:
+    // the client must time out, reconnect, retry, and finally surface a
+    // typed Timeout — never hang, never panic.
+    use eole_store_service::proto::{
+        decode_request, encode_response, read_frame, write_frame, Request, Response, PROTO_VERSION,
+    };
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let accepted = std::sync::Arc::new(AtomicUsize::new(0));
+    let fake = {
+        let accepted = std::sync::Arc::clone(&accepted);
+        std::thread::spawn(move || {
+            let mut parked = Vec::new();
+            for conn in listener.incoming() {
+                let Ok(mut conn) = conn else { break };
+                accepted.fetch_add(1, Ordering::Relaxed);
+                // Handshake honestly…
+                let Ok(frame) = read_frame(&mut conn) else { continue };
+                let Ok(Request::Ping { .. }) = decode_request(&frame) else { continue };
+                let pong = Response::Pong { proto: PROTO_VERSION.to_string() };
+                if write_frame(&mut conn, &encode_response(&pong)).is_err() {
+                    continue;
+                }
+                // …then swallow the next request and say nothing. Park
+                // the socket (still open) so the client's read deadline —
+                // not an EOF from a dropped connection — is what fires.
+                let _ = read_frame(&mut conn);
+                parked.push(conn);
+            }
+        })
+    };
+    let mut config = ClientConfig::new(addr.to_string());
+    config.io_timeout = Duration::from_millis(200);
+    config.backoff = Duration::from_millis(10);
+    config.retries = 2;
+    let client = StoreClient::connect(config).expect("handshake succeeds");
+    let start = Instant::now();
+    let err = client.get("k", 0).unwrap_err();
+    assert!(matches!(err, StoreError::Timeout(_)), "typed timeout, got {err:?}");
+    assert!(start.elapsed() < Duration::from_secs(5), "bounded, not hanging");
+    assert!(
+        accepted.load(Ordering::Relaxed) >= 3,
+        "each retry must re-dial (connect + 2 retries), saw {}",
+        accepted.load(Ordering::Relaxed)
+    );
+    drop(client);
+    drop(fake); // detached; the listener dies with the process
+}
+
+#[test]
+fn version_mismatch_is_a_protocol_error_not_a_retry_storm() {
+    use eole_store_service::proto::{
+        decode_request, encode_response, read_frame, write_frame, Request, Response,
+    };
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(mut conn) = conn else { break };
+            let Ok(frame) = read_frame(&mut conn) else { continue };
+            let Ok(Request::Ping { .. }) = decode_request(&frame) else { continue };
+            let pong = Response::Pong { proto: "eole-store/v0".to_string() };
+            let _ = write_frame(&mut conn, &encode_response(&pong));
+        }
+    });
+    let err = StoreClient::connect(ClientConfig::new(addr.to_string())).unwrap_err();
+    assert!(matches!(err, StoreError::Protocol(_)), "got {err:?}");
+}
+
+/// A fresh directory under the target-dir scratch space (no tempfile
+/// crate in the tree; pid + test name keeps concurrent runs apart).
+fn tempdir(tag: &str) -> String {
+    let dir = std::env::temp_dir()
+        .join(format!("eole-store-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.to_string_lossy().into_owned()
+}

@@ -381,3 +381,69 @@ fn mem_store_dedups_repeat_grids() {
     assert_eq!(exec.store_hits(), 1);
     assert_eq!(store.len(), 1);
 }
+
+/// Concurrent-writer hammer: several `DirStore` instances over the *same*
+/// directory (the multi-process shape — e.g. two sharded sessions, or an
+/// `eole-stored` daemon sharing its directory with a local `--store DIR`
+/// run) write the same keys from many threads at once. Temp names carry
+/// pid + a process-global counter, so instances can never collide on a
+/// temp file; rename is atomic, so every read observes a complete payload
+/// — never a torn one — and no stray `.tmp` litter survives.
+#[test]
+fn dir_store_survives_a_concurrent_writer_hammer() {
+    let dir = temp_store_dir("hammer");
+    let stores: Vec<DirStore> = (0..3).map(|_| DirStore::open(&dir).unwrap()).collect();
+    let base = RunSpec {
+        config: CoreConfig::baseline_6_64(),
+        workload: eole_workloads::workload_by_name("gzip").unwrap(),
+        runner: Runner::quick(),
+        seed: 0,
+    };
+    let keys: Vec<RunKey> = (0..4)
+        .map(|seed| {
+            let mut spec = base.clone();
+            spec.seed = seed;
+            spec.run_key()
+        })
+        .collect();
+    let rounds = 25;
+    std::thread::scope(|scope| {
+        // 3 instances × 4 threads each, all hammering all 4 keys.
+        for (instance, store) in stores.iter().enumerate() {
+            for thread in 0..4 {
+                let keys = &keys;
+                scope.spawn(move || {
+                    for round in 0..rounds {
+                        for key in keys {
+                            let stats = eole_core::stats::SimStats {
+                                cycles: (instance * 1000 + thread * 100 + round) as u64 + 1,
+                                committed: key.seed + 1,
+                                ..Default::default()
+                            };
+                            store.save(key, &stats).unwrap();
+                            // Interleave reads: anything loaded mid-hammer
+                            // must be a complete, self-consistent payload.
+                            if let Some(back) = store.load(key) {
+                                assert_eq!(back.committed, key.seed + 1, "torn payload");
+                                assert!(back.cycles >= 1);
+                            }
+                        }
+                    }
+                });
+            }
+        }
+    });
+    // Every key holds exactly one complete entry; no temp litter remains.
+    let reader = DirStore::open(&dir).unwrap();
+    assert_eq!(reader.len(), keys.len());
+    for key in &keys {
+        assert_eq!(reader.load(key).unwrap().committed, key.seed + 1);
+    }
+    let stray: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp"))
+        .collect();
+    assert!(stray.is_empty(), "temp files must be consumed by rename: {stray:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}

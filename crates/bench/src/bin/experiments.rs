@@ -35,7 +35,7 @@ use eole_workloads::all_workloads;
 const USAGE: &str = "usage: experiments [names...|all] [--quick] [--warmup N] [--measure N] \
 [--intervals K] [--interval-warmup W] \
 [--format md|json|csv] [--out FILE] [--md FILE] [--store DIR|tcp://HOST:PORT] [--shard K/N] \
-[--assert-cached]
+[--assert-cached] [--faults SPEC] [--run-deadline-ms N]
        experiments compare OLD.json NEW.json [--threshold PCT] [--out FILE]
 experiments: table1 table2 table3 fig2 fig4 offload fig6 fig7 fig8 fig10 fig11 fig12 fig13 \
 vp_ablation ee_writes squash_cost levt_depth_ablation dvtage_budget bebop_block_size complexity
@@ -50,7 +50,11 @@ intervals: --intervals K splits every run into K deterministic intervals simulat
 concurrently and stitched (committed counts exact, cycles within the pinned budget; stored \
 under interval-tagged keys); --interval-warmup W sets the per-interval warmup window in \
 µ-ops (default warmup/2, min 1000); EOLE_INTERVAL_PARANOID=1 cross-checks every stitched \
-run against a serial one";
+run against a serial one
+robustness: --faults SPEC installs a seeded deterministic fault-injection plan (chaos testing; \
+also read from EOLE_FAULTS — grammar and site catalog in EXPERIMENTS.md); --run-deadline-ms N \
+fails any single run whose job exceeds N ms wall-clock with a typed deadline error instead of \
+stalling the suite";
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}\n{USAGE}");
@@ -125,6 +129,8 @@ fn main() {
     let mut assert_cached = false;
     let mut intervals = 0u32;
     let mut interval_warmup: Option<u64> = None;
+    let mut faults_spec: Option<String> = None;
+    let mut run_deadline: Option<std::time::Duration> = None;
     let take = |args: &[String], i: &mut usize, flag: &str| -> String {
         *i += 1;
         args.get(*i).unwrap_or_else(|| fail(&format!("{flag} needs a value"))).clone()
@@ -173,6 +179,13 @@ fn main() {
                 );
             }
             "--assert-cached" => assert_cached = true,
+            "--faults" => faults_spec = Some(take(&args, &mut i, "--faults")),
+            "--run-deadline-ms" => {
+                let ms: u64 = take(&args, &mut i, "--run-deadline-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--run-deadline-ms takes a number"));
+                run_deadline = Some(std::time::Duration::from_millis(ms));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -205,11 +218,27 @@ fn main() {
     if interval_warmup.is_some() && intervals == 0 {
         fail("--interval-warmup requires --intervals");
     }
+
+    // Fault injection: the flag wins; otherwise EOLE_FAULTS (so CI can
+    // wrap any invocation without touching its arguments). A bad spec is
+    // loud either way — silently ignoring a typo'd chaos plan would turn
+    // a chaos run into a false-confidence ordinary run.
+    match &faults_spec {
+        Some(spec) => eole_bench::faults::install_spec(spec).unwrap_or_else(|e| fail(&e)),
+        None => {
+            eole_bench::faults::install_from_env().unwrap_or_else(|e| fail(&e));
+        }
+    }
+    if let Some(summary) = eole_bench::faults::current_summary() {
+        eprintln!("[experiments: FAULT INJECTION ACTIVE — {summary}]");
+    }
+
     let mut builder = Session::builder()
         .runner(runner)
         .shard(shard)
         .intervals(intervals)
-        .interval_warmup(interval_warmup);
+        .interval_warmup(interval_warmup)
+        .run_deadline(run_deadline);
     if let Some(dir) = &store_dir {
         builder = builder.store_dir(dir.clone());
     }

@@ -8,17 +8,57 @@
 //!   runs (not whole workloads) and returns results in grid order.
 
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 use eole_core::pipeline::{PreparedTrace, SimError};
 use eole_core::stats::SimStats;
 use eole_workloads::Workload;
 
+use crate::faults;
 use crate::plan::Shard;
 use crate::spec::{Grid, RunSpec};
 use crate::store::{ResultStore, RunKey, StoreError};
 use crate::{check_stitched_against_serial, interval_paranoid, IntervalPolicy, Runner};
+
+/// Poisoning-proof lock: a panicked worker marks every mutex it held as
+/// poisoned, but the protected data here (job deques, piece slots,
+/// result vectors) is only ever mutated by complete push/pop/assign
+/// operations, so the value is still consistent — recover it instead of
+/// cascading the panic into every sibling worker.
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Renders a caught panic payload (`&str` and `String` panics carry
+/// their message; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f` with panic isolation: an unwind becomes
+/// [`RunError::Panicked`] for this run only, so one crashing simulation
+/// can never abort the process or take sibling runs down with it.
+fn catch_panic<T>(
+    label: &str,
+    f: impl FnOnce() -> Result<T, RunError>,
+) -> Result<T, RunError> {
+    match std::panic::catch_unwind(AssertUnwindSafe(f)) {
+        Ok(outcome) => outcome,
+        Err(payload) => Err(RunError::Panicked {
+            label: label.to_string(),
+            message: panic_message(payload.as_ref()),
+        }),
+    }
+}
 
 /// Which phase of a run failed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -81,6 +121,26 @@ pub enum RunError {
         /// The typed store failure (match on the class, not the text).
         source: StoreError,
     },
+    /// The simulation (or an interval piece of it) panicked; the unwind
+    /// was caught at the run boundary, so sibling runs and the worker
+    /// pool are unaffected.
+    Panicked {
+        /// Human label of the crashed run.
+        label: String,
+        /// The panic message, as far as it could be recovered.
+        message: String,
+    },
+    /// The run finished but blew through the executor's per-run deadline
+    /// ([`Executor::with_deadline`]); its result is withheld so a CI
+    /// time-budget violation is loud instead of silently slow.
+    Deadline {
+        /// Human label of the overrunning run.
+        label: String,
+        /// Observed wall-clock for the run, in milliseconds.
+        elapsed_ms: u64,
+        /// The configured budget, in milliseconds.
+        budget_ms: u64,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -98,6 +158,12 @@ impl std::fmt::Display for RunError {
             }
             RunError::Store { label, source } => {
                 write!(f, "{label}: result store failed: {source}")
+            }
+            RunError::Panicked { label, message } => {
+                write!(f, "{label}: simulation panicked (isolated to this run): {message}")
+            }
+            RunError::Deadline { label, elapsed_ms, budget_ms } => {
+                write!(f, "{label}: run took {elapsed_ms} ms, over the {budget_ms} ms deadline")
             }
         }
     }
@@ -154,10 +220,12 @@ impl TraceCache {
     ) -> Result<Arc<PreparedTrace>, RunError> {
         let key = trace_key(workload, runner);
         let slot = {
-            let mut slots = self.slots.lock().expect("trace cache poisoned");
+            let mut slots = lock_clean(&self.slots);
             Arc::clone(slots.entry(key).or_default())
         };
-        let mut guard = slot.lock().expect("trace slot poisoned");
+        // A panic mid-generation poisons the slot with nothing cached;
+        // recovering the lock lets the next caller regenerate.
+        let mut guard = lock_clean(&slot);
         match &*guard {
             Some(cached) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -243,6 +311,7 @@ pub struct Executor {
     store: Option<Arc<dyn ResultStore>>,
     shard: Option<Shard>,
     intervals: Option<IntervalPolicy>,
+    deadline: Option<Duration>,
     store_hits: AtomicUsize,
     store_misses: AtomicUsize,
     simulated: AtomicUsize,
@@ -270,6 +339,7 @@ impl Executor {
             store: None,
             shard: None,
             intervals: None,
+            deadline: None,
             store_hits: AtomicUsize::new(0),
             store_misses: AtomicUsize::new(0),
             simulated: AtomicUsize::new(0),
@@ -318,6 +388,44 @@ impl Executor {
         self.intervals
     }
 
+    /// Arms a per-run wall-clock watchdog: a run (or interval piece)
+    /// whose job exceeds `deadline` resolves to [`RunError::Deadline`]
+    /// instead of a result. The check is cooperative — it fires when
+    /// the job *returns*, so it bounds reported results, not a thread
+    /// wedged inside the simulator (the simulator's own no-retirement
+    /// deadlock detector covers in-sim hangs). `None` disarms.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// The armed per-run deadline, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Applies the watchdog to one finished job: an overrunning success
+    /// is demoted to [`RunError::Deadline`] (a real failure keeps its
+    /// own, more specific error).
+    fn enforce_deadline(
+        &self,
+        label: &str,
+        started: Instant,
+        outcome: Result<SimStats, RunError>,
+    ) -> Result<SimStats, RunError> {
+        let Some(budget) = self.deadline else { return outcome };
+        let elapsed = started.elapsed();
+        if elapsed <= budget || outcome.is_err() {
+            return outcome;
+        }
+        Err(RunError::Deadline {
+            label: label.to_string(),
+            elapsed_ms: elapsed.as_millis() as u64,
+            budget_ms: budget.as_millis() as u64,
+        })
+    }
+
     /// Worker count.
     pub fn threads(&self) -> usize {
         self.threads
@@ -355,17 +463,22 @@ impl Executor {
         self.shard_skips.load(Ordering::Relaxed)
     }
 
-    fn simulate(&self, spec: &RunSpec) -> Result<SimStats, RunError> {
+    fn simulate(&self, spec: &RunSpec, idx: usize) -> Result<SimStats, RunError> {
         let trace = self.cache.get_or_prepare(&spec.workload, &spec.runner)?;
+        // Chaos hooks, keyed by the run's stable grid index so a plan
+        // targets the same cell at any thread count. Cold path only —
+        // one atomic load each when no fault plan is installed.
+        faults::sleep_if_fired(faults::SIM_DELAY, idx as u64);
+        faults::panic_if_fired(faults::SIM_PANIC, idx as u64);
         self.simulated.fetch_add(1, Ordering::Relaxed);
         spec.runner
             .try_run(&trace, spec.effective_config())
             .map_err(|e| attribute_workload(e, spec))
     }
 
-    fn execute(&self, spec: &RunSpec) -> Result<SimStats, RunError> {
+    fn execute(&self, spec: &RunSpec, idx: usize) -> Result<SimStats, RunError> {
         if self.store.is_none() && self.shard.is_none() {
-            return self.simulate(spec);
+            return catch_panic(&spec.label(), || self.simulate(spec, idx));
         }
         let key = RunKey::of(spec);
         if let Some(store) = &self.store {
@@ -387,7 +500,10 @@ impl Executor {
                 return Err(RunError::NotInShard { label: spec.label(), shard });
             }
         }
-        let stats = match self.simulate(spec) {
+        // Catch panics *here*, not just in the worker loop: the lease
+        // release below must still run when the simulation crashes, or
+        // single-flight waiters would idle out the TTL.
+        let stats = match catch_panic(&spec.label(), || self.simulate(spec, idx)) {
             Ok(stats) => stats,
             Err(e) => {
                 // Wake single-flight waiters instead of making them idle
@@ -441,15 +557,21 @@ impl Executor {
                 scope.spawn(move || loop {
                     // Own work first (front), then steal from the back of
                     // the other workers' deques.
-                    let job = queues[me].lock().expect("queue poisoned").pop_front().or_else(|| {
+                    let job = lock_clean(&queues[me]).pop_front().or_else(|| {
                         (0..queues.len())
                             .filter(|w| *w != me)
-                            .find_map(|w| queues[w].lock().expect("queue poisoned").pop_back())
+                            .find_map(|w| lock_clean(&queues[w]).pop_back())
                     });
                     let Some(i) = job else { break };
-                    let outcome = self.execute(&specs[i]);
+                    let label = specs[i].label();
+                    let started = Instant::now();
+                    // Backstop isolation: `execute` catches simulation
+                    // panics itself (it still has lease cleanup to do);
+                    // this catch covers everything else in the job.
+                    let outcome = catch_panic(&label, || self.execute(&specs[i], i));
+                    let outcome = self.enforce_deadline(&label, started, outcome);
                     let result = RunResult { spec: specs[i].clone(), outcome };
-                    results_mutex.lock().expect("no poisoned workers")[i] = Some(result);
+                    lock_clean(results_mutex)[i] = Some(result);
                 });
             }
         });
@@ -521,22 +643,29 @@ impl Executor {
                 let pending = &pending;
                 let results_mutex = &results_mutex;
                 scope.spawn(move || loop {
-                    let job = queues[me].lock().expect("queue poisoned").pop_front().or_else(|| {
+                    let job = lock_clean(&queues[me]).pop_front().or_else(|| {
                         (0..queues.len())
                             .filter(|w| *w != me)
-                            .find_map(|w| queues[w].lock().expect("queue poisoned").pop_back())
+                            .find_map(|w| lock_clean(&queues[w]).pop_back())
                     });
                     let Some(j) = job else { break };
                     let run = &pending[j / k];
                     let piece = j % k;
                     let spec = &specs[run.spec];
-                    let outcome = self.simulate_piece(spec, policy, piece);
-                    run.pieces.lock().expect("pieces poisoned")[piece] = Some(outcome);
+                    let label = spec.label();
+                    let started = Instant::now();
+                    let outcome = catch_panic(&label, || {
+                        self.simulate_piece(spec, policy, piece, run.spec)
+                    });
+                    let outcome = self.enforce_deadline(&label, started, outcome);
+                    lock_clean(&run.pieces)[piece] = Some(outcome);
                     if run.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        // Last piece in: stitch this run.
-                        let outcome = self.stitch(spec, policy, &run.pieces);
+                        // Last piece in: stitch this run (backstop catch —
+                        // `stitch` handles its own lease cleanup on error).
+                        let outcome =
+                            catch_panic(&label, || self.stitch(spec, policy, &run.pieces));
                         let result = RunResult { spec: spec.clone(), outcome };
-                        results_mutex.lock().expect("no poisoned workers")[run.spec] = Some(result);
+                        lock_clean(results_mutex)[run.spec] = Some(result);
                     }
                 });
             }
@@ -549,8 +678,13 @@ impl Executor {
         spec: &RunSpec,
         policy: IntervalPolicy,
         piece: usize,
+        idx: usize,
     ) -> Result<SimStats, RunError> {
         let trace = self.cache.get_or_prepare(&spec.workload, &spec.runner)?;
+        // Keyed by the run's grid index (not the piece): `sim.panic@i`
+        // fails run i whole, at any k and any thread count.
+        faults::sleep_if_fired(faults::SIM_DELAY, idx as u64);
+        faults::panic_if_fired(faults::SIM_PANIC, idx as u64);
         let (start, end) = spec.runner.interval_bounds(policy.k)[piece];
         spec.runner
             .try_run_piece(&trace, spec.effective_config(), start, end, policy.warmup)
@@ -570,7 +704,7 @@ impl Executor {
         let key = RunKey::of_intervals(spec, policy);
         let outcome = (|| -> Result<SimStats, RunError> {
             let mut stitched = SimStats::default();
-            let mut pieces = pieces.lock().expect("pieces poisoned");
+            let mut pieces = lock_clean(pieces);
             for slot in pieces.iter_mut() {
                 let piece = slot.take().expect("remaining hit zero with a piece missing")?;
                 stitched.merge(&piece);
@@ -581,7 +715,14 @@ impl Executor {
                     .runner
                     .try_run_serial_exact(&trace, spec.effective_config())
                     .map_err(|e| attribute_workload(e, spec))?;
-                check_stitched_against_serial(&spec.label(), policy, &stitched, &serial);
+                // The paranoid comparator panics by design on a contract
+                // violation; catching it here turns that into a typed
+                // error *inside* this closure, so the lease release below
+                // still runs.
+                catch_panic(&spec.label(), || {
+                    check_stitched_against_serial(&spec.label(), policy, &stitched, &serial);
+                    Ok(())
+                })?;
             }
             Ok(stitched)
         })();

@@ -59,6 +59,7 @@
 pub mod compare;
 pub mod exec;
 pub mod experiments;
+pub mod faults;
 pub mod plan;
 pub mod remote;
 pub mod session;
@@ -67,6 +68,7 @@ pub mod store;
 
 pub use compare::Comparison;
 pub use exec::{Executor, RunError, RunPhase, RunResult, TraceCache};
+pub use faults::FaultPlan;
 pub use plan::{Plan, Shard};
 pub use remote::RemoteStore;
 pub use session::{Format, Session, SessionBuilder, StoreSummary, TimedRun};

@@ -27,7 +27,8 @@ use std::time::{Duration, Instant};
 use eole_core::stats::SimStats;
 use eole_store_service::{ClientConfig, GetOutcome, StoreClient, StoreError};
 
-use crate::store::{parse_result_payload, render_result_payload, ResultStore, RunKey};
+use crate::faults;
+use crate::store::{parse_result_payload, render_result_payload, PayloadError, ResultStore, RunKey};
 
 /// How long one server-held `Get` may park before the client re-polls
 /// (bounds how stale a dropped-waiter diagnosis can get; the server
@@ -47,6 +48,7 @@ pub struct RemoteStore {
     degraded: AtomicBool,
     hits: AtomicUsize,
     corrupt: AtomicUsize,
+    quarantined: AtomicUsize,
     dropped_saves: AtomicUsize,
     evicted_saves: AtomicUsize,
 }
@@ -68,6 +70,7 @@ impl RemoteStore {
             degraded: AtomicBool::new(false),
             hits: AtomicUsize::new(0),
             corrupt: AtomicUsize::new(0),
+            quarantined: AtomicUsize::new(0),
             dropped_saves: AtomicUsize::new(0),
             evicted_saves: AtomicUsize::new(0),
         })
@@ -85,6 +88,9 @@ impl RemoteStore {
 
     /// Stored payloads that failed validation against their key (each
     /// was treated as a miss; the re-simulated result overwrites it).
+    /// Superset of the *damaged* subset reported by
+    /// [`ResultStore::quarantined`]: foreign-but-well-formed payloads
+    /// count only here.
     pub fn corrupt(&self) -> usize {
         self.corrupt.load(Ordering::Relaxed)
     }
@@ -123,7 +129,10 @@ impl ResultStore for RemoteStore {
         loop {
             let slice = u32::try_from(WAIT_SLICE.as_millis()).expect("slice fits u32");
             match self.client.get(&wire_key, slice) {
-                Ok(GetOutcome::Hit(payload)) => {
+                Ok(GetOutcome::Hit(mut payload)) => {
+                    if let Some(salt) = faults::fire(faults::REMOTE_PAYLOAD_CORRUPT) {
+                        faults::garble(&mut payload, salt.unwrap_or(0));
+                    }
                     let text = String::from_utf8_lossy(&payload);
                     match parse_result_payload(&text, key) {
                         Ok(stats) => {
@@ -131,10 +140,17 @@ impl ResultStore for RemoteStore {
                             return Some(stats);
                         }
                         Err(why) => {
-                            // Corrupt-entry recovery: a payload that does
-                            // not verify against its key is a miss; the
-                            // fresh result will overwrite it.
-                            eprintln!("[store: corrupt payload for {wire_key}: {why}]");
+                            // A payload that does not verify against its
+                            // key is a miss; the fresh result overwrites
+                            // it at the daemon. Damaged payloads (crc
+                            // failures — daemon-side bit rot or a mangled
+                            // frame the transport could not catch) also
+                            // count as quarantined so the report surfaces
+                            // them distinctly.
+                            eprintln!("[store: {why} for {wire_key}]");
+                            if matches!(why, PayloadError::Corrupt(_)) {
+                                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                            }
                             self.corrupt.fetch_add(1, Ordering::Relaxed);
                             return None;
                         }
@@ -211,5 +227,9 @@ impl ResultStore for RemoteStore {
             return 0;
         }
         self.client.stats().map(|s| s.evictions).unwrap_or(0)
+    }
+
+    fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed) as u64
     }
 }

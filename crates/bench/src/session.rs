@@ -78,6 +78,7 @@ pub struct SessionBuilder {
     shard: Option<Shard>,
     intervals: u32,
     interval_warmup: Option<u64>,
+    deadline: Option<std::time::Duration>,
 }
 
 impl SessionBuilder {
@@ -139,6 +140,16 @@ impl SessionBuilder {
         self
     }
 
+    /// Sets a per-run wall-clock deadline (cooperative watchdog — see
+    /// [`Executor::with_deadline`]): a run whose job outlives the budget
+    /// fails with a typed [`RunError::Deadline`] instead of silently
+    /// stalling the whole suite. `None` (the default) disables it.
+    #[must_use]
+    pub fn run_deadline(mut self, deadline: Option<std::time::Duration>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
     /// Builds the session.
     ///
     /// # Errors
@@ -172,6 +183,7 @@ impl SessionBuilder {
             let warmup = self.interval_warmup.unwrap_or_else(|| runner.default_interval_warmup());
             executor = executor.with_intervals(IntervalPolicy { k: self.intervals, warmup });
         }
+        executor = executor.with_deadline(self.deadline);
         Ok(Session { runner, executor })
     }
 }
@@ -191,6 +203,10 @@ pub struct StoreSummary {
     pub sims: usize,
     /// Runs skipped because another shard owns them.
     pub skips: usize,
+    /// Damaged entries quarantined by the backing store (checksum or
+    /// parse failures — each triggered a transparent re-simulation; a
+    /// [`DirStore`] keeps the damaged file as `<stem>.quarantined`).
+    pub quarantined: u64,
     /// Evictions observed at the backing store (budget-limited daemons;
     /// always 0 for local stores).
     pub evictions_observed: u64,
@@ -240,6 +256,7 @@ impl Session {
             misses: self.executor.store_misses(),
             sims: self.executor.simulated(),
             skips: self.executor.shard_skips(),
+            quarantined: store.quarantined(),
             evictions_observed: store.observed_evictions(),
             degraded: store.degraded(),
         })
@@ -325,7 +342,7 @@ impl Session {
                     let Some(&(s, e)) = bounds.get(i) else { break };
                     let out =
                         spec.runner.try_run_piece(&trace, spec.effective_config(), s, e, policy.warmup);
-                    *slots[i].lock().expect("slot poisoned") = Some(out);
+                    *crate::exec::lock_clean(&slots[i]) = Some(out);
                 });
             }
         });
@@ -334,7 +351,7 @@ impl Session {
         for slot in slots {
             let piece = slot
                 .into_inner()
-                .expect("slot poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .expect("every piece executed")
                 .map_err(|e| crate::exec::attribute_workload(e, spec))?;
             stats.merge(&piece);
@@ -368,8 +385,8 @@ impl Session {
                 // `sed 's/,"store":{[^}]*}//'` — see `EXPERIMENTS.md`.
                 let store = match self.store_summary() {
                     Some(s) => format!(
-                        ",\"store\":{{\"hits\":{},\"misses\":{},\"sims\":{},\"skips\":{},\"evictions_observed\":{},\"degraded\":{}}}",
-                        s.hits, s.misses, s.sims, s.skips, s.evictions_observed, s.degraded
+                        ",\"store\":{{\"hits\":{},\"misses\":{},\"sims\":{},\"skips\":{},\"quarantined\":{},\"evictions_observed\":{},\"degraded\":{}}}",
+                        s.hits, s.misses, s.sims, s.skips, s.quarantined, s.evictions_observed, s.degraded
                     ),
                     None => String::new(),
                 };

@@ -24,13 +24,39 @@ use std::sync::Mutex;
 
 pub use eole_store_service::StoreError;
 
-use eole_core::canon::{CanonicalBytes, SIM_FINGERPRINT_VERSION};
+use eole_core::canon::{CanonicalBytes, Fnv64, SIM_FINGERPRINT_VERSION};
 use eole_core::stats::SimStats;
 use eole_mem::hierarchy::MemStats;
 use eole_stats::json::Json;
 use eole_stats::report::json_string;
 
+use crate::exec::lock_clean;
+use crate::faults;
 use crate::spec::RunSpec;
+
+/// Why a stored payload was rejected — the distinction drives recovery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PayloadError {
+    /// The entry is *damaged*: unparsable JSON, a truncated or malformed
+    /// checksum field, or a checksum mismatch (bit rot, torn write,
+    /// hostile edit). [`DirStore`] quarantines such files — renamed to
+    /// `<stem>.quarantined` for forensics — and re-simulates.
+    Corrupt(String),
+    /// The entry is *well-formed but not ours*: a different key, schema
+    /// generation, or simulator version — including pre-checksum
+    /// payloads from older builds. A plain miss; the next save
+    /// overwrites in place.
+    Foreign(String),
+}
+
+impl std::fmt::Display for PayloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PayloadError::Corrupt(msg) => write!(f, "corrupt payload: {msg}"),
+            PayloadError::Foreign(msg) => write!(f, "foreign payload: {msg}"),
+        }
+    }
+}
 
 /// The canonical identity of one simulation run.
 ///
@@ -203,6 +229,15 @@ pub trait ResultStore: Send + Sync + std::fmt::Debug {
     fn observed_evictions(&self) -> u64 {
         0
     }
+
+    /// Entries found *damaged* (checksum mismatch or unparsable bytes)
+    /// and set aside so they can never be served again — [`DirStore`]
+    /// renames them to `<stem>.quarantined`; a remote store counts the
+    /// daemon payloads it rejected. Foreign-but-well-formed entries are
+    /// plain misses and are not counted here.
+    fn quarantined(&self) -> u64 {
+        0
+    }
 }
 
 /// An in-memory [`ResultStore`]: per-process dedup and tests.
@@ -220,16 +255,16 @@ impl MemStore {
 
 impl ResultStore for MemStore {
     fn load(&self, key: &RunKey) -> Option<SimStats> {
-        self.map.lock().expect("mem store poisoned").get(key).copied()
+        lock_clean(&self.map).get(key).copied()
     }
 
     fn save(&self, key: &RunKey, stats: &SimStats) -> Result<(), StoreError> {
-        self.map.lock().expect("mem store poisoned").insert(key.clone(), *stats);
+        lock_clean(&self.map).insert(key.clone(), *stats);
         Ok(())
     }
 
     fn len(&self) -> usize {
-        self.map.lock().expect("mem store poisoned").len()
+        lock_clean(&self.map).len()
     }
 }
 
@@ -238,14 +273,20 @@ impl ResultStore for MemStore {
 /// Writes go through a sibling temp file and an atomic rename (the same
 /// discipline the `experiments --out` path uses), so a crashed or killed
 /// process can leave at worst a stray `.tmp` file — never a truncated
-/// entry. Reads treat unparsable or mismatched files as misses and count
-/// them in [`DirStore::corrupt`]; the next save simply overwrites.
+/// entry. Every payload carries a spliced-in FNV-1a checksum; reads that
+/// fail it (or fail to parse at all) are *damaged* — the file is renamed
+/// to `<stem>.quarantined` so it can never be served again, the miss
+/// triggers a re-simulation, and the fresh save recreates `<stem>.json`.
+/// Well-formed entries that merely belong to another schema generation
+/// or key are plain misses; both kinds count in [`DirStore::corrupt`],
+/// quarantines additionally in [`DirStore::quarantined_count`].
 #[derive(Debug)]
 pub struct DirStore {
     dir: PathBuf,
     hits: AtomicUsize,
     misses: AtomicUsize,
     corrupt: AtomicUsize,
+    quarantined: AtomicUsize,
 }
 
 /// Process-global temp-name counter: two `DirStore` instances over the
@@ -270,6 +311,7 @@ impl DirStore {
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             corrupt: AtomicUsize::new(0),
+            quarantined: AtomicUsize::new(0),
         })
     }
 
@@ -290,8 +332,17 @@ impl DirStore {
 
     /// Entries that existed but failed to parse or verify (each was
     /// treated as a miss and will be overwritten by the next save).
+    /// Superset of [`DirStore::quarantined_count`]: damaged *and*
+    /// foreign entries both land here.
     pub fn corrupt(&self) -> usize {
         self.corrupt.load(Ordering::Relaxed)
+    }
+
+    /// Damaged entries renamed to `<stem>.quarantined` (checksum
+    /// mismatch or unparsable bytes — never served, kept for forensics;
+    /// the re-simulated result lands in a fresh `<stem>.json`).
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.load(Ordering::Relaxed)
     }
 
     fn path_for(&self, key: &RunKey) -> PathBuf {
@@ -302,21 +353,40 @@ impl DirStore {
 impl ResultStore for DirStore {
     fn load(&self, key: &RunKey) -> Option<SimStats> {
         let path = self.path_for(key);
-        let text = match std::fs::read_to_string(&path) {
+        let mut text = match std::fs::read_to_string(&path) {
             Ok(text) => text,
             Err(_) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 return None;
             }
         };
+        if faults::fire(faults::DIR_LOAD_CORRUPT).is_some() {
+            // Simulated media damage: truncating mid-object guarantees
+            // unparsable JSON, so the quarantine path below always fires.
+            text.truncate(text.len() / 2);
+        }
         match parse_result_payload(&text, key) {
             Ok(stats) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(stats)
             }
-            Err(_) => {
-                // Corrupt-file recovery: a damaged entry is a miss; the
-                // re-simulated result overwrites it.
+            Err(PayloadError::Corrupt(_)) => {
+                // Damaged entry: set it aside under a name no lookup will
+                // ever read again (forensics can inspect it), then miss —
+                // the executor re-simulates and saves a fresh `.json`.
+                // A rename race (another worker already quarantined it)
+                // is harmless; both count the same damaged entry once
+                // because only one read can have seen each damaged file
+                // before the first rename wins.
+                let _ = std::fs::rename(&path, path.with_extension("quarantined"));
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(PayloadError::Foreign(_)) => {
+                // Well-formed but not ours (old schema, key drift): a
+                // plain miss; the next save overwrites in place.
                 self.corrupt.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
@@ -325,6 +395,11 @@ impl ResultStore for DirStore {
     }
 
     fn save(&self, key: &RunKey, stats: &SimStats) -> Result<(), StoreError> {
+        if faults::fire(faults::DIR_SAVE_IO).is_some() {
+            // Before the temp write, so an injected failure never leaks
+            // a `.tmp` file.
+            return Err(StoreError::Io("injected fault: dir.save.io".to_string()));
+        }
         let path = self.path_for(key);
         let tmp = self.dir.join(format!(
             ".tmp-{}-{}",
@@ -349,6 +424,10 @@ impl ResultStore for DirStore {
             })
             .unwrap_or(0)
     }
+
+    fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed) as u64
+    }
 }
 
 // ---- eole-result/v2 payload ----------------------------------------------
@@ -365,7 +444,11 @@ fn cache_stats_json(name: &str, accesses: u64, misses: u64) -> String {
 /// simulations.
 pub fn render_result_payload(key: &RunKey, s: &SimStats) -> String {
     let mut out = String::with_capacity(1536);
-    out.push_str("{\"schema\":\"eole-result/v2\",");
+    // The checksum field sits right after the schema tag, *before* any
+    // user-influenced string (config/workload names are JSON-escaped but
+    // could still contain the bytes `"crc":"` if it appeared later), so
+    // the first occurrence of CRC_FIELD in the text is always this one.
+    out.push_str("{\"schema\":\"eole-result/v2\",\"crc\":\"0000000000000000\",");
     out.push_str(&format!("\"sim_version\":{},", key.sim_version));
     let interval_tag = if key.intervals > 0 {
         format!(
@@ -437,7 +520,51 @@ pub fn render_result_payload(key: &RunKey, s: &SimStats) -> String {
     ];
     out.push_str(&fields.join(","));
     out.push_str("}}\n");
+    // Splice the checksum over the zero placeholder: digest the payload
+    // with the crc field zeroed, then write the 16-hex digest in place.
+    // Verification reverses this (re-zero, re-digest, compare), so the
+    // bytes on disk are self-validating without a sidecar file.
+    let at = out.find(CRC_FIELD).expect("crc placeholder rendered above") + CRC_FIELD.len();
+    let digest = format!("{:016x}", Fnv64::digest(out.as_bytes()));
+    out.replace_range(at..at + 16, &digest);
     out
+}
+
+/// The checksum field marker; rendered once, immediately after the
+/// schema tag.
+const CRC_FIELD: &str = "\"crc\":\"";
+
+/// Verifies the spliced-in payload checksum.
+///
+/// * missing field → [`PayloadError::Foreign`] — a well-formed payload
+///   from a pre-checksum build; a plain miss, not damage.
+/// * truncated/malformed field, or digest mismatch →
+///   [`PayloadError::Corrupt`] — the bytes cannot be trusted.
+fn verify_payload_checksum(text: &str) -> Result<(), PayloadError> {
+    let Some(field) = text.find(CRC_FIELD) else {
+        return Err(PayloadError::Foreign("no checksum (pre-hardening payload)".into()));
+    };
+    let start = field + CRC_FIELD.len();
+    let end = start + 16;
+    let stored = match text.get(start..end) {
+        Some(hex)
+            if hex.bytes().all(|b| b.is_ascii_hexdigit())
+                && text.as_bytes().get(end) == Some(&b'"') =>
+        {
+            hex
+        }
+        _ => return Err(PayloadError::Corrupt("truncated or malformed checksum field".into())),
+    };
+    let mut zeroed = text.to_string();
+    zeroed.replace_range(start..end, "0000000000000000");
+    let computed = format!("{:016x}", Fnv64::digest(zeroed.as_bytes()));
+    if computed == stored {
+        Ok(())
+    } else {
+        Err(PayloadError::Corrupt(format!(
+            "checksum mismatch: stored {stored}, computed {computed}"
+        )))
+    }
 }
 
 fn join_u64s(values: &[u64]) -> String {
@@ -478,14 +605,27 @@ fn cache_stats_field(
 
 /// Parses an `eole-result/v2` payload back into [`SimStats`], verifying
 /// that it belongs to `key` (schema, sim version, digest, workload,
-/// methodology, seed). Any mismatch or malformation is an error — the
-/// caller treats it as a cache miss.
-pub fn parse_result_payload(text: &str, key: &RunKey) -> Result<SimStats, String> {
-    let v = Json::parse(text)?;
+/// methodology, seed) and that its checksum holds. Any failure is a
+/// cache miss, but the error's variant drives recovery: [`DirStore`]
+/// quarantines [`PayloadError::Corrupt`] entries and plainly overwrites
+/// [`PayloadError::Foreign`] ones.
+pub fn parse_result_payload(text: &str, key: &RunKey) -> Result<SimStats, PayloadError> {
+    // Unparsable bytes are damage (every generation of this store wrote
+    // valid JSON); a parsable payload with the wrong schema tag is
+    // foreign, and only a schema-matched payload gets checksum-checked.
+    let v = Json::parse(text).map_err(PayloadError::Corrupt)?;
     if v.get("schema").and_then(Json::as_str) != Some("eole-result/v2") {
-        return Err("not an eole-result/v2 payload".into());
+        return Err(PayloadError::Foreign("not an eole-result/v2 payload".into()));
     }
-    if u64_field(&v, "sim_version")? != u64::from(key.sim_version) {
+    verify_payload_checksum(text)?;
+    parse_checked_payload(&v, key).map_err(PayloadError::Foreign)
+}
+
+/// Field extraction and key matching for an already checksum-verified
+/// payload; every failure here is a key/schema-drift mismatch
+/// ([`PayloadError::Foreign`]), never damage.
+fn parse_checked_payload(v: &Json, key: &RunKey) -> Result<SimStats, String> {
+    if u64_field(v, "sim_version")? != u64::from(key.sim_version) {
         return Err("sim_version mismatch".into());
     }
     let k = v.get("key").ok_or("missing `key`")?;
@@ -691,6 +831,101 @@ mod tests {
         let stem = RunKey::of(&s).file_stem();
         assert!(stem.chars().all(|c| c.is_ascii_alphanumeric() || "_-".contains(c)),
             "{stem}");
+    }
+
+    #[test]
+    fn payload_checksum_catches_single_bit_damage() {
+        let key = RunKey::of(&spec());
+        let payload = render_result_payload(&key, &dense_stats());
+        assert!(parse_result_payload(&payload, &key).is_ok(), "pristine payload must verify");
+        // Flip one digit inside a stats value: still perfectly valid
+        // JSON with a matching key, so only the checksum can catch it.
+        let digit_at = payload.find("\"cycles\":").unwrap() + "\"cycles\":".len();
+        let mut tampered = payload.clone().into_bytes();
+        tampered[digit_at] = if tampered[digit_at] == b'1' { b'2' } else { b'1' };
+        let tampered = String::from_utf8(tampered).unwrap();
+        match parse_result_payload(&tampered, &key) {
+            Err(PayloadError::Corrupt(msg)) => assert!(msg.contains("checksum"), "{msg}"),
+            other => panic!("tampered payload must be Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn payload_classifies_foreign_vs_corrupt() {
+        let key = RunKey::of(&spec());
+        let payload = render_result_payload(&key, &dense_stats());
+        // Unparsable bytes are damage.
+        assert!(matches!(
+            parse_result_payload("{ not json", &key),
+            Err(PayloadError::Corrupt(_))
+        ));
+        // Truncation is damage (unparsable JSON).
+        assert!(matches!(
+            parse_result_payload(&payload[..payload.len() / 2], &key),
+            Err(PayloadError::Corrupt(_))
+        ));
+        // A payload without a crc field is a pre-hardening store file:
+        // well-formed, just old — Foreign, never quarantined.
+        let crc_at = payload.find(CRC_FIELD).unwrap();
+        let mut pre_crc = payload.clone();
+        pre_crc.replace_range(crc_at..crc_at + CRC_FIELD.len() + 16 + 2, "");
+        assert!(matches!(
+            parse_result_payload(&pre_crc, &key),
+            Err(PayloadError::Foreign(_))
+        ));
+        // A valid payload for a different key is Foreign.
+        let other = RunKey { seed: key.seed + 1, ..key.clone() };
+        assert!(matches!(
+            parse_result_payload(&payload, &other),
+            Err(PayloadError::Foreign(_))
+        ));
+    }
+
+    #[test]
+    fn dir_store_quarantines_damaged_entries() {
+        let dir = std::env::temp_dir().join(format!(
+            "eole-quarantine-test-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let store = DirStore::open(&dir).unwrap();
+        let key = RunKey::of(&spec());
+        store.save(&key, &dense_stats()).unwrap();
+        let path = dir.join(format!("{}.json", key.file_stem()));
+        let quarantine = path.with_extension("quarantined");
+
+        // Damage the entry on disk: next load must miss, quarantine the
+        // file, and leave nothing a future lookup could be served from.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(store.load(&key).is_none());
+        assert_eq!(store.quarantined_count(), 1);
+        assert_eq!(store.corrupt(), 1);
+        assert!(!path.exists(), "damaged entry must be renamed away");
+        assert!(quarantine.exists(), "damaged entry must be kept for forensics");
+
+        // Self-heal: a fresh save recreates the `.json`, and the next
+        // load serves it while the quarantined file stays untouched.
+        store.save(&key, &dense_stats()).unwrap();
+        let back = store.load(&key).unwrap();
+        assert_eq!(format!("{back:?}"), format!("{:?}", dense_stats()));
+        assert!(quarantine.exists());
+
+        // A pre-checksum (foreign) entry is a plain miss: overwritten in
+        // place, never quarantined.
+        let pristine = std::fs::read_to_string(&path).unwrap();
+        let crc_at = pristine.find(CRC_FIELD).unwrap();
+        let mut pre_crc = pristine.clone();
+        pre_crc.replace_range(crc_at..crc_at + CRC_FIELD.len() + 16 + 2, "");
+        std::fs::write(&path, &pre_crc).unwrap();
+        assert!(store.load(&key).is_none());
+        assert_eq!(store.quarantined_count(), 1, "foreign entries are not quarantined");
+        assert_eq!(store.corrupt(), 2);
+        assert!(path.exists(), "foreign entry stays in place for the overwrite");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

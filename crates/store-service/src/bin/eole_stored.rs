@@ -5,7 +5,7 @@
 //!             [--lease-ttl-secs N]
 //! ```
 //!
-//! Serves the `eole-store/v1` protocol over `DIR` (one `<key>.json` per
+//! Serves the `eole-store/v2` protocol over `DIR` (one `<key>.json` per
 //! entry — the same layout `experiments --store DIR` writes, so a warm
 //! local store can be promoted to a shared one by pointing the daemon at
 //! it). Clients connect via `experiments --store tcp://HOST:PORT`.
@@ -15,15 +15,17 @@
 //! port), then serves until killed. Every state change is crash-safe
 //! (temp + rename), so `kill -9` at any point leaves a valid store.
 
-use eole_store_service::{ServerConfig, StoreServer};
+use eole_store_service::{faults, ServerConfig, StoreServer};
 
 const USAGE: &str = "usage: eole-stored --dir DIR [--addr HOST:PORT] [--max-bytes N] \
-[--max-entries N] [--lease-ttl-secs N]
+[--max-entries N] [--lease-ttl-secs N] [--faults SPEC]
   --dir DIR           store directory (created if absent; DirStore-compatible layout)
   --addr HOST:PORT    listen address (default 127.0.0.1:7407; port 0 picks one)
   --max-bytes N       evict LRU entries once stored payload bytes exceed N
   --max-entries N     evict LRU entries once the entry count exceeds N
-  --lease-ttl-secs N  single-flight lease backstop expiry (default 120)";
+  --lease-ttl-secs N  single-flight lease backstop expiry (default 120)
+  --faults SPEC       install a deterministic fault-injection plan (chaos
+                      testing; also read from EOLE_FAULTS — see EXPERIMENTS.md)";
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}\n{USAGE}");
@@ -37,6 +39,7 @@ fn main() {
     let mut max_bytes: Option<u64> = None;
     let mut max_entries: Option<usize> = None;
     let mut lease_ttl_secs = 120u64;
+    let mut faults_spec: Option<String> = None;
     let take = |args: &[String], i: &mut usize, flag: &str| -> String {
         *i += 1;
         args.get(*i).unwrap_or_else(|| fail(&format!("{flag} needs a value"))).clone()
@@ -65,6 +68,7 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| fail("--lease-ttl-secs takes a number"));
             }
+            "--faults" => faults_spec = Some(take(&args, &mut i, "--faults")),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -74,6 +78,15 @@ fn main() {
         i += 1;
     }
     let Some(dir) = dir else { fail("--dir is required") };
+    match faults_spec {
+        Some(spec) => faults::install_spec(&spec).unwrap_or_else(|e| fail(&e)),
+        None => {
+            faults::install_from_env().unwrap_or_else(|e| fail(&e));
+        }
+    }
+    if let Some(summary) = faults::current_summary() {
+        eprintln!("[eole-stored: FAULT INJECTION ACTIVE — {summary}]");
+    }
     let mut config = ServerConfig::new(&dir);
     config.max_bytes = max_bytes;
     config.max_entries = max_entries;

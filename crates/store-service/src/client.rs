@@ -1,4 +1,4 @@
-//! The `eole-store/v1` client: one lazily-(re)connected TCP connection,
+//! The `eole-store/v2` client: one lazily-(re)connected TCP connection,
 //! guarded for multi-threaded use, with connect/read timeouts and bounded
 //! retry-with-backoff — the robustness layer that lets a caller treat the
 //! daemon as *optional* (every failure is a typed [`StoreError`], never a
@@ -13,9 +13,10 @@
 //! lease).
 
 use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
+use crate::faults;
 use crate::proto::{
     decode_response, encode_request, read_frame, write_frame, Request, Response, ServiceStats,
     ERR_EVICTED, PROTO_VERSION,
@@ -86,7 +87,7 @@ impl StoreClient {
     pub fn connect(config: ClientConfig) -> Result<StoreClient, StoreError> {
         let client = StoreClient { config, conn: Mutex::new(None) };
         let stream = client.dial()?;
-        *client.conn.lock().expect("client connection poisoned") = Some(stream);
+        *client.conn.lock().unwrap_or_else(PoisonError::into_inner) = Some(stream);
         Ok(client)
     }
 
@@ -146,7 +147,7 @@ impl StoreClient {
     /// transport failure. `extra_wait` stretches the read deadline for
     /// requests the server may legitimately hold (`Get` with `wait_ms`).
     fn request(&self, req: &Request, extra_wait: Duration) -> Result<Response, StoreError> {
-        let mut guard = self.conn.lock().expect("client connection poisoned");
+        let mut guard = self.conn.lock().unwrap_or_else(PoisonError::into_inner);
         let mut attempt = 0u32;
         loop {
             let result = (|| -> Result<Response, StoreError> {
@@ -157,8 +158,24 @@ impl StoreClient {
                 stream
                     .set_read_timeout(Some(self.config.io_timeout + extra_wait))
                     .map_err(|e| StoreError::Io(format!("set read timeout: {e}")))?;
+                // Chaos hooks (inside the attempt closure, so an injected
+                // transport fault exercises the same reconnect-and-retry
+                // path a real one would).
+                if let Some(arg) = faults::fire(faults::CLIENT_DELAY) {
+                    std::thread::sleep(Duration::from_millis(arg.unwrap_or(25)));
+                }
+                if faults::fire(faults::CLIENT_SEND_IO).is_some() {
+                    return Err(StoreError::Io("injected fault: client.send.io".to_string()));
+                }
                 write_frame(stream, &encode_request(req))?;
-                decode_response(&read_frame(stream)?)
+                let mut body = read_frame(stream)?;
+                if let Some(salt) = faults::fire(faults::CLIENT_RECV_CORRUPT) {
+                    faults::garble(&mut body, salt.unwrap_or(0));
+                }
+                if faults::fire(faults::CLIENT_RECV_TRUNCATE).is_some() {
+                    body.truncate(body.len() / 2);
+                }
+                decode_response(&body)
             })();
             match result {
                 Ok(resp) => return Ok(resp),

@@ -28,10 +28,12 @@
 //!   the cache) instead of panicking when the daemon disappears.
 
 pub mod client;
+pub mod faults;
 pub mod proto;
 pub mod server;
 
 pub use client::{ClientConfig, GetOutcome, StoreClient};
+pub use faults::FaultPlan;
 pub use proto::{ServiceStats, MAX_FRAME, PROTO_VERSION};
 pub use server::{ServerConfig, ServerHandle, StoreServer};
 
@@ -45,7 +47,7 @@ pub enum StoreError {
     Io(String),
     /// A connect or read deadline passed.
     Timeout(String),
-    /// The peer violated `eole-store/v1`: bad tag, truncated or oversized
+    /// The peer violated `eole-store/v2`: bad tag, truncated or oversized
     /// frame, version mismatch, trailing bytes, invalid key.
     Protocol(String),
     /// A stored payload exists but failed validation against its key

@@ -1,4 +1,4 @@
-//! The `eole-store/v1` wire protocol: length-prefixed frames over TCP,
+//! The `eole-store/v2` wire protocol: length-prefixed frames over TCP,
 //! hand-rolled binary (de)serialization (the workspace has no crates.io
 //! access, so framing and encoding follow the same discipline as
 //! `eole_stats::json` — small, explicit, fully tested).
@@ -34,8 +34,9 @@ use std::io::{Read, Write};
 use crate::StoreError;
 
 /// Protocol identifier exchanged in the `Ping`/`Pong` handshake; servers
-/// reject clients speaking anything else.
-pub const PROTO_VERSION: &str = "eole-store/v1";
+/// reject clients speaking anything else. v2 added `leases_expired` to
+/// the `Stats` response (the lease-TTL reclaim counter).
+pub const PROTO_VERSION: &str = "eole-store/v2";
 
 /// Hard ceiling on one frame's body (16 MiB — result payloads are ~2 KiB,
 /// so this is three orders of magnitude of headroom while still bounding
@@ -139,6 +140,10 @@ pub struct ServiceStats {
     /// `Get`s that waited on another connection's lease (served `Hit`
     /// after a wait or `Busy` on expiry).
     pub lease_waits: u64,
+    /// Leases reclaimed because the holder exceeded the TTL without
+    /// publishing or abandoning (crashed/wedged holder; the key is
+    /// re-granted to the next requester).
+    pub leases_expired: u64,
 }
 
 // ---- frame I/O -----------------------------------------------------------
@@ -360,6 +365,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 s.evictions,
                 s.leases_granted,
                 s.lease_waits,
+                s.leases_expired,
             ] {
                 put_u64(&mut out, v);
             }
@@ -391,6 +397,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response, StoreError> {
             evictions: r.u64("stats evictions")?,
             leases_granted: r.u64("stats leases_granted")?,
             lease_waits: r.u64("stats lease_waits")?,
+            leases_expired: r.u64("stats leases_expired")?,
         }),
         tag => return Err(StoreError::Protocol(format!("unknown response tag 0x{tag:02x}"))),
     };
@@ -440,6 +447,7 @@ mod tests {
                 evictions: 6,
                 leases_granted: 7,
                 lease_waits: 8,
+                leases_expired: 9,
             }),
         ];
         for resp in &responses {

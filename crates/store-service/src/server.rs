@@ -35,9 +35,10 @@ use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant, SystemTime};
 
+use crate::faults;
 use crate::proto::{
     decode_request, encode_response, read_frame, valid_key, write_frame, Request, Response,
     ServiceStats, ERR_EVICTED, ERR_GENERIC, PROTO_VERSION,
@@ -121,6 +122,12 @@ impl Shared {
         self.stop.load(Ordering::Relaxed)
     }
 
+    /// Poisoning-proof state lock: a panicking connection thread must
+    /// not wedge every other connection behind a `PoisonError`.
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Atomic publish: temp + rename, then index update and waiter wakeup.
     fn publish(&self, key: &str, payload: &[u8]) -> Result<(), StoreError> {
         let tmp = self.config.dir.join(format!(
@@ -133,7 +140,7 @@ impl Shared {
             .map_err(|e| StoreError::Io(format!("write {}: {e}", tmp.display())))?;
         std::fs::rename(&tmp, &path)
             .map_err(|e| StoreError::Io(format!("rename {} -> {}: {e}", tmp.display(), path.display())))?;
-        let mut st = self.state.lock().expect("store state poisoned");
+        let mut st = self.lock_state();
         st.tick += 1;
         let tick = st.tick;
         let new_bytes = payload.len() as u64;
@@ -177,7 +184,7 @@ impl Shared {
     /// The single-flight lookup. Returns `Hit` / `Lease` / `Busy`.
     fn get(&self, conn_id: u64, key: &str, wait_ms: u32) -> Response {
         let deadline = Instant::now() + Duration::from_millis(u64::from(wait_ms));
-        let mut st = self.state.lock().expect("store state poisoned");
+        let mut st = self.lock_state();
         let mut waiting = false;
         let unregister = |st: &mut State, waiting: bool| {
             if waiting {
@@ -230,10 +237,14 @@ impl Shared {
                     unregister(&mut st, waiting);
                     return Response::Lease;
                 }
-                Some((_, lease_deadline)) if now >= lease_deadline => {
+                Some((_, lease_deadline))
+                    if now >= lease_deadline
+                        || faults::fire(faults::SERVER_LEASE_EXPIRE).is_some() =>
+                {
                     // Expired: the holder hung. Drop the lease; the loop
                     // re-evaluates and grants it to this connection.
                     st.leases.remove(key);
+                    st.stats.leases_expired += 1;
                 }
                 Some((_, lease_deadline)) => {
                     if now >= deadline || self.stopping() {
@@ -252,7 +263,7 @@ impl Shared {
                     let (guard, _) = self
                         .published
                         .wait_timeout(st, dur)
-                        .expect("store state poisoned");
+                        .unwrap_or_else(PoisonError::into_inner);
                     st = guard;
                 }
                 None => {
@@ -270,7 +281,7 @@ impl Shared {
     }
 
     fn abandon(&self, conn_id: u64, key: &str) {
-        let mut st = self.state.lock().expect("store state poisoned");
+        let mut st = self.lock_state();
         if st.leases.get(key).is_some_and(|l| l.conn_id == conn_id) {
             st.leases.remove(key);
             drop(st);
@@ -280,7 +291,7 @@ impl Shared {
     }
 
     fn release_connection(&self, conn_id: u64) {
-        let mut st = self.state.lock().expect("store state poisoned");
+        let mut st = self.lock_state();
         let before = st.leases.len();
         st.leases.retain(|_, l| l.conn_id != conn_id);
         let released = before != st.leases.len();
@@ -291,7 +302,7 @@ impl Shared {
     }
 
     fn stats(&self) -> ServiceStats {
-        let st = self.state.lock().expect("store state poisoned");
+        let st = self.lock_state();
         ServiceStats {
             entries: st.entries.len() as u64,
             bytes: st.total_bytes,
@@ -351,7 +362,7 @@ impl StoreServer {
         }
         found.sort_by_key(|(_, _, mtime)| *mtime);
         {
-            let mut st = shared.state.lock().expect("store state poisoned");
+            let mut st = shared.lock_state();
             for (key, bytes, _) in found {
                 st.tick += 1;
                 let tick = st.tick;
@@ -451,11 +462,14 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, conn_id: u64) {
         if shared.stopping() {
             return;
         }
-        let body = match read_frame(&mut stream) {
+        let mut body = match read_frame(&mut stream) {
             Ok(body) => body,
             Err(StoreError::Timeout(_)) => continue, // idle poll; check stop and re-read
             Err(_) => return,                        // EOF, reset, or an oversized frame
         };
+        if faults::fire(faults::SERVER_RECV_CORRUPT).is_some() {
+            faults::garble(&mut body, conn_id);
+        }
         let (response, fatal) = match decode_request(&body) {
             Ok(Request::Ping { proto }) if proto == PROTO_VERSION => {
                 shook_hands = true;

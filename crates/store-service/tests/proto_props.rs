@@ -1,4 +1,4 @@
-//! Property tests over the `eole-store/v1` wire codec: every encodable
+//! Property tests over the `eole-store/v2` wire codec: every encodable
 //! message round-trips byte-exactly through encode → frame → unframe →
 //! decode, every truncation is rejected as a typed error, and oversized
 //! frames never allocate their claimed length.
@@ -36,7 +36,7 @@ fn request_strategy() -> impl Strategy<Value = Request> {
 }
 
 fn response_strategy() -> impl Strategy<Value = Response> {
-    (0u8..7, payload_strategy(), 0u32..120_000, proptest::collection::vec(any::<u64>(), 8..9))
+    (0u8..7, payload_strategy(), 0u32..120_000, proptest::collection::vec(any::<u64>(), 9..10))
         .prop_map(|(tag, payload, n, stats)| match tag {
             0 => Response::Pong { proto: String::from_utf8_lossy(&payload).into_owned() },
             1 => Response::Hit { payload },
@@ -56,6 +56,7 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                 evictions: stats[5],
                 leases_granted: stats[6],
                 lease_waits: stats[7],
+                leases_expired: stats[8],
             }),
         })
 }

@@ -120,6 +120,46 @@ fn re_requesting_a_held_lease_does_not_self_deadlock() {
 }
 
 #[test]
+fn expired_lease_is_reclaimed_and_counted() {
+    // TTL backstop: a lease holder that neither publishes nor disconnects
+    // (wedged, not dead) must not block the key forever. After the TTL
+    // the next requester is re-granted, the expiry is counted, and the
+    // late publish from the original holder still lands (Put works with
+    // or without a lease), so nothing is lost either way.
+    let dir = tempdir("lease-expiry");
+    let mut config = ServerConfig::new(&dir);
+    config.lease_ttl = Duration::from_millis(200);
+    let server = spawn_server(config);
+    let wedged = client(&server);
+    assert_eq!(wedged.get("k", 0).unwrap(), GetOutcome::Lease);
+    // `wedged` stays connected but never publishes.
+    let b = client(&server);
+    let start = Instant::now();
+    loop {
+        match b.get("k", 0).unwrap() {
+            GetOutcome::Lease => break,
+            GetOutcome::Busy { retry_ms } => {
+                assert!(start.elapsed() < Duration::from_secs(10), "TTL must reclaim the lease");
+                std::thread::sleep(Duration::from_millis(u64::from(retry_ms.clamp(10, 100))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert!(start.elapsed() >= Duration::from_millis(150), "re-grant happens after the TTL");
+    let stats = server.stats();
+    assert_eq!(stats.leases_expired, 1, "the reclaim is observable");
+    assert_eq!(stats.leases_granted, 2, "exactly one re-grant — no duplicate fan-out");
+    // The re-granted client simulates (once) and publishes.
+    b.put("k", b"from-the-regrant".to_vec()).unwrap();
+    assert_eq!(b.get("k", 0).unwrap(), GetOutcome::Hit(b"from-the-regrant".to_vec()));
+    // The original holder's late publish is accepted, not an error (the
+    // deterministic simulator would produce identical bytes anyway).
+    wedged.put("k", b"from-the-regrant".to_vec()).unwrap();
+    assert_eq!(server.stats().leases_granted, 2, "no further leases were needed");
+    server.shutdown();
+}
+
+#[test]
 fn eviction_is_lru_and_observable() {
     let dir = tempdir("evict-lru");
     let mut config = ServerConfig::new(&dir);

@@ -11,8 +11,10 @@ test:
 bench:
 	cargo bench --workspace
 
+# Clippy plus the in-tree analyzer (rule catalog in LINTS.md).
 lint:
 	cargo clippy --workspace --all-targets -- -D warnings
+	cargo run --release -p eole-lint -- --check
 
 check: build test lint
 

@@ -61,7 +61,7 @@ struct FlatReport {
 
 fn flatten_reports(payload: &Json) -> Result<Vec<FlatReport>, String> {
     let arr = match payload {
-        Json::Arr(_) => payload.as_arr().unwrap(),
+        Json::Arr(items) => items.as_slice(),
         Json::Obj(_) => payload
             .get("reports")
             .and_then(Json::as_arr)

@@ -276,6 +276,7 @@ impl RunResult {
     /// Panics with the run label and the typed error if the run failed —
     /// for benches and examples where failure is a bug, not a condition.
     /// `Result`-typed code uses [`RunResult::stats`] instead.
+    // lint:allow(error-typing) documented `# Panics` convenience wrapper for benches/examples
     pub fn expect_stats(&self) -> &SimStats {
         match self.stats() {
             Ok(s) => s,
@@ -575,7 +576,7 @@ impl Executor {
                 });
             }
         });
-        results.into_iter().map(|r| r.expect("all specs executed")).collect()
+        results.into_iter().map(|r| r.expect("all specs executed")).collect() // lint:allow(error-typing) scope join guarantees every slot was filled
     }
 
     /// Interval-parallel execution: each pending spec fans out into
@@ -611,7 +612,7 @@ impl Executor {
             open.push(i);
         }
         if open.is_empty() {
-            return results.into_iter().map(|r| r.expect("resolved in pre-pass")).collect();
+            return results.into_iter().map(|r| r.expect("resolved in pre-pass")).collect(); // lint:allow(error-typing) the pre-pass above filled every slot when `open` is empty
         }
 
         struct PendingRun {
@@ -670,7 +671,7 @@ impl Executor {
                 });
             }
         });
-        results.into_iter().map(|r| r.expect("all specs executed")).collect()
+        results.into_iter().map(|r| r.expect("all specs executed")).collect() // lint:allow(error-typing) scope join guarantees every slot was filled
     }
 
     fn simulate_piece(
@@ -706,7 +707,7 @@ impl Executor {
             let mut stitched = SimStats::default();
             let mut pieces = lock_clean(pieces);
             for slot in pieces.iter_mut() {
-                let piece = slot.take().expect("remaining hit zero with a piece missing")?;
+                let piece = slot.take().expect("remaining hit zero with a piece missing")?; // lint:allow(error-typing) the atomic remaining-counter proves every piece landed
                 stitched.merge(&piece);
             }
             if interval_paranoid() {

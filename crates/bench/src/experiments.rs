@@ -252,7 +252,7 @@ impl ExperimentSet {
             .name("EOLE_6_64_2ee")
             .ee_stages(2)
             .build()
-            .expect("preset variant is valid");
+            .expect("preset variant is valid"); // lint:allow(error-typing) static preset authoring invariant, covered by preset tests
         let mut t = ExperimentReport::new("fig2", "Fig. 2 — early-executed fraction of committed µ-ops")
             .column("bench")
             .column_unit("1 ALU stage", "fraction")
@@ -431,7 +431,7 @@ impl ExperimentSet {
                     .name(*label)
                     .vp_kind(*kind)
                     .build()
-                    .expect("predictor swap keeps the preset valid")
+                    .expect("predictor swap keeps the preset valid") // lint:allow(error-typing) static preset authoring invariant, covered by preset tests
             })
             .collect();
         self.speedup_report(
@@ -454,7 +454,7 @@ impl ExperimentSet {
                     .name(format!("EOLE_4_64_4banks_eewr{cap}"))
                     .ee_writes_per_bank(Some(cap))
                     .build()
-                    .expect("write cap keeps the preset valid"),
+                    .expect("write cap keeps the preset valid"), // lint:allow(error-typing) static preset authoring invariant, covered by preset tests
             );
         }
         configs.push(CoreConfig::eole_4_64_banked(4));
@@ -518,7 +518,7 @@ impl ExperimentSet {
                 .name(name)
                 .levt_depth_override(Some(0))
                 .build()
-                .expect("depth override keeps the preset valid")
+                .expect("depth override keeps the preset valid") // lint:allow(error-typing) static preset authoring invariant, covered by preset tests
         };
         self.speedup_report(
             "levt_depth_ablation",
@@ -606,7 +606,7 @@ impl ExperimentSet {
                     .name(format!("DVTAGE_6_64_b{b}"))
                     .vp_block(*b, 4)
                     .build()
-                    .expect("block sweep keeps the preset valid")
+                    .expect("block sweep keeps the preset valid") // lint:allow(error-typing) static preset authoring invariant, covered by preset tests
             })
             .collect();
         let mut t = ExperimentReport::new(

@@ -56,6 +56,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod compare;
 pub mod exec;
 pub mod experiments;
@@ -336,7 +338,7 @@ impl Runner {
     ///
     /// Panics with the typed [`RunError`] rendered.
     pub fn prepare(&self, workload: &Workload) -> PreparedTrace {
-        self.try_prepare(workload).unwrap_or_else(|e| panic!("{e}"))
+        self.try_prepare(workload).unwrap_or_else(|e| panic!("{e}")) // lint:allow(error-typing) documented `# Panics` convenience wrapper for benches/examples
     }
 
     /// Infallible [`Runner::try_run`] for benches and examples.
@@ -345,7 +347,7 @@ impl Runner {
     ///
     /// Panics with the typed [`RunError`] rendered.
     pub fn run(&self, trace: &PreparedTrace, config: CoreConfig) -> SimStats {
-        self.try_run(trace, config).unwrap_or_else(|e| panic!("{e}"))
+        self.try_run(trace, config).unwrap_or_else(|e| panic!("{e}")) // lint:allow(error-typing) documented `# Panics` convenience wrapper for benches/examples
     }
 }
 

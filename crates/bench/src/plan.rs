@@ -133,7 +133,7 @@ impl Plan {
     /// authoring error, like an out-of-range CLI flag.
     pub fn shard(&self, index: usize) -> Vec<RunSpec> {
         let shard = Shard::new(index, self.count)
-            .unwrap_or_else(|e| panic!("plan shard: {e}"));
+            .unwrap_or_else(|e| panic!("plan shard: {e}")); // lint:allow(error-typing) documented `# Panics`: out-of-range shard index is a harness authoring error
         self.specs.iter().filter(|s| shard.owns_spec(s)).cloned().collect()
     }
 

@@ -127,7 +127,7 @@ impl ResultStore for RemoteStore {
         let wire_key = key.file_stem();
         let start = Instant::now();
         loop {
-            let slice = u32::try_from(WAIT_SLICE.as_millis()).expect("slice fits u32");
+            let slice = u32::try_from(WAIT_SLICE.as_millis()).unwrap_or(u32::MAX);
             match self.client.get(&wire_key, slice) {
                 Ok(GetOutcome::Hit(mut payload)) => {
                     if let Some(salt) = faults::fire(faults::REMOTE_PAYLOAD_CORRUPT) {

@@ -352,7 +352,7 @@ impl Session {
             let piece = slot
                 .into_inner()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .expect("every piece executed")
+                .expect("every piece executed") // lint:allow(error-typing) scope join guarantees every slot was filled
                 .map_err(|e| crate::exec::attribute_workload(e, spec))?;
             stats.merge(&piece);
         }

@@ -158,7 +158,7 @@ impl Grid {
     pub fn workload_names(mut self, names: &[&str]) -> Self {
         for name in names {
             let w = workload_by_name(name)
-                .unwrap_or_else(|| panic!("unknown workload {name} (not in Table 3)"));
+                .unwrap_or_else(|| panic!("unknown workload {name} (not in Table 3)")); // lint:allow(error-typing) documented `# Panics`: unknown registry name is a harness authoring error
             self.workloads.push(w);
         }
         self

@@ -10,6 +10,8 @@
 //! full statistical machinery. Swap it out by pointing the workspace
 //! `criterion` dependency back at crates.io.
 
+#![forbid(unsafe_code)]
+
 use std::hint;
 use std::time::{Duration, Instant};
 

@@ -13,6 +13,8 @@
 //! reproducible. Swap it out by pointing the workspace `proptest`
 //! dependency back at crates.io.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 pub mod collection;

@@ -384,7 +384,7 @@ impl CoreConfigBuilder {
     /// order error; enable with [`CoreConfigBuilder::vp`] first).
     #[must_use]
     pub fn vp_block(mut self, block_size: usize, banks: usize) -> Self {
-        let vp = self.config.vp.as_mut().expect("enable VP before shaping its block front");
+        let vp = self.config.vp.as_mut().expect("enable VP before shaping its block front"); // lint:allow(error-typing) documented `# Panics`: builder authoring-order error
         vp.block_size = block_size;
         vp.banks = banks;
         self
@@ -398,7 +398,7 @@ impl CoreConfigBuilder {
     /// Panics if value prediction has not been enabled yet.
     #[must_use]
     pub fn vp_spec_window(mut self, window: Option<usize>) -> Self {
-        let vp = self.config.vp.as_mut().expect("enable VP before bounding its window");
+        let vp = self.config.vp.as_mut().expect("enable VP before bounding its window"); // lint:allow(error-typing) documented `# Panics`: builder authoring-order error
         vp.spec_window = window;
         self
     }

@@ -49,6 +49,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod canon;
 pub mod complexity;
 pub mod config;

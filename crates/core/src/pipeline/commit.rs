@@ -34,7 +34,7 @@ impl Simulator<'_> {
             }
             // LE/VT read-port budget (Fig. 11).
             if let Some(cap) = port_cap {
-                let (needed, n) = self.levt_reads(self.rob.front().expect("checked above"));
+                let (needed, n) = self.levt_reads(self.rob.front().expect("checked above")); // lint:allow(error-typing) re-borrow of the entry checked at loop top (borrowck)
                 let mut fits = true;
                 for (bank, ci) in &needed[..n] {
                     self.scratch.port_reads[*bank][*ci] += 1;
@@ -65,7 +65,7 @@ impl Simulator<'_> {
             }
 
             // ---- the µ-op commits -------------------------------------
-            let e = self.rob.pop_front().expect("checked above");
+            let e = self.rob.pop_front().expect("checked above"); // lint:allow(error-typing) non-empty: the same entry was front() at loop top
             committed += 1;
             self.total_committed += 1;
             self.last_commit_cycle = now;
@@ -142,7 +142,7 @@ impl Simulator<'_> {
             if back.seq < first_bad {
                 break;
             }
-            let fu = self.front_q.pop_back().expect("non-empty");
+            let fu = self.front_q.pop_back().expect("non-empty"); // lint:allow(error-typing) while-let guard proves the queue is non-empty
             min_trace_idx =
                 Some(min_trace_idx.map_or(fu.trace_idx, |m| m.min(fu.trace_idx)));
             self.stats.squashed += 1;
@@ -152,7 +152,7 @@ impl Simulator<'_> {
             if back.seq < first_bad {
                 break;
             }
-            let e = self.rob.pop_back().expect("non-empty");
+            let e = self.rob.pop_back().expect("non-empty"); // lint:allow(error-typing) while-let guard proves the queue is non-empty
             min_trace_idx = Some(min_trace_idx.map_or(e.trace_idx, |m| m.min(e.trace_idx)));
             if let Some(d) = e.dst {
                 self.spec_rat[d.arch_flat as usize] = d.old;

@@ -315,6 +315,7 @@ pub(super) struct Scratch {
 }
 
 impl Scratch {
+    // lint:allow(hot-alloc) cold construction path: tables allocated once, before the measured loop
     fn new(prf_banks: usize) -> Self {
         Scratch {
             ee_writes: vec![[0usize; 2]; prf_banks],
@@ -385,6 +386,7 @@ impl<'t> Simulator<'t> {
     /// # Errors
     ///
     /// Returns [`SimError::BadConfig`] if the configuration is inconsistent.
+    // lint:allow(hot-alloc) cold construction path: tables allocated once, before the measured loop
     pub fn new(trace: &'t PreparedTrace, config: CoreConfig) -> Result<Self, SimError> {
         config.validate().map_err(SimError::BadConfig)?;
         let mut spec_rat = [0 as PhysReg; 64];
@@ -783,7 +785,7 @@ impl<'t> Simulator<'t> {
                     let c = self.cycle;
                     self.step();
                     if !self.idle && self.cycle <= ev {
-                        panic!(
+                        panic!( // lint:allow(error-typing) EOLE_FF_PARANOID is a crash-on-divergence debug mode
                             "fast-forward would miss an event: acted at cycle {c}, predicted {ev}; before={before:?} after=({}, {}, {}, {}, {})",
                             self.stats.committed, self.stats.fetched, self.rob.len(), self.iq.len(), self.front_q.len()
                         );

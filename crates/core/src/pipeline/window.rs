@@ -37,6 +37,7 @@ impl<T: Copy> SeqRing<T> {
     /// A ring of `capacity` slots, pre-filled with `fill` (never read
     /// before being overwritten by `push_back`; a fill value keeps the
     /// slab initialization safe without `T: Default`).
+    // lint:allow(hot-alloc) cold construction path: tables allocated once, before the measured loop
     pub(super) fn new(capacity: usize, fill: T) -> Self {
         assert!(capacity > 0, "window structures are never zero-sized");
         SeqRing { buf: vec![fill; capacity].into_boxed_slice(), head: 0, len: 0, front_slot: 0 }
@@ -170,7 +171,7 @@ impl<T: Copy> std::ops::Index<usize> for SeqRing<T> {
     type Output = T;
 
     fn index(&self, logical: usize) -> &T {
-        self.get(logical).expect("SeqRing index out of range")
+        self.get(logical).expect("SeqRing index out of range") // lint:allow(error-typing) std `Index` contract: out-of-range must panic
     }
 }
 

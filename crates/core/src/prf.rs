@@ -74,7 +74,7 @@ impl Prf {
     ///
     /// Panics with the rendered [`ConfigError`] on an invalid shape.
     pub fn new(int_regs: usize, fp_regs: usize, banks: usize) -> Self {
-        Self::try_new(int_regs, fp_regs, banks).unwrap_or_else(|e| panic!("{e}"))
+        Self::try_new(int_regs, fp_regs, banks).unwrap_or_else(|e| panic!("{e}")) // lint:allow(error-typing) documented `# Panics` convenience wrapper over `try_new`
     }
 
     fn build_unchecked(int_regs: usize, fp_regs: usize, banks: usize) -> Self {

@@ -1,0 +1,186 @@
+//! The committed ratchet: `lint-baseline.json`.
+//!
+//! The baseline records, per `(rule, file)`, how many findings existed when
+//! the baseline was last regenerated. The check fails when a count *rises*
+//! (new debt) — and also when it *falls* (the baseline is stale: the debt
+//! was paid, so the ceiling must come down before new debt can hide under
+//! it). `--update-baseline` regenerates the file; the diff review of that
+//! file IS the ratchet.
+//!
+//! Format (`eole-lint-baseline/v1`):
+//!
+//! ```json
+//! {
+//!   "format": "eole-lint-baseline/v1",
+//!   "rules": {
+//!     "error-typing": { "crates/bench/src/exec.rs": 2 }
+//!   }
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use eole_stats::json::Json;
+
+use crate::Finding;
+
+/// Format marker written to / required from the baseline file.
+pub const FORMAT: &str = "eole-lint-baseline/v1";
+
+/// The parsed baseline: rule → file → allowed finding count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Per-rule, per-file allowed counts (sorted for stable rendering).
+    pub counts: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+impl Baseline {
+    /// Allowed count for `(rule, file)`; zero when absent.
+    pub fn get(&self, rule: &str, file: &str) -> u64 {
+        self.counts.get(rule).and_then(|m| m.get(file)).copied().unwrap_or(0)
+    }
+
+    /// Loads a baseline file; a missing file is an empty baseline (the
+    /// strictest possible one), a malformed file is an error.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Baseline::default());
+            }
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        };
+        Baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Parses the v1 format.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let v = Json::parse(text)?;
+        match v.get("format").and_then(Json::as_str) {
+            Some(FORMAT) => {}
+            Some(other) => return Err(format!("unsupported format `{other}`")),
+            None => return Err("missing `format` field".to_string()),
+        }
+        let mut counts: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+        let Some(Json::Obj(rules)) = v.get("rules") else {
+            return Err("missing `rules` object".to_string());
+        };
+        for (rule, files) in rules {
+            let Json::Obj(entries) = files else {
+                return Err(format!("rule `{rule}`: expected an object of files"));
+            };
+            let per_file = counts.entry(rule.clone()).or_default();
+            for (file, n) in entries {
+                let n = n
+                    .as_u64()
+                    .ok_or_else(|| format!("rule `{rule}`, file `{file}`: bad count"))?;
+                per_file.insert(file.clone(), n);
+            }
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Builds the baseline that exactly covers `findings`.
+    pub fn from_findings<'a>(findings: impl IntoIterator<Item = &'a Finding>) -> Baseline {
+        let mut b = Baseline::default();
+        for f in findings {
+            *b.counts
+                .entry(f.rule.to_string())
+                .or_default()
+                .entry(f.path.clone())
+                .or_insert(0) += 1;
+        }
+        b
+    }
+
+    /// Renders the v1 format (stable ordering, trailing newline).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"format\": \"{FORMAT}\",");
+        out.push_str("  \"rules\": {");
+        let mut first_rule = true;
+        for (rule, files) in &self.counts {
+            if files.is_empty() {
+                continue;
+            }
+            if !first_rule {
+                out.push(',');
+            }
+            first_rule = false;
+            let _ = write!(out, "\n    \"{}\": {{", escape(rule));
+            let mut first_file = true;
+            for (file, n) in files {
+                if !first_file {
+                    out.push(',');
+                }
+                first_file = false;
+                let _ = write!(out, "\n      \"{}\": {n}", escape(file));
+            }
+            out.push_str("\n    }");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Writes the rendered baseline to `path`.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        std::fs::write(path, self.render()).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// JSON string escaping (paths and rule names are tame, but be correct).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str) -> Finding {
+        Finding::new(rule, path, 1, "m".to_string())
+    }
+
+    #[test]
+    fn round_trips() {
+        let b = Baseline::from_findings(&[
+            finding("error-typing", "crates/bench/src/exec.rs"),
+            finding("error-typing", "crates/bench/src/exec.rs"),
+            finding("hot-alloc", "crates/mem/src/cache.rs"),
+        ]);
+        let parsed = Baseline::parse(&b.render()).expect("parses");
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.get("error-typing", "crates/bench/src/exec.rs"), 2);
+        assert_eq!(parsed.get("hot-alloc", "crates/mem/src/cache.rs"), 1);
+        assert_eq!(parsed.get("hot-alloc", "crates/mem/src/dram.rs"), 0);
+    }
+
+    #[test]
+    fn empty_baseline_renders_and_parses() {
+        let b = Baseline::default();
+        assert_eq!(Baseline::parse(&b.render()).expect("parses"), b);
+    }
+
+    #[test]
+    fn rejects_wrong_format_marker() {
+        let text = "{\"format\": \"eole-lint-baseline/v9\", \"rules\": {}}";
+        assert!(Baseline::parse(text).is_err());
+        assert!(Baseline::parse("{\"rules\": {}}").is_err());
+    }
+}

@@ -1,0 +1,391 @@
+//! A hand-rolled Rust token scanner — just enough lexical structure for
+//! pattern-level linting.
+//!
+//! This is *not* a parser: it produces a flat token stream with comments,
+//! strings, char literals, and lifetimes correctly delimited, so the rule
+//! modules can match token shapes (`.` `lock` `(`, `vec` `!`, …) without
+//! being fooled by occurrences inside comments, doc examples, or string
+//! literals. Comments are captured separately because the in-source allow
+//! grammar (`// lint:allow(<rule>) reason`) lives in them.
+
+/// Lexical class of a token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// `'a`, `'static`, loop labels.
+    Lifetime,
+    /// String literal (plain, raw, or byte); `text` holds the *content*
+    /// without quotes so rules can inspect it.
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// A single punctuation character (`text` is exactly one char).
+    Punct,
+}
+
+/// One token with its source line (1-based).
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Token text (string literals: unquoted content).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when the token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+}
+
+/// One `//` comment (doc comments flagged, block comments not captured —
+/// the allow grammar is line-comment only).
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Text after the `//` marker.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// True when nothing but whitespace precedes the comment on its line.
+    pub own_line: bool,
+    /// True for `///` and `//!` doc comments.
+    pub doc: bool,
+}
+
+/// Scans `src` into tokens and line comments.
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Byte offset where the current line starts, to decide `own_line`.
+    let mut line_start = 0usize;
+
+    let ident_start = |c: u8| c == b'_' || c.is_ascii_alphabetic() || c >= 0x80;
+    let ident_cont = |c: u8| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+                line_start = i;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let own_line = src[line_start..i].trim().is_empty();
+                let doc = matches!(b.get(i + 2), Some(&b'/') | Some(&b'!'));
+                let end = src[i..].find('\n').map_or(b.len(), |n| i + n);
+                comments.push(Comment {
+                    text: src[i + 2..end].to_string(),
+                    line,
+                    own_line,
+                    doc,
+                });
+                i = end;
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Nested block comment; newlines inside still count.
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                        line_start = i;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let (content, nl, end) = scan_string(src, i + 1, false, 0);
+                toks.push(Tok { kind: TokKind::Str, text: content, line });
+                line += nl;
+                if nl > 0 {
+                    line_start = src[..end].rfind('\n').map_or(line_start, |n| n + 1);
+                }
+                i = end;
+            }
+            b'r' | b'b' if is_literal_prefix(b, i) => {
+                let (tok, nl, end) = scan_prefixed_literal(src, i, line);
+                toks.push(tok);
+                line += nl;
+                if nl > 0 {
+                    line_start = src[..end].rfind('\n').map_or(line_start, |n| n + 1);
+                }
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime or char literal.
+                let next = b.get(i + 1).copied();
+                if next.is_some_and(ident_start) && b.get(i + 2) != Some(&b'\'') {
+                    // `'ident` not followed by a closing quote after one
+                    // char: could still be 'ab' (invalid Rust) — treat an
+                    // ident run with a closing quote as a char literal.
+                    let mut j = i + 1;
+                    while j < b.len() && ident_cont(b[j]) {
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&b'\'') {
+                        toks.push(Tok { kind: TokKind::Char, text: src[i..=j].to_string(), line });
+                        i = j + 1;
+                    } else {
+                        toks.push(Tok {
+                            kind: TokKind::Lifetime,
+                            text: src[i..j].to_string(),
+                            line,
+                        });
+                        i = j;
+                    }
+                } else {
+                    // Char literal: 'x', '\n', '\'', '\u{..}'.
+                    let mut j = i + 1;
+                    if b.get(j) == Some(&b'\\') {
+                        j += 1;
+                        if b.get(j) == Some(&b'u') && b.get(j + 1) == Some(&b'{') {
+                            while j < b.len() && b[j] != b'}' {
+                                j += 1;
+                            }
+                        }
+                        j += 1; // the escaped char (or the `}`)
+                    } else if j < b.len() {
+                        // One UTF-8 scalar.
+                        j += 1;
+                        while j < b.len() && (b[j] & 0xc0) == 0x80 {
+                            j += 1;
+                        }
+                    }
+                    // Closing quote.
+                    if b.get(j) == Some(&b'\'') {
+                        j += 1;
+                    }
+                    toks.push(Tok { kind: TokKind::Char, text: src[i..j].to_string(), line });
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < b.len() {
+                    let d = b[j];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        j += 1;
+                    } else if d == b'.'
+                        && b.get(j + 1).is_some_and(|n| n.is_ascii_digit())
+                        && !src[i..j].contains('.')
+                    {
+                        j += 1; // fractional part (but not `1..n` ranges)
+                    } else if (d == b'+' || d == b'-')
+                        && matches!(b.get(j - 1), Some(&b'e') | Some(&b'E'))
+                    {
+                        j += 1; // exponent sign
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok { kind: TokKind::Num, text: src[i..j].to_string(), line });
+                i = j;
+            }
+            c if ident_start(c) => {
+                let mut j = i + 1;
+                while j < b.len() && ident_cont(b[j]) {
+                    j += 1;
+                }
+                toks.push(Tok { kind: TokKind::Ident, text: src[i..j].to_string(), line });
+                i = j;
+            }
+            _ => {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    (toks, comments)
+}
+
+/// Is the `r`/`b` at `i` a literal prefix (`r"`, `r#"`, `b"`, `b'`, `br"`,
+/// `br#"`) rather than the start of an identifier?
+fn is_literal_prefix(b: &[u8], i: usize) -> bool {
+    // Raw identifiers `r#ident` are NOT literal prefixes.
+    match (b[i], b.get(i + 1).copied()) {
+        (b'r', Some(b'"')) => true,
+        (b'r', Some(b'#')) => {
+            // r#"..."# raw string vs r#ident raw identifier.
+            let mut j = i + 1;
+            while b.get(j) == Some(&b'#') {
+                j += 1;
+            }
+            b.get(j) == Some(&b'"')
+        }
+        (b'b', Some(b'"')) | (b'b', Some(b'\'')) => true,
+        (b'b', Some(b'r')) => matches!(b.get(i + 2), Some(&b'"') | Some(&b'#')),
+        _ => false,
+    }
+}
+
+/// Scans a `"…"` string body starting *after* the opening quote. `raw`
+/// disables `\` escape processing; the literal closes at a `"` followed by
+/// exactly `hashes` `#`s. Returns (content, newlines crossed, index after
+/// the full closing delimiter).
+fn scan_string(src: &str, start: usize, raw: bool, hashes: usize) -> (String, u32, usize) {
+    let b = src.as_bytes();
+    let mut i = start;
+    let mut nl = 0u32;
+    while i < b.len() {
+        match b[i] {
+            b'\n' => {
+                nl += 1;
+                i += 1;
+            }
+            b'\\' if !raw => {
+                // A line-continuation escapes the newline itself; it still
+                // advances the source line counter.
+                if b.get(i + 1) == Some(&b'\n') {
+                    nl += 1;
+                }
+                i += 2;
+            }
+            b'"' => {
+                let mut j = i + 1;
+                let mut seen = 0;
+                while seen < hashes && b.get(j) == Some(&b'#') {
+                    j += 1;
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return (src[start..i].to_string(), nl, j);
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (src[start..].to_string(), nl, b.len())
+}
+
+/// Scans an `r`/`b`-prefixed literal starting at the prefix. Returns the
+/// token, newlines crossed, and the index after the literal.
+fn scan_prefixed_literal(src: &str, i: usize, line: u32) -> (Tok, u32, usize) {
+    let b = src.as_bytes();
+    let mut j = i;
+    while matches!(b.get(j), Some(&b'r') | Some(&b'b')) {
+        j += 1;
+    }
+    let mut hashes = 0;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    match b.get(j) {
+        Some(&b'"') => {
+            // `r…` anywhere in the prefix means a raw (escape-free) body;
+            // plain `b"` still processes escapes.
+            let raw = src[i..j].contains('r');
+            let (content, nl, end) = scan_string(src, j + 1, raw, hashes);
+            (Tok { kind: TokKind::Str, text: content, line }, nl, end)
+        }
+        Some(&b'\'') => {
+            // Byte char b'x' / b'\n'.
+            let mut k = j + 1;
+            if b.get(k) == Some(&b'\\') {
+                k += 2;
+            } else {
+                k += 1;
+            }
+            if b.get(k) == Some(&b'\'') {
+                k += 1;
+            }
+            (Tok { kind: TokKind::Char, text: src[i..k].to_string(), line }, 0, k)
+        }
+        _ => {
+            // Not actually a literal; treat as identifier run.
+            let mut k = i;
+            while k < b.len() && (b[k] == b'_' || b[k].is_ascii_alphanumeric() || b[k] == b'#') {
+                k += 1;
+            }
+            (Tok { kind: TokKind::Ident, text: src[i..k].to_string(), line }, 0, k)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_do_not_leak_tokens() {
+        let (toks, comments) = lex("let x = \"vec![1]\"; // vec![2]\n/* Box::new */ y");
+        assert!(toks.iter().all(|t| !(t.kind == TokKind::Ident && t.text == "Box")));
+        assert_eq!(toks.iter().filter(|t| t.is_ident("vec")).count(), 0);
+        assert_eq!(comments.len(), 1);
+        assert!(comments[0].text.contains("vec![2]"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let (toks, _) = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Char && t.text == "'x'"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let (toks, _) = lex(r##"let s = r#"a "quoted" b"#; let t = "esc\"aped";"##);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert_eq!(strs[0].text, "a \"quoted\" b");
+        assert_eq!(strs[1].text, "esc\\\"aped");
+    }
+
+    #[test]
+    fn lines_are_tracked_across_constructs() {
+        let (toks, comments) = lex("a\n\"x\ny\"\nb // c\nd");
+        let a = toks.iter().find(|t| t.is_ident("a")).map(|t| t.line);
+        let b = toks.iter().find(|t| t.is_ident("b")).map(|t| t.line);
+        let d = toks.iter().find(|t| t.is_ident("d")).map(|t| t.line);
+        assert_eq!((a, b, d), (Some(1), Some(4), Some(5)));
+        assert_eq!(comments[0].line, 4);
+        assert!(!comments[0].own_line);
+    }
+
+    #[test]
+    fn string_line_continuation_still_counts_the_newline() {
+        let (toks, _) = lex("\"two \\\n lines\"\nafter");
+        let after = toks.iter().find(|t| t.is_ident("after")).map(|t| t.line);
+        assert_eq!(after, Some(3));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let (toks, _) = lex("for i in 0..8 { x.0.clone() } 1.5e-3");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Num && t.text == "0"));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Num && t.text == "8"));
+        assert!(toks.iter().any(|t| t.is_ident("clone")));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Num && t.text == "1.5e-3"));
+    }
+}

@@ -1,0 +1,341 @@
+//! `eole-lint`: workspace-invariant static analysis for the EOLE
+//! reproduction.
+//!
+//! The repo carries invariants that `rustc`/clippy cannot see — the hot
+//! simulation loop must not allocate (PERF.md), every config field must
+//! reach the canonical digest (the store's cache key), locks must be
+//! poisoning-proof, and the result-bearing crates must route failures
+//! through their typed errors. This crate is a hand-rolled lexer plus a
+//! light item-level parser (no external dependencies — the build
+//! environment has no crates.io access) that walks the workspace and
+//! enforces those invariants as typed, `file:line`-addressed findings.
+//!
+//! See `LINTS.md` at the workspace root for the rule catalog, the
+//! `// lint:allow(<rule>) reason` grammar, and the baseline ratchet
+//! semantics.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use baseline::Baseline;
+use source::SourceFile;
+
+/// Rule name used for malformed `lint:allow` directives. Grammar findings
+/// are never absorbed by the baseline — a broken suppression must be fixed,
+/// not ratcheted.
+pub const GRAMMAR_RULE: &str = "allow-grammar";
+
+/// One typed finding, addressed to a source line.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule that produced the finding.
+    pub rule: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    /// A finding of `rule`.
+    pub fn new(rule: &'static str, path: &str, line: u32, message: String) -> Finding {
+        Finding { rule, path: path.to_string(), line, message }
+    }
+
+    /// A malformed-allow finding.
+    pub fn grammar(path: &str, line: u32, message: String) -> Finding {
+        Finding::new(GRAMMAR_RULE, path, line, message)
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// The lexed workspace the rules run over.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Absolute workspace root.
+    pub root: PathBuf,
+    /// Every library source file, lexed and indexed.
+    pub files: Vec<SourceFile>,
+    /// Crate directories (workspace-relative; `"."` for the root crate).
+    pub crates: Vec<String>,
+}
+
+impl Workspace {
+    /// Discovers crates (directories holding a `Cargo.toml`) under `root`
+    /// and lexes every `.rs` file in their `src/` trees. Integration
+    /// tests, benches, examples, and out-of-line `#[cfg(test)]` module
+    /// files are excluded — the rules govern library code.
+    pub fn load(root: &Path) -> Result<Workspace, String> {
+        let mut crate_dirs = Vec::new();
+        find_crates(root, root, &mut crate_dirs)?;
+        crate_dirs.sort();
+
+        let mut files = Vec::new();
+        for dir in &crate_dirs {
+            let src = if dir == "." {
+                root.join("src")
+            } else {
+                root.join(dir).join("src")
+            };
+            if src.is_dir() {
+                collect_rs(root, &src, &mut files)?;
+            }
+        }
+        files.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut parsed: Vec<SourceFile> = files
+            .into_iter()
+            .map(|(rel, text)| SourceFile::parse(rel, &text))
+            .collect();
+
+        // Drop files that exist only as `#[cfg(test)] mod X;` targets:
+        // they are test code the compiler never builds into the library.
+        let mut drops: Vec<String> = Vec::new();
+        for f in &parsed {
+            for m in &f.test_mod_decls {
+                let base = module_base_dir(&f.rel);
+                drops.push(format!("{base}{m}.rs"));
+                drops.push(format!("{base}{m}/"));
+            }
+        }
+        parsed.retain(|f| {
+            !drops
+                .iter()
+                .any(|d| f.rel == *d || (d.ends_with('/') && f.rel.starts_with(d.as_str())))
+        });
+
+        Ok(Workspace { root: root.to_path_buf(), files: parsed, crates: crate_dirs })
+    }
+}
+
+/// Directory (with trailing `/`, workspace-relative) that `mod X;` inside
+/// `rel` resolves against: the file's own directory for `mod.rs` /
+/// `lib.rs` / `main.rs`, the file-stem directory otherwise.
+fn module_base_dir(rel: &str) -> String {
+    let (dir, name) = match rel.rfind('/') {
+        Some(i) => (&rel[..i + 1], &rel[i + 1..]),
+        None => ("", rel),
+    };
+    match name {
+        "mod.rs" | "lib.rs" | "main.rs" => dir.to_string(),
+        _ => format!("{dir}{}/", name.trim_end_matches(".rs")),
+    }
+}
+
+/// Directory names never descended into during crate discovery. `tests`
+/// matters twice: integration tests are out of scope, and this crate's own
+/// `tests/fixtures/` holds deliberately-bad mini-workspaces.
+const SKIP_DIRS: &[&str] = &["target", ".git", "tests", "benches", "examples", "node_modules"];
+
+fn find_crates(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    if dir.join("Cargo.toml").is_file() {
+        let rel = rel_path(root, dir);
+        out.push(if rel.is_empty() { ".".to_string() } else { rel });
+    }
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = entry.path();
+        if !path.is_dir() {
+            continue;
+        }
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+            continue;
+        }
+        find_crates(root, &path, out)?;
+    }
+    Ok(())
+}
+
+fn collect_rs(
+    root: &Path,
+    dir: &Path,
+    out: &mut Vec<(String, String)>,
+) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            out.push((rel_path(root, &path), text));
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes.
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// What the linter is asked to do.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Workspace root to scan.
+    pub root: PathBuf,
+    /// Path of the committed baseline file.
+    pub baseline_path: PathBuf,
+}
+
+/// A baseline entry whose debt was (partly) paid: the recorded ceiling is
+/// higher than the current count, so it must be regenerated.
+#[derive(Clone, Debug)]
+pub struct Stale {
+    /// Rule of the entry.
+    pub rule: String,
+    /// File of the entry.
+    pub file: String,
+    /// Count recorded in the baseline.
+    pub recorded: u64,
+    /// Count found now.
+    pub current: u64,
+}
+
+/// The result of a `--check` run.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Findings over their baseline ceiling, with that ceiling attached.
+    pub violations: Vec<(Finding, u64)>,
+    /// Malformed `lint:allow` directives (never baselined).
+    pub grammar: Vec<Finding>,
+    /// Baseline entries whose count went *down* (ratchet must tighten).
+    pub stale: Vec<Stale>,
+    /// Findings suppressed by in-source `lint:allow` directives.
+    pub allow_suppressed: usize,
+    /// Findings absorbed by the baseline (count exactly at the ceiling).
+    pub baselined: usize,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Outcome {
+    /// True when the run should exit 0.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.grammar.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Raw rule output for one workspace, before baseline comparison.
+struct Analysis {
+    /// Findings not suppressed by `lint:allow`.
+    active: Vec<Finding>,
+    /// Malformed allow directives.
+    grammar: Vec<Finding>,
+    /// Count of allow-suppressed findings.
+    allow_suppressed: usize,
+    /// Files scanned.
+    files_scanned: usize,
+}
+
+fn analyze(root: &Path) -> Result<Analysis, String> {
+    let ws = Workspace::load(root)?;
+    let raw = rules::run_all(&ws);
+    let mut active = Vec::new();
+    let mut allow_suppressed = 0usize;
+    for finding in raw {
+        let suppressed = ws
+            .files
+            .iter()
+            .find(|f| f.rel == finding.path)
+            .is_some_and(|f| f.allowed(finding.rule, finding.line));
+        if suppressed {
+            allow_suppressed += 1;
+        } else {
+            active.push(finding);
+        }
+    }
+    let mut grammar: Vec<Finding> =
+        ws.files.iter().flat_map(|f| f.grammar_errors.iter().cloned()).collect();
+    grammar.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(Analysis { active, grammar, allow_suppressed, files_scanned: ws.files.len() })
+}
+
+/// Runs every rule and compares against the baseline.
+pub fn check(opts: &Options) -> Result<Outcome, String> {
+    let analysis = analyze(&opts.root)?;
+    let base = Baseline::load(&opts.baseline_path)?;
+
+    // Group active findings per (rule, file).
+    let mut groups: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
+    for f in analysis.active {
+        groups.entry((f.rule.to_string(), f.path.clone())).or_default().push(f);
+    }
+
+    let mut out = Outcome {
+        grammar: analysis.grammar,
+        allow_suppressed: analysis.allow_suppressed,
+        files_scanned: analysis.files_scanned,
+        ..Outcome::default()
+    };
+    for ((rule, file), findings) in &groups {
+        let ceiling = base.get(rule, file);
+        let current = findings.len() as u64;
+        if current > ceiling {
+            for f in findings {
+                out.violations.push((f.clone(), ceiling));
+            }
+        } else if current < ceiling {
+            out.stale.push(Stale {
+                rule: rule.clone(),
+                file: file.clone(),
+                recorded: ceiling,
+                current,
+            });
+        } else {
+            out.baselined += findings.len();
+        }
+    }
+    // Baseline entries for (rule, file) pairs with no findings at all.
+    for (rule, per_file) in &base.counts {
+        for (file, &recorded) in per_file {
+            if recorded > 0 && !groups.contains_key(&(rule.clone(), file.clone())) {
+                out.stale.push(Stale {
+                    rule: rule.clone(),
+                    file: file.clone(),
+                    recorded,
+                    current: 0,
+                });
+            }
+        }
+    }
+    out.stale.sort_by(|a, b| (&a.rule, &a.file).cmp(&(&b.rule, &b.file)));
+    Ok(out)
+}
+
+/// Regenerates the baseline from the current findings. Grammar errors are
+/// returned (non-empty means the update should still fail the run): a
+/// malformed allow must never be laundered into a ratchet entry.
+pub fn update_baseline(opts: &Options) -> Result<(Baseline, Vec<Finding>), String> {
+    let analysis = analyze(&opts.root)?;
+    let base = Baseline::from_findings(&analysis.active);
+    base.save(&opts.baseline_path)?;
+    Ok((base, analysis.grammar))
+}

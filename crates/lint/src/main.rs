@@ -1,0 +1,140 @@
+//! CLI for `eole-lint`.
+//!
+//! ```text
+//! eole-lint [--root DIR] [--baseline FILE] [--check | --update-baseline]
+//! ```
+//!
+//! Exit codes: 0 clean; 1 violations, stale baseline entries, or malformed
+//! `lint:allow` directives; 2 usage or I/O errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use eole_lint::{check, update_baseline, Options};
+
+const USAGE: &str = "usage: eole-lint [--root DIR] [--baseline FILE] [--check | --update-baseline]
+
+  --root DIR          workspace root to scan (default: .)
+  --baseline FILE     ratchet file (default: <root>/lint-baseline.json)
+  --check             report violations against the baseline (default)
+  --update-baseline   regenerate the baseline from current findings";
+
+enum Mode {
+    Check,
+    Update,
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut baseline: Option<PathBuf> = None;
+    let mut mode = Mode::Check;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage_error("--root needs a value"),
+            },
+            "--baseline" => match args.next() {
+                Some(v) => baseline = Some(PathBuf::from(v)),
+                None => return usage_error("--baseline needs a value"),
+            },
+            "--check" => mode = Mode::Check,
+            "--update-baseline" => mode = Mode::Update,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    let opts = Options {
+        baseline_path: baseline.unwrap_or_else(|| root.join("lint-baseline.json")),
+        root,
+    };
+
+    match mode {
+        Mode::Check => run_check(&opts),
+        Mode::Update => run_update(&opts),
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("eole-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn run_check(opts: &Options) -> ExitCode {
+    let outcome = match check(opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("eole-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for f in &outcome.grammar {
+        println!("{f}");
+    }
+    for (f, ceiling) in &outcome.violations {
+        if *ceiling > 0 {
+            println!("{f} (baseline allows {ceiling} in this file)");
+        } else {
+            println!("{f}");
+        }
+    }
+    for s in &outcome.stale {
+        println!(
+            "lint-baseline.json: stale entry [{}] {}: recorded {}, found {} — \
+             run `eole-lint --update-baseline` to tighten the ratchet",
+            s.rule, s.file, s.recorded, s.current
+        );
+    }
+    let status = if outcome.clean() { "clean" } else { "FAILED" };
+    println!(
+        "eole-lint: {status} — {} violation(s), {} grammar error(s), {} stale \
+         baseline entr(ies); {} baselined, {} allow-suppressed; {} files scanned",
+        outcome.violations.len(),
+        outcome.grammar.len(),
+        outcome.stale.len(),
+        outcome.baselined,
+        outcome.allow_suppressed,
+        outcome.files_scanned,
+    );
+    if outcome.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn run_update(opts: &Options) -> ExitCode {
+    match update_baseline(opts) {
+        Ok((base, grammar)) => {
+            let entries: usize = base.counts.values().map(|m| m.len()).sum();
+            println!(
+                "eole-lint: wrote {} with {entries} entr(ies)",
+                opts.baseline_path.display()
+            );
+            if grammar.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                for f in &grammar {
+                    println!("{f}");
+                }
+                println!(
+                    "eole-lint: {} malformed lint:allow directive(s) — fix them; \
+                     grammar errors are never baselined",
+                    grammar.len()
+                );
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("eole-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! `cold-path-faults`: fault-site hooks stay out of hot modules.
+//!
+//! PR 8's fault-injection engine guarantees "disabled = one relaxed
+//! atomic load per *cold-path* hook, zero hooks in the hot loop" — a
+//! throughput contract PERF.md leans on. This rule pins it: no
+//! `faults::…` call site may appear in a hot module.
+
+use super::hot_alloc::is_hot;
+use crate::{Finding, Workspace};
+
+/// Rule name.
+pub const NAME: &str = "cold-path-faults";
+
+/// Runs the rule.
+pub fn check(ws: &Workspace, out: &mut Vec<Finding>) {
+    for f in ws.files.iter().filter(|f| is_hot(&f.rel)) {
+        for w in f.toks.windows(3) {
+            if w[0].is_ident("faults") && w[1].is_punct(':') && w[2].is_punct(':') {
+                let line = w[0].line;
+                if !f.in_test(line) {
+                    out.push(Finding::new(
+                        NAME,
+                        &f.rel,
+                        line,
+                        "fault-site hook in a hot module (fault hooks are cold-path \
+                         only; PERF.md's faults-off contract)"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! `digest-coverage`: every configuration field participates in the
+//! canonical digest.
+//!
+//! PR 4's result cache keys runs by `CoreConfig::digest()`, an FNV-1a
+//! over `canonical_bytes`. The digest is only trustworthy if it is
+//! *injective over the configuration space* — a field that exists on a
+//! config struct but is never written in `canon.rs` means two different
+//! configurations share a cache key and the store silently serves wrong
+//! results. This rule parses the field list of every `*Config` struct in
+//! the config sources and proves each field name is accessed (`.field`)
+//! somewhere in `canon.rs` non-test code.
+//!
+//! It also pins the serialization-format marker: exactly one
+//! `"eole-core-config/vN"` string literal may exist in `canon.rs` — a
+//! second marker would mean two format versions silently coexisting.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::{Finding, Workspace};
+
+/// Rule name.
+pub const NAME: &str = "digest-coverage";
+
+/// Files whose `*Config` structs must be digest-covered.
+pub const CONFIG_FILES: &[&str] = &[
+    "crates/core/src/config.rs",
+    "crates/mem/src/hierarchy.rs",
+    "crates/mem/src/cache.rs",
+    "crates/mem/src/dram.rs",
+    "crates/mem/src/prefetch.rs",
+];
+
+/// The file that must write every field.
+pub const CANON_FILE: &str = "crates/core/src/canon.rs";
+
+/// The serialization-format marker prefix.
+pub const MARKER_PREFIX: &str = "eole-core-config/v";
+
+/// Runs the rule.
+pub fn check(ws: &Workspace, out: &mut Vec<Finding>) {
+    let Some(canon) = ws.files.iter().find(|f| f.rel == CANON_FILE) else {
+        // Only meaningful against the real tree (or a fixture that
+        // includes one); a missing canon file IS the worst violation.
+        if ws.files.iter().any(|f| CONFIG_FILES.contains(&f.rel.as_str())) {
+            out.push(Finding::new(
+                NAME,
+                CANON_FILE,
+                1,
+                "canonical serialization file missing".to_string(),
+            ));
+        }
+        return;
+    };
+
+    // Every identifier accessed as `.ident` in canon.rs non-test code.
+    let mut written: BTreeSet<&str> = BTreeSet::new();
+    for w in canon.toks.windows(2) {
+        if w[0].is_punct('.') && w[1].kind == TokKind::Ident && !canon.in_test(w[1].line) {
+            written.insert(w[1].text.as_str());
+        }
+    }
+
+    // Format marker: defined exactly once.
+    let markers: Vec<u32> = canon
+        .toks
+        .iter()
+        .filter(|t| {
+            t.kind == TokKind::Str && t.text.starts_with(MARKER_PREFIX) && !canon.in_test(t.line)
+        })
+        .map(|t| t.line)
+        .collect();
+    if markers.is_empty() {
+        out.push(Finding::new(
+            NAME,
+            CANON_FILE,
+            1,
+            format!("no `{MARKER_PREFIX}N` format marker defined"),
+        ));
+    }
+    for &line in markers.iter().skip(1) {
+        out.push(Finding::new(
+            NAME,
+            CANON_FILE,
+            line,
+            format!(
+                "`{MARKER_PREFIX}N` format marker defined more than once \
+                 (first at line {})",
+                markers[0]
+            ),
+        ));
+    }
+
+    for f in ws.files.iter().filter(|f| CONFIG_FILES.contains(&f.rel.as_str())) {
+        for (struct_name, field, line) in config_fields(f) {
+            if !written.contains(field.as_str()) {
+                out.push(Finding::new(
+                    NAME,
+                    &f.rel,
+                    line,
+                    format!(
+                        "field `{field}` of `{struct_name}` is never written in \
+                         canonical_bytes ({CANON_FILE}) — distinct configs would \
+                         share a cache key"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Yields `(struct_name, field_name, field_line)` for every named field of
+/// every non-test `struct *Config` in `f`.
+fn config_fields(f: &SourceFile) -> Vec<(String, String, u32)> {
+    let toks = &f.toks;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if !(toks[i].is_ident("struct")
+            && toks[i + 1].kind == TokKind::Ident
+            && toks[i + 1].text.ends_with("Config")
+            && toks[i + 2].is_punct('{')
+            && !f.in_test(toks[i].line))
+        {
+            i += 1;
+            continue;
+        }
+        let name = toks[i + 1].text.clone();
+        let mut depth = 0i32; // () and [] nesting inside the body
+        let mut j = i + 2;
+        let open = j;
+        let mut brace = 0i32;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct('{') {
+                brace += 1;
+            } else if t.is_punct('}') {
+                brace -= 1;
+                if brace == 0 {
+                    break;
+                }
+            } else if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if brace == 1
+                && depth == 0
+                && j > open
+                && t.kind == TokKind::Ident
+                && toks.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                && !toks.get(j + 2).is_some_and(|n| n.is_punct(':'))
+                && toks
+                    .get(j - 1)
+                    .is_some_and(|p| p.is_punct('{') || p.is_punct(',') || p.is_ident("pub"))
+            {
+                out.push((name.clone(), t.text.clone(), t.line));
+            }
+            j += 1;
+        }
+        i = j;
+    }
+    out
+}

@@ -1,0 +1,56 @@
+//! `error-typing`: no `unwrap()`/`expect(`/`panic!` in library code of the
+//! result-bearing crates.
+//!
+//! `eole-bench`, `eole-store-service`, `eole-core`, and `eole-stats` all
+//! have typed error channels (`RunError`, `StoreError`, `ConfigError`,
+//! parser `Result`s); a bare unwrap in their library paths turns a
+//! recoverable condition into a process abort — exactly what PR 8's
+//! crash-isolation work eliminated. Test code and `src/bin/` entry points
+//! are out of scope; deliberate panicking wrappers (documented `# Panics`
+//! APIs, scheduler invariants) carry `lint:allow` with a reason.
+//!
+//! This is the *ratchet* rule: existing debt is recorded per file in
+//! `lint-baseline.json`, and counts may only go down.
+
+use super::{macro_lines, method_lines};
+use crate::{Finding, Workspace};
+
+/// Rule name.
+pub const NAME: &str = "error-typing";
+
+/// Crates whose library code must stay unwrap-free.
+pub const TYPED_CRATES: &[&str] = &[
+    "crates/bench/src/",
+    "crates/store-service/src/",
+    "crates/core/src/",
+    "crates/stats/src/",
+];
+
+fn in_scope(rel: &str) -> bool {
+    TYPED_CRATES.iter().any(|d| rel.starts_with(d)) && !rel.contains("/src/bin/")
+}
+
+/// Runs the rule.
+pub fn check(ws: &Workspace, out: &mut Vec<Finding>) {
+    for f in ws.files.iter().filter(|f| in_scope(&f.rel)) {
+        let mut hit = |line: u32, what: &str| {
+            if !f.in_test(line) {
+                out.push(Finding::new(
+                    NAME,
+                    &f.rel,
+                    line,
+                    format!("{what} in library code — return the typed error instead"),
+                ));
+            }
+        };
+        for l in method_lines(f, "unwrap").collect::<Vec<_>>() {
+            hit(l, "`.unwrap()`");
+        }
+        for l in method_lines(f, "expect").collect::<Vec<_>>() {
+            hit(l, "`.expect(…)`");
+        }
+        for l in macro_lines(f, "panic").collect::<Vec<_>>() {
+            hit(l, "`panic!`");
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! `forbid-unsafe`: every crate carries `#![forbid(unsafe_code)]`.
+//!
+//! The whole workspace is hand-rolled safe Rust; the single legitimate
+//! exception is `crates/compat/alloc-counter`, whose counting allocator
+//! must implement `GlobalAlloc` (an `unsafe` trait). Everything else must
+//! both declare the crate-level forbid *and* contain no `unsafe` token —
+//! the token check catches the gap before the compiler does, and covers
+//! files the attribute hasn't reached yet.
+
+use crate::{Finding, Workspace};
+
+/// Rule name.
+pub const NAME: &str = "forbid-unsafe";
+
+/// Crate directories exempt from the rule.
+pub const EXEMPT: &[&str] = &["crates/compat/alloc-counter"];
+
+/// Runs the rule.
+pub fn check(ws: &Workspace, out: &mut Vec<Finding>) {
+    for crate_dir in &ws.crates {
+        if EXEMPT.contains(&crate_dir.as_str()) {
+            continue;
+        }
+        let lib_rel = if crate_dir == "." {
+            "src/lib.rs".to_string()
+        } else {
+            format!("{crate_dir}/src/lib.rs")
+        };
+        let Some(lib) = ws.files.iter().find(|f| f.rel == lib_rel) else {
+            continue; // bin-only crate (none today)
+        };
+        if !has_crate_forbid(lib) {
+            out.push(Finding::new(
+                NAME,
+                &lib_rel,
+                1,
+                "crate is missing `#![forbid(unsafe_code)]`".to_string(),
+            ));
+        }
+        // Token-level backstop across every file of the crate.
+        let src_prefix = if crate_dir == "." {
+            "src/".to_string()
+        } else {
+            format!("{crate_dir}/src/")
+        };
+        for f in ws.files.iter().filter(|f| f.rel.starts_with(&src_prefix)) {
+            for t in f.toks.iter().filter(|t| t.is_ident("unsafe")) {
+                if !f.in_test(t.line) {
+                    out.push(Finding::new(
+                        NAME,
+                        &f.rel,
+                        t.line,
+                        "`unsafe` in a forbid(unsafe_code) crate".to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Does the file declare `#![forbid(unsafe_code)]` (possibly among other
+/// lints in the same attribute)?
+fn has_crate_forbid(f: &crate::source::SourceFile) -> bool {
+    let toks = &f.toks;
+    let mut i = 0;
+    while i + 3 < toks.len() {
+        if toks[i].is_punct('#') && toks[i + 1].is_punct('!') && toks[i + 2].is_punct('[') {
+            let mut depth = 0i32;
+            let mut saw_forbid = false;
+            let mut saw_unsafe_code = false;
+            for t in &toks[i + 2..] {
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.is_ident("forbid") {
+                    saw_forbid = true;
+                } else if t.is_ident("unsafe_code") {
+                    saw_unsafe_code = true;
+                }
+            }
+            if saw_forbid && saw_unsafe_code {
+                return true;
+            }
+        }
+        i += 1;
+    }
+    false
+}

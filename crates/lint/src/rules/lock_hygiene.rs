@@ -1,0 +1,73 @@
+//! `lock-hygiene`: every mutex acquisition flows through `lock_clean`.
+//!
+//! PR 8 made the executor and the store service poisoning-proof: a panic
+//! isolated to one run must not wedge every later `.lock()` behind a
+//! `PoisonError`. The idiom is a per-crate `lock_clean` helper
+//! (`unwrap_or_else(PoisonError::into_inner)`); this rule makes it the
+//! *only* way to take a lock:
+//!
+//! * `.lock()` outside a function named `lock_clean` is a finding;
+//! * `.expect("…poison…")` is a finding (that is the crash-on-poison
+//!   anti-pattern the helper replaces);
+//! * any `RwLock` mention is a finding — the workspace has no
+//!   poisoning-proof reader/writer helper, so introducing one means
+//!   writing that helper first (then `lint:allow` with a reason).
+
+use super::method_lines;
+use crate::lexer::TokKind;
+use crate::{Finding, Workspace};
+
+/// Rule name.
+pub const NAME: &str = "lock-hygiene";
+
+/// Runs the rule.
+pub fn check(ws: &Workspace, out: &mut Vec<Finding>) {
+    for f in &ws.files {
+        for line in method_lines(f, "lock").collect::<Vec<_>>() {
+            if f.in_test(line) || f.enclosing_fn(line) == Some("lock_clean") {
+                continue;
+            }
+            out.push(Finding::new(
+                NAME,
+                &f.rel,
+                line,
+                "`.lock()` outside `lock_clean` — use the poisoning-proof helper"
+                    .to_string(),
+            ));
+        }
+        for t in f.toks.iter().filter(|t| t.is_ident("RwLock")) {
+            if f.in_test(t.line) {
+                continue;
+            }
+            out.push(Finding::new(
+                NAME,
+                &f.rel,
+                t.line,
+                "`RwLock` has no poisoning-proof helper in this workspace; add a \
+                 `lock_clean`-style wrapper first"
+                    .to_string(),
+            ));
+        }
+        // `.expect("…poison…")` — crash-on-poison instead of recovering.
+        for w in f.toks.windows(4) {
+            if w[0].is_punct('.')
+                && w[1].is_ident("expect")
+                && w[2].is_punct('(')
+                && w[3].kind == TokKind::Str
+                && w[3].text.to_ascii_lowercase().contains("poison")
+            {
+                let line = w[1].line;
+                if !f.in_test(line) {
+                    out.push(Finding::new(
+                        NAME,
+                        &f.rel,
+                        line,
+                        "crash-on-poison `.expect(\"…poison…\")` — use `lock_clean` \
+                         (`unwrap_or_else(PoisonError::into_inner)`)"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture crate: misses the forbid attribute and abuses locks.
+
+use std::sync::Mutex;
+
+pub fn bad_lock(m: &Mutex<u32>) -> u32 {
+    *m.lock().expect("poisoned mutex")
+}
+
+pub fn scary() -> i32 {
+    unsafe { std::mem::transmute::<u32, i32>(1) }
+}
+
+// lint:allow(hot-alloc)
+pub fn missing_reason() {}

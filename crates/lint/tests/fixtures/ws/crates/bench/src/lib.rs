@@ -1,0 +1,13 @@
+#![forbid(unsafe_code)]
+
+pub fn bad_unwrap() -> u32 {
+    Some(1).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn in_test_is_fine() {
+        assert_eq!(Some(2).unwrap(), 2);
+    }
+}

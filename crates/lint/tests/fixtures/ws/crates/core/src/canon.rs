@@ -1,0 +1,9 @@
+//! Fixture canonical serializer: writes `covered`, forgets `missing`.
+
+pub const MARKER: &str = "eole-core-config/v1";
+
+pub fn canonical_bytes(cfg: &crate::config::DemoConfig) -> [u8; 4] {
+    let mut out = [0u8; 4];
+    out.copy_from_slice(&cfg.covered.to_le_bytes());
+    out
+}

@@ -1,0 +1,6 @@
+//! Fixture: `missing` is deliberately absent from canon.rs.
+
+pub struct DemoConfig {
+    pub covered: u32,
+    pub missing: u32,
+}

@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+
+pub mod canon;
+pub mod config;

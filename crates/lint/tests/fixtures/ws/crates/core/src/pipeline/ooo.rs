@@ -1,0 +1,14 @@
+//! Fixture hot module.
+
+pub fn bad_alloc() -> Vec<u32> {
+    vec![1, 2, 3]
+}
+
+pub fn bad_fault_hook() -> bool {
+    faults::fire("pipeline.window").is_some()
+}
+
+// lint:allow(hot-alloc) fixture: sanctioned cold construction
+pub fn allowed_alloc() -> Vec<u32> {
+    vec![4, 5, 6]
+}

@@ -111,6 +111,7 @@ impl Cache {
     /// # Panics
     ///
     /// Panics if sets/ways are zero or `line_bytes` is not a power of two.
+    // lint:allow(hot-alloc) cold construction path: tables allocated once, before the measured loop
     pub fn new(config: CacheConfig) -> Self {
         assert!(config.sets > 0 && config.ways > 0);
         assert!(config.line_bytes.is_power_of_two());

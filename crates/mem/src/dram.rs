@@ -65,6 +65,7 @@ pub struct Dram {
 
 impl Dram {
     /// Creates a DRAM with all banks idle.
+    // lint:allow(hot-alloc) cold construction path: tables allocated once, before the measured loop
     pub fn new(config: DramConfig) -> Self {
         let banks = config.ranks * config.banks_per_rank;
         Dram {

@@ -104,6 +104,7 @@ pub struct MemoryHierarchy {
 
 impl MemoryHierarchy {
     /// Builds the hierarchy from a configuration.
+    // lint:allow(hot-alloc) cold construction path: tables allocated once, before the measured loop
     pub fn new(config: &HierarchyConfig) -> Self {
         MemoryHierarchy {
             l1i: Cache::new(config.l1i.clone()),

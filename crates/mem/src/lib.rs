@@ -24,6 +24,8 @@
 //! assert_eq!(t2, t1 + 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod dram;
 pub mod hierarchy;

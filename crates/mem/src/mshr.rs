@@ -44,6 +44,7 @@ impl MshrFile {
     /// # Panics
     ///
     /// Panics if `capacity == 0`.
+    // lint:allow(hot-alloc) cold construction path: tables allocated once, before the measured loop
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
         MshrFile { entries: Vec::new(), capacity, full_stall_cycles: 0, merges: 0 }

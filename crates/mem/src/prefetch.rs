@@ -55,6 +55,7 @@ pub struct StridePrefetcher {
 
 impl StridePrefetcher {
     /// Creates an empty prefetcher.
+    // lint:allow(hot-alloc) cold construction path: tables allocated once, before the measured loop
     pub fn new(config: PrefetchConfig) -> Self {
         let n = config.entries.next_power_of_two().max(1);
         StridePrefetcher { config, table: vec![Entry::default(); n], stats: PrefetchStats::default() }
@@ -75,6 +76,7 @@ impl StridePrefetcher {
     /// Convenience wrapper over [`StridePrefetcher::train_into`] for tests
     /// and offline tools; the hierarchy's hot path reuses a scratch buffer
     /// instead.
+    // lint:allow(hot-alloc) offline/test convenience; the hierarchy's hot path uses `train_into`
     pub fn train(&mut self, pc: u64, addr: u64) -> Vec<u64> {
         let mut out = Vec::new();
         self.train_into(pc, addr, &mut out);

@@ -19,7 +19,7 @@ pub const EOLE_FPC_VECTOR: [u64; 7] = [1, 32, 32, 32, 32, 64, 64];
 pub const FPC_LEVELS: u8 = 7;
 
 /// Shared transition-probability configuration for a predictor's counters.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FpcPolicy {
     denominators: [u64; 7],
 }

@@ -34,6 +34,8 @@
 //! assert_eq!(p.value, 8 * 2000);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod branch;
 pub mod fpc;
 pub mod history;

@@ -67,6 +67,7 @@ impl DVtageConfig {
     /// deltas. At `block_size` 4 this is ≈ 140 KB — under half the
     /// EOLE hybrid's 385 KB (Table 2) for the `dvtage_budget`
     /// comparison to beat.
+    // lint:allow(hot-alloc) cold construction path: tables allocated once, before the measured loop
     pub fn paper(block_size: usize, banks: usize) -> Self {
         DVtageConfig {
             lvt_entries: 2048,
@@ -157,6 +158,7 @@ impl DVtage {
     /// if `block_size`/`banks` are not powers of two (`CoreConfig`
     /// validation reports these as typed errors before any predictor is
     /// built; hitting one here is a harness authoring bug).
+    // lint:allow(hot-alloc) cold construction path: tables allocated once, before the measured loop
     pub fn new(config: DVtageConfig, seed: u64) -> Self {
         assert!(!config.history_lengths.is_empty());
         assert!(
@@ -403,7 +405,7 @@ impl DVtage {
         let committed_last = self.lvt[lvt_at];
         let true_delta = actual.wrapping_sub(committed_last) as i64;
         let storable = if self.representable(true_delta) { true_delta } else { 0 };
-        let policy = self.policy.clone();
+        let policy = self.policy;
         // Base (stride) half: always trains.
         let base_at = self.base_index(bpc) * b + slot;
         let base_correct = {

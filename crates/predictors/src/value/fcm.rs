@@ -47,6 +47,7 @@ pub struct Fcm {
 impl Fcm {
     /// Creates an FCM with `vht_entries` first-level and `vpt_entries`
     /// second-level slots (each rounded to a power of two).
+    // lint:allow(hot-alloc) cold construction path: tables allocated once, before the measured loop
     pub fn new(vht_entries: usize, vpt_entries: usize, seed: u64) -> Self {
         Fcm {
             vht: vec![VhtEntry::default(); vht_entries.next_power_of_two().max(1)],

@@ -28,6 +28,7 @@ pub struct LastValue {
 impl LastValue {
     /// Creates a predictor with `entries` slots (rounded up to a power of
     /// two) and an RNG `seed` for the probabilistic counters.
+    // lint:allow(hot-alloc) cold construction path: tables allocated once, before the measured loop
     pub fn new(entries: usize, seed: u64) -> Self {
         let n = entries.next_power_of_two().max(1);
         LastValue {

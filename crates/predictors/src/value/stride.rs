@@ -41,6 +41,7 @@ pub struct StridePredictor {
 
 impl StridePredictor {
     /// Creates a predictor with `entries` slots (rounded to a power of two).
+    // lint:allow(hot-alloc) cold construction path: tables allocated once, before the measured loop
     pub fn new(entries: usize, seed: u64) -> Self {
         let n = entries.next_power_of_two().max(1);
         StridePredictor {
@@ -144,6 +145,7 @@ impl TwoDeltaStride {
     }
 
     /// Creates a predictor with `entries` slots (rounded to a power of two).
+    // lint:allow(hot-alloc) cold construction path: tables allocated once, before the measured loop
     pub fn new(entries: usize, seed: u64) -> Self {
         let n = entries.next_power_of_two().max(1);
         TwoDeltaStride {

@@ -35,6 +35,7 @@ pub struct VtageConfig {
 
 impl VtageConfig {
     /// The paper's Table 2 configuration.
+    // lint:allow(hot-alloc) cold construction path: tables allocated once, before the measured loop
     pub fn paper() -> Self {
         VtageConfig {
             base_entries: 8192,
@@ -85,6 +86,7 @@ impl Vtage {
     /// # Panics
     ///
     /// Panics if `history_lengths` is empty or not strictly ascending.
+    // lint:allow(hot-alloc) cold construction path: tables allocated once, before the measured loop
     pub fn new(config: VtageConfig, seed: u64) -> Self {
         assert!(!config.history_lengths.is_empty());
         assert!(
@@ -213,7 +215,7 @@ impl ValuePredictor for Vtage {
             Some((comp, idx)) => {
                 let correct = self.tagged[comp][idx].value == actual;
                 if correct {
-                    let policy = self.policy.clone();
+                    let policy = self.policy;
                     let e = &mut self.tagged[comp][idx];
                     e.useful = (e.useful + 1).min(3);
                     e.conf.on_correct(&policy, &mut self.rng);
@@ -232,7 +234,7 @@ impl ValuePredictor for Vtage {
                 let bidx = self.base_index(pc);
                 let correct = self.base[bidx].value == actual;
                 if correct {
-                    let policy = self.policy.clone();
+                    let policy = self.policy;
                     self.base[bidx].conf.on_correct(&policy, &mut self.rng);
                 } else {
                     if self.base[bidx].conf.level() == 0 {

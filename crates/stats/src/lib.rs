@@ -27,6 +27,8 @@
 //! assert!((geometric_mean(&[1.2, 1.2]).unwrap() - 1.2).abs() < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 pub mod report;
 pub mod summary;

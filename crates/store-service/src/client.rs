@@ -13,7 +13,7 @@
 //! lease).
 
 use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::{Mutex, PoisonError};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use crate::faults;
@@ -87,7 +87,7 @@ impl StoreClient {
     pub fn connect(config: ClientConfig) -> Result<StoreClient, StoreError> {
         let client = StoreClient { config, conn: Mutex::new(None) };
         let stream = client.dial()?;
-        *client.conn.lock().unwrap_or_else(PoisonError::into_inner) = Some(stream);
+        *crate::lock_clean(&client.conn) = Some(stream);
         Ok(client)
     }
 
@@ -147,14 +147,16 @@ impl StoreClient {
     /// transport failure. `extra_wait` stretches the read deadline for
     /// requests the server may legitimately hold (`Get` with `wait_ms`).
     fn request(&self, req: &Request, extra_wait: Duration) -> Result<Response, StoreError> {
-        let mut guard = self.conn.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut guard = crate::lock_clean(&self.conn);
         let mut attempt = 0u32;
         loop {
             let result = (|| -> Result<Response, StoreError> {
                 if guard.is_none() {
                     *guard = Some(self.dial()?);
                 }
-                let stream = guard.as_mut().expect("just connected");
+                let stream = guard
+                    .as_mut()
+                    .ok_or_else(|| StoreError::Io("connection missing after dial".to_string()))?;
                 stream
                     .set_read_timeout(Some(self.config.io_timeout + extra_wait))
                     .map_err(|e| StoreError::Io(format!("set read timeout: {e}")))?;

@@ -37,7 +37,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 // ---- site catalog --------------------------------------------------------
 
@@ -252,9 +252,7 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 static PLAN: Mutex<Option<Arc<FaultPlan>>> = Mutex::new(None);
 static COUNTERS: Mutex<Option<HashMap<String, u64>>> = Mutex::new(None);
 
-fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
+use crate::lock_clean;
 
 /// Installs `plan` process-globally (replacing any previous plan) and
 /// resets all occurrence counters; `None` disables injection.
@@ -338,6 +336,7 @@ pub fn fires_at(site: &str, occurrence: u64) -> Option<Option<u64>> {
 /// [`fires_at`] that panics with a recognizable message — the injected
 /// stand-in for a worker-thread crash.
 #[inline]
+// lint:allow(error-typing) the injected panic IS this hook's contract (simulated worker crash)
 pub fn panic_if_fired(site: &str, occurrence: u64) {
     if fires_at(site, occurrence).is_some() {
         panic!("injected fault: {site}@{occurrence}");
@@ -392,7 +391,7 @@ impl Drop for InstallGuard {
 /// Installs `plan` under the test serialization lock (see
 /// [`InstallGuard`]). Intended for `#[test]` code in any crate.
 pub fn install_guarded(plan: FaultPlan) -> InstallGuard {
-    let lock = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let lock = lock_clean(&TEST_LOCK);
     install(Some(plan));
     InstallGuard { _lock: lock }
 }

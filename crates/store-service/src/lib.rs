@@ -27,10 +27,24 @@
 //!   [`StoreError`]s so callers can degrade gracefully (simulate without
 //!   the cache) instead of panicking when the daemon disappears.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod faults;
 pub mod proto;
 pub mod server;
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Poisoning-proof mutex acquisition — the only sanctioned way to take a
+/// lock in this crate (`eole-lint`'s `lock-hygiene` rule enforces it).
+/// A panic isolated to one connection or one run must not wedge every
+/// later acquisition behind a `PoisonError`; the protected state is
+/// always left consistent because every critical section is
+/// short, allocation-only bookkeeping.
+pub fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 pub use client::{ClientConfig, GetOutcome, StoreClient};
 pub use faults::FaultPlan;

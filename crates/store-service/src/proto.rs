@@ -256,11 +256,13 @@ impl<'a> BodyReader<'a> {
     }
 
     fn u32(&mut self, what: &str) -> Result<u32, StoreError> {
-        Ok(u32::from_be_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+        let b = self.take(4, what)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     fn u64(&mut self, what: &str) -> Result<u64, StoreError> {
-        Ok(u64::from_be_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+        let b = self.take(8, what)?;
+        Ok(u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
     }
 
     fn bytes(&mut self, what: &str) -> Result<Vec<u8>, StoreError> {

@@ -125,7 +125,7 @@ impl Shared {
     /// Poisoning-proof state lock: a panicking connection thread must
     /// not wedge every other connection behind a `PoisonError`.
     fn lock_state(&self) -> MutexGuard<'_, State> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        crate::lock_clean(&self.state)
     }
 
     /// Atomic publish: temp + rename, then index update and waiter wakeup.
@@ -174,7 +174,7 @@ impl Shared {
                 .min_by_key(|(_, e)| e.last_access)
                 .map(|(k, _)| k.clone());
             let Some(key) = candidate else { break };
-            let entry = st.entries.remove(&key).expect("candidate came from the map");
+            let Some(entry) = st.entries.remove(&key) else { break };
             st.total_bytes -= entry.bytes;
             st.stats.evictions += 1;
             let _ = std::fs::remove_file(payload_path(&self.config.dir, &key));
@@ -203,7 +203,9 @@ impl Shared {
                     Ok(payload) => {
                         st.tick += 1;
                         let tick = st.tick;
-                        st.entries.get_mut(key).expect("checked above").last_access = tick;
+                        if let Some(e) = st.entries.get_mut(key) {
+                            e.last_access = tick;
+                        }
                         st.stats.hits += 1;
                         unregister(&mut st, waiting);
                         // Persist the access for cross-restart LRU;
@@ -217,8 +219,9 @@ impl Shared {
                     Err(_) => {
                         // The file vanished or broke under us: drop the
                         // index entry and fall through to the miss path.
-                        let entry = st.entries.remove(key).expect("checked above");
-                        st.total_bytes -= entry.bytes;
+                        if let Some(entry) = st.entries.remove(key) {
+                            st.total_bytes -= entry.bytes;
+                        }
                     }
                 }
             }
@@ -380,6 +383,7 @@ impl StoreServer {
     ///
     /// Never in practice — a bound listener always has a local address.
     pub fn local_addr(&self) -> SocketAddr {
+        // lint:allow(error-typing) documented `# Panics`: a bound listener always has a local address
         self.listener.local_addr().expect("bound listener has an address")
     }
 

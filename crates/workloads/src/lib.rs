@@ -18,6 +18,8 @@
 //! assert!(trace.len() >= 9_999);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod gen;
 pub mod kernels;
 mod registry;

@@ -33,6 +33,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use eole_core as core;
 pub use eole_isa as isa;
 pub use eole_mem as mem;

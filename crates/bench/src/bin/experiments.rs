@@ -29,13 +29,14 @@
 
 use eole_bench::experiments::{ExperimentSet, EXPERIMENT_NAMES};
 use eole_bench::{Format, RunError, Runner, Session, Shard};
+use eole_core::config::CoreConfig;
 use eole_stats::report::ExperimentReport;
-use eole_workloads::all_workloads;
+use eole_workloads::{all_workloads, workload_by_name};
 
 const USAGE: &str = "usage: experiments [names...|all] [--quick] [--warmup N] [--measure N] \
-[--intervals K] [--interval-warmup W] \
+[--intervals K] [--interval-warmup W|auto] \
 [--format md|json|csv] [--out FILE] [--md FILE] [--store DIR|tcp://HOST:PORT] [--shard K/N] \
-[--assert-cached] [--faults SPEC] [--run-deadline-ms N]
+[--assert-cached] [--assert-warm-cached] [--faults SPEC] [--run-deadline-ms N]
        experiments compare OLD.json NEW.json [--threshold PCT] [--out FILE]
 experiments: table1 table2 table3 fig2 fig4 offload fig6 fig7 fig8 fig10 fig11 fig12 fig13 \
 vp_ablation ee_writes squash_cost levt_depth_ablation dvtage_budget bebop_block_size complexity
@@ -49,8 +50,11 @@ owns (populate pass, no reports) — merge by re-running unsharded with the same
 intervals: --intervals K splits every run into K deterministic intervals simulated \
 concurrently and stitched (committed counts exact, cycles within the pinned budget; stored \
 under interval-tagged keys); --interval-warmup W sets the per-interval warmup window in \
-µ-ops (default warmup/2, min 1000); EOLE_INTERVAL_PARANOID=1 cross-checks every stitched \
-run against a serial one
+µ-ops (default warmup/2, min 1000), or `auto` to probe the smallest window whose seam \
+error clears half the pinned budget; warm checkpoints are cached in the --store under \
+eole-warmstate/v1 keys, and --assert-warm-cached exits 1 if any checkpoint was rebuilt \
+instead of served; EOLE_INTERVAL_PARANOID=1 cross-checks every stitched run against a \
+serial one (machine-readable delta line on stderr)
 robustness: --faults SPEC installs a seeded deterministic fault-injection plan (chaos testing; \
 also read from EOLE_FAULTS — grammar and site catalog in EXPERIMENTS.md); --run-deadline-ms N \
 fails any single run whose job exceeds N ms wall-clock with a typed deadline error instead of \
@@ -127,8 +131,14 @@ fn main() {
     let mut store_dir: Option<String> = None;
     let mut shard: Option<Shard> = None;
     let mut assert_cached = false;
+    let mut assert_warm_cached = false;
     let mut intervals = 0u32;
-    let mut interval_warmup: Option<u64> = None;
+    /// `--interval-warmup` before resolution: a fixed window or `auto`.
+    enum WarmupArg {
+        Fixed(u64),
+        Auto,
+    }
+    let mut interval_warmup: Option<WarmupArg> = None;
     let mut faults_spec: Option<String> = None;
     let mut run_deadline: Option<std::time::Duration> = None;
     let take = |args: &[String], i: &mut usize, flag: &str| -> String {
@@ -166,11 +176,15 @@ fn main() {
                     .unwrap_or_else(|_| fail("--intervals takes a number"));
             }
             "--interval-warmup" => {
-                interval_warmup = Some(
-                    take(&args, &mut i, "--interval-warmup")
-                        .parse()
-                        .unwrap_or_else(|_| fail("--interval-warmup takes a number")),
-                );
+                let v = take(&args, &mut i, "--interval-warmup");
+                interval_warmup = Some(if v == "auto" {
+                    WarmupArg::Auto
+                } else {
+                    WarmupArg::Fixed(
+                        v.parse()
+                            .unwrap_or_else(|_| fail("--interval-warmup takes a number or `auto`")),
+                    )
+                });
             }
             "--store" => store_dir = Some(take(&args, &mut i, "--store")),
             "--shard" => {
@@ -179,6 +193,7 @@ fn main() {
                 );
             }
             "--assert-cached" => assert_cached = true,
+            "--assert-warm-cached" => assert_warm_cached = true,
             "--faults" => faults_spec = Some(take(&args, &mut i, "--faults")),
             "--run-deadline-ms" => {
                 let ms: u64 = take(&args, &mut i, "--run-deadline-ms")
@@ -218,6 +233,25 @@ fn main() {
     if interval_warmup.is_some() && intervals == 0 {
         fail("--interval-warmup requires --intervals");
     }
+    // `auto` resolves *before* the session exists: one quick seam-error
+    // probe on a representative workload/configuration pair (gzip's tight
+    // loops under the full EOLE core — predictor-heavy, so its seams are
+    // the hard case) picks the smallest candidate window whose first
+    // interval lands within half the pinned cycle budget.
+    let interval_warmup: Option<u64> = match interval_warmup {
+        Some(WarmupArg::Auto) => {
+            let w = workload_by_name("gzip")
+                .unwrap_or_else(|| fail("probe workload gzip missing from the registry"));
+            let trace = runner.try_prepare(&w).unwrap_or_else(|e| fail(&e.to_string()));
+            let chosen = runner
+                .try_probe_interval_warmup(&trace, CoreConfig::eole_4_64(), intervals)
+                .unwrap_or_else(|e| fail(&e.to_string()));
+            eprintln!("[interval-warmup auto: probed W={chosen} µ-ops (gzip / eole_4_64)]");
+            Some(chosen)
+        }
+        Some(WarmupArg::Fixed(w)) => Some(w),
+        None => None,
+    };
 
     // Fault injection: the flag wins; otherwise EOLE_FAULTS (so CI can
     // wrap any invocation without touching its arguments). A bad spec is
@@ -300,6 +334,14 @@ fn main() {
         eprintln!(
             "[FAIL: --assert-cached but {} run(s) were simulated instead of served from the store]",
             set.executor().simulated()
+        );
+        std::process::exit(1);
+    }
+    if assert_warm_cached && set.executor().warm_built() > 0 {
+        eprintln!(
+            "[FAIL: --assert-warm-cached but {} warm checkpoint(s) were rebuilt instead of \
+             served from the store]",
+            set.executor().warm_built()
         );
         std::process::exit(1);
     }

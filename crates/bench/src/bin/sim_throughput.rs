@@ -2,16 +2,19 @@
 //!
 //! Measures how many µ-ops per wall-clock second `Simulator::step` retires
 //! in steady state (after warmup), per (configuration, workload) pair of
-//! the quick suite, and emits the `eole-throughput/v2` JSON payload
+//! the quick suite, and emits the `eole-throughput/v3` JSON payload
 //! (schema in `PERF.md`). This is the regression harness for the hot
 //! loop: CI runs it per push, and `BENCH_throughput.json` at the repo
 //! root records the trajectory.
 //!
-//! v2 adds a `threads` section: the full suite re-run interval-parallel
+//! v2 added a `threads` section: the full suite re-run interval-parallel
 //! (`--intervals K` pieces per run) at 1, 2, and machine-size workers,
 //! recording wall-clock seconds and the speedup over one worker — the
-//! scaling record for interval-parallel simulation. `--baseline` still
-//! accepts v1 payloads (they just have no threads section).
+//! scaling record for interval-parallel simulation. v3 splits each scale
+//! entry's time into `warmup_seconds` (the serial chained checkpoint
+//! sweep — the Amdahl fraction) and `detailed_seconds` (the concurrent
+//! detailed pieces). `--baseline` still accepts v1 and v2 payloads
+//! (they just lack the newer sections/fields).
 //!
 //! ```text
 //! cargo run --release -p eole-bench --bin sim-throughput
@@ -188,9 +191,12 @@ fn threads_scan(
     let mut reference = None;
     for &t in counts {
         let mut seconds = f64::INFINITY;
+        let mut warmup_seconds = 0.0;
+        let mut detailed_seconds = 0.0;
         let mut committed = 0u64;
         for _ in 0..reps.max(1) {
-            let mut rep_seconds = 0.0;
+            let mut rep_warm = 0.0;
+            let mut rep_detail = 0.0;
             let mut rep_committed = 0u64;
             for name in SUITE_WORKLOADS {
                 let w = eole_workloads::workload_by_name(name)
@@ -201,19 +207,29 @@ fn threads_scan(
                     let timed = session
                         .time_run_intervals(&spec, t, policy)
                         .unwrap_or_else(|e| fail(&e.to_string()));
-                    rep_seconds += timed.seconds;
+                    rep_warm += timed.warmup_seconds;
+                    rep_detail += timed.detailed_seconds;
                     rep_committed += timed.stats.committed;
                 }
             }
-            seconds = seconds.min(rep_seconds);
+            if rep_warm + rep_detail < seconds {
+                seconds = rep_warm + rep_detail;
+                warmup_seconds = rep_warm;
+                detailed_seconds = rep_detail;
+            }
             committed = rep_committed;
         }
         let reference = *reference.get_or_insert(seconds);
         let speedup = if seconds > 0.0 { reference / seconds } else { 0.0 };
         let mups = committed as f64 / seconds / 1.0e6;
-        eprintln!("  threads {t:<2} suite {seconds:>8.3}s  {mups:>8.3} Mµops/s  {speedup:.2}x vs 1");
+        eprintln!(
+            "  threads {t:<2} suite {seconds:>8.3}s (warm {warmup_seconds:.3}s + detail \
+             {detailed_seconds:.3}s)  {mups:>8.3} Mµops/s  {speedup:.2}x vs 1"
+        );
         entries.push(format!(
-            "{{\"threads\":{t},\"seconds\":{seconds:.6},\"mups\":{mups:.4},\"speedup_vs_1\":{speedup:.4}}}"
+            "{{\"threads\":{t},\"seconds\":{seconds:.6},\"warmup_seconds\":{warmup_seconds:.6},\
+             \"detailed_seconds\":{detailed_seconds:.6},\"mups\":{mups:.4},\
+             \"speedup_vs_1\":{speedup:.4}}}"
         ));
     }
     format!(
@@ -231,8 +247,11 @@ fn load_baseline(path: &str) -> (String, f64) {
         .unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
     let v = Json::parse(&text).unwrap_or_else(|e| fail(&format!("parse {path}: {e}")));
     let schema = v.get("schema").and_then(Json::as_str);
-    if schema != Some("eole-throughput/v2") && schema != Some("eole-throughput/v1") {
-        fail(&format!("{path} is not an eole-throughput/v1 or /v2 payload"));
+    if !matches!(
+        schema,
+        Some("eole-throughput/v1") | Some("eole-throughput/v2") | Some("eole-throughput/v3")
+    ) {
+        fail(&format!("{path} is not an eole-throughput/v1, /v2, or /v3 payload"));
     }
     let current = v.get("current").unwrap_or_else(|| fail(&format!("{path}: no `current`")));
     let gmean = current
@@ -339,7 +358,7 @@ fn main() {
 
     let current = runs_to_json(&runs, &label);
     let mut payload = String::new();
-    payload.push_str("{\"schema\":\"eole-throughput/v2\",");
+    payload.push_str("{\"schema\":\"eole-throughput/v3\",");
     payload.push_str(&format!(
         "\"runner\":{{\"warmup\":{},\"measure\":{}}},\"reps\":{reps},",
         runner.warmup, runner.measure

@@ -9,19 +9,21 @@
 
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-use eole_core::pipeline::{PreparedTrace, SimError};
+use eole_core::pipeline::{PreparedTrace, SimError, WarmState};
 use eole_core::stats::SimStats;
 use eole_workloads::Workload;
 
 use crate::faults;
 use crate::plan::Shard;
 use crate::spec::{Grid, RunSpec};
-use crate::store::{ResultStore, RunKey, StoreError};
-use crate::{check_stitched_against_serial, interval_paranoid, IntervalPolicy, Runner};
+use crate::store::{ResultStore, RunKey, StoreError, WarmKey};
+use crate::{
+    check_stitched_against_serial, interval_paranoid, IntervalPolicy, Runner, WarmOrigin,
+};
 
 /// Poisoning-proof lock: a panicked worker marks every mutex it held as
 /// poisoned, but the protected data here (job deques, piece slots,
@@ -317,6 +319,35 @@ pub struct Executor {
     store_misses: AtomicUsize,
     simulated: AtomicUsize,
     shard_skips: AtomicUsize,
+    warm_loaded: AtomicUsize,
+    warm_built: AtomicUsize,
+}
+
+/// Shared checkpoint slots for one stitched run: the first piece job to
+/// claim the set becomes the *producer* (one chained functional sweep,
+/// store-backed); every other piece is a *consumer* that blocks until
+/// its slot fills. `done` is published unconditionally — even when the
+/// producer fails or panics — so consumers always wake; an empty slot
+/// then degrades that piece to the replay-from-zero path.
+struct WarmSet {
+    claimed: AtomicBool,
+    slots: Mutex<WarmSlots>,
+    ready: Condvar,
+}
+
+struct WarmSlots {
+    states: Vec<Option<WarmState>>,
+    done: bool,
+}
+
+impl WarmSet {
+    fn new(k: usize) -> Self {
+        WarmSet {
+            claimed: AtomicBool::new(false),
+            slots: Mutex::new(WarmSlots { states: vec![None; k], done: false }),
+            ready: Condvar::new(),
+        }
+    }
 }
 
 impl Default for Executor {
@@ -345,6 +376,8 @@ impl Executor {
             store_misses: AtomicUsize::new(0),
             simulated: AtomicUsize::new(0),
             shard_skips: AtomicUsize::new(0),
+            warm_loaded: AtomicUsize::new(0),
+            warm_built: AtomicUsize::new(0),
         }
     }
 
@@ -462,6 +495,19 @@ impl Executor {
     /// Runs skipped because another shard owns them.
     pub fn shard_skips(&self) -> usize {
         self.shard_skips.load(Ordering::Relaxed)
+    }
+
+    /// Warm checkpoints served from the result store (no functional
+    /// replay paid for those positions).
+    pub fn warm_loaded(&self) -> usize {
+        self.warm_loaded.load(Ordering::Relaxed)
+    }
+
+    /// Warm checkpoints built by a producer sweep (and published to the
+    /// store when one is attached). `--assert-warm-cached` pins this to
+    /// zero on a warm store.
+    pub fn warm_built(&self) -> usize {
+        self.warm_built.load(Ordering::Relaxed)
     }
 
     fn simulate(&self, spec: &RunSpec, idx: usize) -> Result<SimStats, RunError> {
@@ -619,6 +665,7 @@ impl Executor {
             spec: usize,
             pieces: Mutex<Vec<Option<Result<SimStats, RunError>>>>,
             remaining: AtomicUsize,
+            warm: WarmSet,
         }
         let k = policy.k.max(1) as usize;
         let pending: Vec<PendingRun> = open
@@ -627,6 +674,7 @@ impl Executor {
                 spec: i,
                 pieces: Mutex::new(vec![None; k]),
                 remaining: AtomicUsize::new(k),
+                warm: WarmSet::new(k),
             })
             .collect();
         // Job j is piece (j % k) of pending run (j / k); dealt round-robin
@@ -656,7 +704,7 @@ impl Executor {
                     let label = spec.label();
                     let started = Instant::now();
                     let outcome = catch_panic(&label, || {
-                        self.simulate_piece(spec, policy, piece, run.spec)
+                        self.simulate_piece(spec, policy, piece, run.spec, &run.warm)
                     });
                     let outcome = self.enforce_deadline(&label, started, outcome);
                     lock_clean(&run.pieces)[piece] = Some(outcome);
@@ -680,16 +728,100 @@ impl Executor {
         policy: IntervalPolicy,
         piece: usize,
         idx: usize,
+        warm: &WarmSet,
     ) -> Result<SimStats, RunError> {
         let trace = self.cache.get_or_prepare(&spec.workload, &spec.runner)?;
         // Keyed by the run's grid index (not the piece): `sim.panic@i`
         // fails run i whole, at any k and any thread count.
         faults::sleep_if_fired(faults::SIM_DELAY, idx as u64);
         faults::panic_if_fired(faults::SIM_PANIC, idx as u64);
+        let ws = self.obtain_warm(warm, spec, policy, piece);
         let (start, end) = spec.runner.interval_bounds(policy.k)[piece];
         spec.runner
-            .try_run_piece(&trace, spec.effective_config(), start, end, policy.warmup)
+            .try_run_piece_warm(
+                &trace,
+                spec.effective_config(),
+                ws.as_ref(),
+                start,
+                end,
+                policy.warmup,
+            )
             .map_err(|e| attribute_workload(e, spec))
+    }
+
+    /// Hands a piece its warm checkpoint, electing this job as the
+    /// producer when the run's sweep has not started yet. Returns `None`
+    /// when the sweep failed or left the slot empty — the piece then
+    /// degrades to the O(prefix) replay inside
+    /// [`Runner::try_run_piece_warm`], preserving the result.
+    fn obtain_warm(
+        &self,
+        set: &WarmSet,
+        spec: &RunSpec,
+        policy: IntervalPolicy,
+        piece: usize,
+    ) -> Option<WarmState> {
+        if !set.claimed.swap(true, Ordering::AcqRel) {
+            self.produce_warm(set, spec, policy);
+        }
+        let mut slots = lock_clean(&set.slots);
+        loop {
+            if let Some(ws) = slots.states[piece].take() {
+                return Some(ws);
+            }
+            if slots.done {
+                return None;
+            }
+            slots = set.ready.wait(slots).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// The producer sweep: one chained functional pass over the trace
+    /// emitting every piece's checkpoint in position order, fetching
+    /// cached checkpoints from the result store and publishing freshly
+    /// built ones back (best-effort — a read-only store never fails the
+    /// run). Each checkpoint is handed to the waiting consumers the
+    /// moment it exists, so detailed windows overlap the sweep's tail.
+    fn produce_warm(&self, set: &WarmSet, spec: &RunSpec, policy: IntervalPolicy) {
+        let outcome = catch_panic(&spec.label(), || {
+            let trace = self.cache.get_or_prepare(&spec.workload, &spec.runner)?;
+            let positions = spec.runner.warm_positions(policy);
+            let (_, sweep) = spec
+                .runner
+                .try_sweep_warm_states(
+                    &trace,
+                    spec.effective_config(),
+                    &positions,
+                    |_, pos| {
+                        let store = self.store.as_ref()?;
+                        let bytes = store.load_warm(&WarmKey::of(spec, pos))?;
+                        WarmState::from_bytes(bytes).ok()
+                    },
+                    |i, pos, ws, origin| {
+                        if origin == WarmOrigin::Built {
+                            if let Some(store) = &self.store {
+                                let _ = store.save_warm(&WarmKey::of(spec, pos), ws.as_bytes());
+                            }
+                        }
+                        let mut slots = lock_clean(&set.slots);
+                        slots.states[i] = Some(ws.clone());
+                        drop(slots);
+                        set.ready.notify_all();
+                    },
+                )
+                .map_err(|e| attribute_workload(e, spec))?;
+            self.warm_loaded.fetch_add(sweep.loaded, Ordering::Relaxed);
+            self.warm_built.fetch_add(sweep.built, Ordering::Relaxed);
+            Ok(())
+        });
+        // A failed or panicked sweep leaves its remaining slots empty;
+        // publishing `done` (always, on every path) wakes the consumers,
+        // which degrade those pieces to replay instead of deadlocking.
+        drop(outcome);
+        let mut slots = lock_clean(&set.slots);
+        slots.done = true;
+        drop(slots);
+        set.ready.notify_all();
     }
 
     /// Merges a completed run's pieces in interval order, applies the

@@ -73,13 +73,15 @@ pub use exec::{Executor, RunError, RunPhase, RunResult, TraceCache};
 pub use faults::FaultPlan;
 pub use plan::{Plan, Shard};
 pub use remote::RemoteStore;
-pub use session::{Format, Session, SessionBuilder, StoreSummary, TimedRun};
+pub use session::{Format, Session, SessionBuilder, StoreSummary, TimedIntervals, TimedRun};
 pub use spec::{Grid, RunSpec};
-pub use store::{DirStore, MemStore, ResultStore, RunKey, StoreError};
+pub use store::{DirStore, MemStore, ResultStore, RunKey, StoreError, WarmKey, WARM_STEM_PREFIX};
+pub use eole_core::pipeline::{WarmState, WARMSTATE_FORMAT};
 
 use eole_core::config::CoreConfig;
 use eole_core::pipeline::{PreparedTrace, Simulator};
 use eole_core::stats::SimStats;
+use eole_stats::report::json_string;
 use eole_workloads::Workload;
 
 /// The VP-eligible µ-op stream of a prepared trace, as
@@ -128,6 +130,41 @@ impl IntervalPolicy {
 /// exact-boundary serial run (0.5%): the `EOLE_INTERVAL_PARANOID=1` mode
 /// and the golden stitched-vs-serial table both pin it.
 pub const INTERVAL_CYCLE_BUDGET: f64 = 0.005;
+
+/// How a checkpoint reached the chained sweep's sink: served by the
+/// fetch hook (a store hit, validated against the live configuration)
+/// or built by functional replay (worth publishing to the store).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WarmOrigin {
+    /// Fetched from a cache and validated.
+    Loaded,
+    /// Built by the sweep's functional replay.
+    Built,
+}
+
+/// Accounting of one chained checkpoint sweep
+/// ([`Runner::try_sweep_warm_states`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WarmSweepStats {
+    /// µ-ops functionally replayed by the sweep. The O(trace) contract:
+    /// with no cached checkpoints this is exactly the last checkpoint
+    /// position (one trace prefix); with a fully warm cache it is zero.
+    pub swept: u64,
+    /// Checkpoints served by the fetch hook (store hits).
+    pub loaded: usize,
+    /// Checkpoints built by functional replay (published via the sink).
+    pub built: usize,
+}
+
+impl WarmSweepStats {
+    /// Folds another sweep's accounting into this one (executor-level
+    /// totals across runs).
+    pub fn merge(&mut self, other: &WarmSweepStats) {
+        self.swept += other.swept;
+        self.loaded += other.loaded;
+        self.built += other.built;
+    }
+}
 
 /// True when `EOLE_INTERVAL_PARANOID=1`-style validation is requested:
 /// every stitched run also executes the serial comparator, reports the
@@ -332,6 +369,264 @@ impl Runner {
         Ok(stitched)
     }
 
+    /// The warm-state checkpoint positions of a `k`-way split: piece `i`'s
+    /// checkpoint sits at `start_i − warmup` (clamped at the trace head) —
+    /// exactly where [`Runner::try_run_piece`] would land after its
+    /// functional replay, just before the detailed warmup window begins.
+    /// Non-decreasing by construction (starts increase, the window is
+    /// constant), which is what lets one chained sweep emit all of them
+    /// in a single O(trace) forward pass.
+    pub fn warm_positions(&self, policy: IntervalPolicy) -> Vec<u64> {
+        self.interval_bounds(policy.k)
+            .iter()
+            .map(|(start, _)| start.saturating_sub(policy.warmup))
+            .collect()
+    }
+
+    /// One chained producer sweep: a single functional pass over the
+    /// trace that emits the [`WarmState`] checkpoint at every requested
+    /// position, in order. Total functional work is O(max position) —
+    /// one trace prefix — instead of the Σ O(prefix_i) ≈ k·T/2 the
+    /// independent per-piece replays of [`Runner::try_run_intervals`]
+    /// cost.
+    ///
+    /// `fetch(i, pos)` may supply a cached checkpoint (a store lookup);
+    /// a hit is *validated* (position match + clean restore into the
+    /// sweep simulator) before it is trusted — damaged bytes degrade to
+    /// a rebuild: the sweep simulator is reconstructed from the last
+    /// known-good checkpoint and replays forward. When every fetch hits,
+    /// the sweep performs zero functional work.
+    ///
+    /// `sink(i, pos, state, origin)` observes every checkpoint the
+    /// moment it is final (validated-loaded or freshly built), in
+    /// position order — the executor uses it to unblock waiting piece
+    /// jobs and to publish built checkpoints to the store.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Sim`] if the configuration is rejected at
+    /// construction (functional warming itself is infallible).
+    pub fn try_sweep_warm_states(
+        &self,
+        trace: &PreparedTrace,
+        config: CoreConfig,
+        positions: &[u64],
+        mut fetch: impl FnMut(usize, u64) -> Option<WarmState>,
+        mut sink: impl FnMut(usize, u64, &WarmState, WarmOrigin),
+    ) -> Result<(Vec<WarmState>, WarmSweepStats), RunError> {
+        let name = config.name.clone();
+        let build_err = |source| RunError::Sim {
+            config: name.clone(),
+            workload: "-".to_string(),
+            phase: RunPhase::Build,
+            source,
+        };
+        let mut sim = Simulator::new(trace, config.clone()).map_err(&build_err)?;
+        let mut out: Vec<WarmState> = Vec::with_capacity(positions.len());
+        let mut stats = WarmSweepStats::default();
+        for (i, &pos) in positions.iter().enumerate() {
+            if let Some(cached) = fetch(i, pos) {
+                let valid = cached.position().map(|p| p == pos).unwrap_or(false)
+                    && sim.restore_warm(&cached).is_ok();
+                if valid {
+                    stats.loaded += 1;
+                    sink(i, pos, &cached, WarmOrigin::Loaded);
+                    out.push(cached);
+                    continue;
+                }
+                // The fetched bytes were damaged or mis-shaped; a failed
+                // restore may have left the sweep simulator partially
+                // overwritten, so rebuild it — fresh construction, then
+                // the last known-good checkpoint (if any) so only the
+                // tail since the previous position is replayed.
+                sim = Simulator::new(trace, config.clone()).map_err(&build_err)?;
+                if let Some(prev) = out.last() {
+                    if sim.restore_warm(prev).is_err() {
+                        sim = Simulator::new(trace, config.clone()).map_err(&build_err)?;
+                    }
+                }
+            }
+            // Positions are non-decreasing on every caller's path, but a
+            // hand-built out-of-order list must not silently checkpoint
+            // the wrong prefix: restart the sweep from the trace head.
+            if sim.cursor() as u64 > pos {
+                sim = Simulator::new(trace, config.clone()).map_err(&build_err)?;
+            }
+            stats.swept += pos - sim.cursor() as u64;
+            sim.functional_warm(pos as usize);
+            let state = sim.capture_warm();
+            stats.built += 1;
+            sink(i, pos, &state, WarmOrigin::Built);
+            out.push(state);
+        }
+        Ok((out, stats))
+    }
+
+    /// One interval piece from a warm-state checkpoint: builds a fresh
+    /// simulator, restores `warm` (captured at `start − warmup_window`),
+    /// then runs the identical detailed-warmup + measurement windows as
+    /// [`Runner::try_run_piece`]. Restore is bit-identical to the
+    /// functional replay of the same prefix (the [`WarmState`] contract,
+    /// pinned by the `checkpoint_restore_equals_prefix_replay` proptest),
+    /// so the piece statistics are too. A checkpoint that fails to
+    /// restore — truncated bytes, wrong position, foreign shape — or an
+    /// absent one degrades to the replay path instead of erroring: the
+    /// checkpoint layer is a cache, never a correctness dependency.
+    ///
+    /// Under `EOLE_INTERVAL_PARANOID=1` a restored piece additionally
+    /// replays the prefix from zero and asserts the two simulators agree
+    /// byte for byte before the detailed window starts.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Sim`] tagged with the failing phase, as
+    /// [`Runner::try_run_piece`].
+    ///
+    /// # Panics
+    ///
+    /// Under `EOLE_INTERVAL_PARANOID=1`, if a restored checkpoint is not
+    /// byte-identical to the replayed prefix (a codec bug — the paranoid
+    /// mode's failure signal).
+    pub fn try_run_piece_warm(
+        &self,
+        trace: &PreparedTrace,
+        config: CoreConfig,
+        warm: Option<&WarmState>,
+        start: u64,
+        end: u64,
+        warmup_window: u64,
+    ) -> Result<SimStats, RunError> {
+        let name = config.name.clone();
+        let err = |phase: RunPhase, source| RunError::Sim {
+            config: name.clone(),
+            workload: "-".to_string(),
+            phase,
+            source,
+        };
+        let warm_from = start.saturating_sub(warmup_window);
+        let restored = match warm {
+            Some(state) if state.position().map(|p| p == warm_from).unwrap_or(false) => {
+                let mut sim =
+                    Simulator::new(trace, config.clone()).map_err(|e| err(RunPhase::Build, e))?;
+                match sim.restore_warm(state) {
+                    Ok(()) => Some(sim),
+                    Err(_) => None, // damaged checkpoint: fall through to replay
+                }
+            }
+            _ => None,
+        };
+        let mut sim = match restored {
+            Some(sim) => {
+                if interval_paranoid() {
+                    let replayed =
+                        Simulator::new_at(trace, config.clone(), warm_from as usize)
+                            .map_err(|e| err(RunPhase::Build, e))?;
+                    assert_eq!(
+                        sim.capture_warm().as_bytes(),
+                        replayed.capture_warm().as_bytes(),
+                        "{name}: restored checkpoint at {warm_from} diverges from replay"
+                    );
+                }
+                sim
+            }
+            None => Simulator::new_at(trace, config, warm_from as usize)
+                .map_err(|e| err(RunPhase::Build, e))?,
+        };
+        sim.run_exact(start - warm_from).map_err(|e| err(RunPhase::Warmup, e))?;
+        sim.begin_measurement();
+        sim.run_exact(end.saturating_sub(start)).map_err(|e| err(RunPhase::Measure, e))?;
+        Ok(sim.stats())
+    }
+
+    /// Interval-parallel methodology via one chained checkpoint sweep:
+    /// the single-threaded reference for the executor's checkpointed
+    /// path. A producer sweep emits every piece's checkpoint in one
+    /// O(trace) functional pass ([`Runner::try_sweep_warm_states`]),
+    /// then each piece restores its checkpoint and runs its detailed
+    /// window ([`Runner::try_run_piece_warm`]). Bit-identical to
+    /// [`Runner::try_run_intervals`] — restore equals replay — which the
+    /// `chained_sweep_is_bit_identical_to_replay_stitch` golden test
+    /// pins.
+    ///
+    /// # Errors
+    ///
+    /// The first failing stage's [`RunError`].
+    pub fn try_run_intervals_chained(
+        &self,
+        trace: &PreparedTrace,
+        config: CoreConfig,
+        policy: IntervalPolicy,
+    ) -> Result<(SimStats, WarmSweepStats), RunError> {
+        let positions = self.warm_positions(policy);
+        let (states, sweep) = self.try_sweep_warm_states(
+            trace,
+            config.clone(),
+            &positions,
+            |_, _| None,
+            |_, _, _, _| {},
+        )?;
+        let mut stitched = SimStats::default();
+        for ((start, end), state) in self.interval_bounds(policy.k).into_iter().zip(&states) {
+            let piece = self.try_run_piece_warm(
+                trace,
+                config.clone(),
+                Some(state),
+                start,
+                end,
+                policy.warmup,
+            )?;
+            stitched.merge(&piece);
+        }
+        if interval_paranoid() {
+            let serial = self.try_run_serial_exact(trace, config.clone())?;
+            check_stitched_against_serial(&config.name, policy, &stitched, &serial);
+        }
+        Ok((stitched, sweep))
+    }
+
+    /// Probes a sufficient per-interval warmup window (`--interval-warmup
+    /// auto`): simulates the first split interval under each candidate
+    /// window — a quarter of the methodology warmup, then the default
+    /// half, then the full warmup — and compares its cycle count against
+    /// the same interval warmed from the trace head (the zero-seam
+    /// reference). The first candidate whose relative cycle error stays
+    /// within half the stitched-run budget ([`INTERVAL_CYCLE_BUDGET`])
+    /// wins; the full methodology warmup is the safe ceiling (its last
+    /// candidate replays the identical prefix, so the probe always
+    /// terminates with a valid window). Cost: a handful of detailed
+    /// windows over one interval — far cheaper than a paranoid serial
+    /// cross-check of a whole grid.
+    ///
+    /// # Errors
+    ///
+    /// As [`Runner::try_run_piece`].
+    pub fn try_probe_interval_warmup(
+        &self,
+        trace: &PreparedTrace,
+        config: CoreConfig,
+        k: u32,
+    ) -> Result<u64, RunError> {
+        let (start, end) = self.interval_bounds(k.max(2))[0];
+        let reference = self.try_run_piece(trace, config.clone(), start, end, start)?;
+        let candidates = [
+            (self.warmup / 4).max(1_000),
+            self.default_interval_warmup(),
+            self.warmup,
+        ];
+        for window in candidates {
+            let probe = self.try_run_piece(trace, config.clone(), start, end, window)?;
+            let err = if reference.cycles == 0 {
+                0.0
+            } else {
+                (probe.cycles as f64 - reference.cycles as f64).abs() / reference.cycles as f64
+            };
+            if err <= INTERVAL_CYCLE_BUDGET / 2.0 {
+                return Ok(window);
+            }
+        }
+        Ok(self.warmup)
+    }
+
     /// Infallible [`Runner::try_prepare`] for benches and examples.
     ///
     /// # Panics
@@ -351,10 +646,11 @@ impl Runner {
     }
 }
 
-/// The `EOLE_INTERVAL_PARANOID` validation: prints the stitched-vs-serial
-/// delta on stderr and panics when the stitch breaks its contract —
-/// committed or squashed counts diverging, or the cycle error exceeding
-/// [`INTERVAL_CYCLE_BUDGET`].
+/// The `EOLE_INTERVAL_PARANOID` validation: emits the stitched-vs-serial
+/// delta as one machine-readable JSON line on stderr (`"event":
+/// "interval-paranoid"`, greppable by CI) and panics when the stitch
+/// breaks its contract — committed or squashed counts diverging, or the
+/// cycle error exceeding [`INTERVAL_CYCLE_BUDGET`].
 ///
 /// # Panics
 ///
@@ -372,17 +668,23 @@ pub fn check_stitched_against_serial(
         (stitched.cycles as f64 - serial.cycles as f64).abs() / serial.cycles as f64
     };
     eprintln!(
-        "[interval-paranoid] {label} k={} w={}: cycles {} vs serial {} ({:+.4}%), \
-         committed {} vs {}, squashed {} vs {}",
+        "{{\"event\":\"interval-paranoid\",\"label\":{},\"k\":{},\"warmup\":{},\
+         \"stitched_cycles\":{},\"serial_cycles\":{},\"cycle_err\":{:.6},\
+         \"committed\":{},\"serial_committed\":{},\
+         \"squashed\":{},\"serial_squashed\":{},\"within_budget\":{}}}",
+        json_string(label),
         policy.k,
         policy.warmup,
         stitched.cycles,
         serial.cycles,
-        (stitched.cycles as f64 - serial.cycles as f64) / serial.cycles.max(1) as f64 * 100.0,
+        err,
         stitched.committed,
         serial.committed,
         stitched.squashed,
         serial.squashed,
+        err <= INTERVAL_CYCLE_BUDGET
+            && stitched.committed == serial.committed
+            && stitched.squashed == serial.squashed,
     );
     assert_eq!(
         stitched.committed, serial.committed,

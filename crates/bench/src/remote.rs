@@ -28,7 +28,10 @@ use eole_core::stats::SimStats;
 use eole_store_service::{ClientConfig, GetOutcome, StoreClient, StoreError};
 
 use crate::faults;
-use crate::store::{parse_result_payload, render_result_payload, PayloadError, ResultStore, RunKey};
+use crate::store::{
+    parse_result_payload, parse_warm_payload, render_result_payload, render_warm_payload,
+    PayloadError, ResultStore, RunKey, WarmKey,
+};
 
 /// How long one server-held `Get` may park before the client re-polls
 /// (bounds how stale a dropped-waiter diagnosis can get; the server
@@ -215,6 +218,89 @@ impl ResultStore for RemoteStore {
         }
         // Best-effort: a failed abandon leaves the lease to the TTL
         // backstop (or to our disconnect), never blocks the error path.
+        let _ = self.client.abandon(&key.file_stem());
+    }
+
+    /// Warm checkpoints ride the same wire protocol as results — the
+    /// daemon is payload-agnostic, and [`WarmKey::file_stem`] keeps the
+    /// two namespaces disjoint (`warm__` prefix). `None` means *build
+    /// it*: a cold key (this client now holds its lease — released by
+    /// the producer's `save_warm`), a payload that fails validation, or
+    /// a degraded store; the sweep rebuilds by functional replay in all
+    /// three cases, so a failing daemon costs warmup time, never
+    /// statistics.
+    fn load_warm(&self, key: &WarmKey) -> Option<Vec<u8>> {
+        if self.degraded.load(Ordering::Relaxed) {
+            return None;
+        }
+        let wire_key = key.file_stem();
+        let start = Instant::now();
+        loop {
+            let slice = u32::try_from(WAIT_SLICE.as_millis()).unwrap_or(u32::MAX);
+            match self.client.get(&wire_key, slice) {
+                Ok(GetOutcome::Hit(mut payload)) => {
+                    if let Some(salt) = faults::fire(faults::REMOTE_PAYLOAD_CORRUPT) {
+                        faults::garble(&mut payload, salt.unwrap_or(0));
+                    }
+                    let text = String::from_utf8_lossy(&payload);
+                    match parse_warm_payload(&text, key) {
+                        Ok(bytes) => return Some(bytes),
+                        Err(why) => {
+                            eprintln!("[store: {why} for {wire_key}]");
+                            if matches!(why, PayloadError::Corrupt(_)) {
+                                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                            }
+                            self.corrupt.fetch_add(1, Ordering::Relaxed);
+                            return None;
+                        }
+                    }
+                }
+                Ok(GetOutcome::Lease) => return None,
+                Ok(GetOutcome::Busy { retry_ms }) => {
+                    // Another session's sweep is building this very
+                    // checkpoint; waiting beats duplicating the replay,
+                    // bounded exactly like a result-key wait.
+                    if start.elapsed() >= MAX_FLIGHT_WAIT {
+                        return None;
+                    }
+                    std::thread::sleep(Duration::from_millis(u64::from(retry_ms.clamp(10, 1000))));
+                }
+                Err(e) => {
+                    self.degrade(&e);
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Publishes a freshly built checkpoint (releasing this client's
+    /// lease on its key). Like [`RemoteStore::save`], degraded and
+    /// budget-refused writes are counted and swallowed — a checkpoint is
+    /// pure warmup savings, so losing one must never fail the run.
+    fn save_warm(&self, key: &WarmKey, bytes: &[u8]) -> Result<(), StoreError> {
+        if self.degraded.load(Ordering::Relaxed) {
+            self.dropped_saves.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        let payload = render_warm_payload(key, bytes);
+        match self.client.put(&key.file_stem(), payload.into_bytes()) {
+            Ok(()) => Ok(()),
+            Err(StoreError::Evicted) => {
+                self.evicted_saves.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.degrade(&e);
+                self.dropped_saves.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+        }
+    }
+
+    fn abandon_warm(&self, key: &WarmKey) {
+        if self.degraded.load(Ordering::Relaxed) {
+            return;
+        }
         let _ = self.client.abandon(&key.file_stem());
     }
 

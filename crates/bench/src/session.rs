@@ -68,6 +68,28 @@ pub struct TimedRun {
     pub seconds: f64,
 }
 
+/// One timed interval-parallel stitch, with the checkpointed warmup
+/// sweep accounted separately from the concurrent detailed windows —
+/// the split `sim-throughput` v3 records, because the sweep is the
+/// serial fraction that bounds interval-parallel speedup (Amdahl).
+#[derive(Clone, Copy, Debug)]
+pub struct TimedIntervals {
+    /// Statistics of the stitched measurement window.
+    pub stats: SimStats,
+    /// Wall-clock seconds of the serial chained checkpoint sweep.
+    pub warmup_seconds: f64,
+    /// Wall-clock seconds of the concurrent detailed pieces (the whole
+    /// parallel phase, not the per-piece sum).
+    pub detailed_seconds: f64,
+}
+
+impl TimedIntervals {
+    /// Total wall-clock seconds (sweep + detailed phase).
+    pub fn seconds(&self) -> f64 {
+        self.warmup_seconds + self.detailed_seconds
+    }
+}
+
 /// Builder for a [`Session`].
 #[derive(Debug, Default)]
 pub struct SessionBuilder {
@@ -311,25 +333,43 @@ impl Session {
         Ok(TimedRun { stats, seconds })
     }
 
-    /// Simulates one spec interval-parallel — `policy.k` pieces pulled
-    /// from a shared counter by `threads` scoped workers — and times the
-    /// **whole** parallel stitch wall-clock (the number the threads
-    /// scaling section of `BENCH_throughput.json` records). Like
+    /// Simulates one spec interval-parallel the checkpointed way: one
+    /// serial chained sweep builds every piece's [`WarmState`], then
+    /// `policy.k` detailed pieces are pulled from a shared counter by
+    /// `threads` scoped workers, each restoring its checkpoint. The two
+    /// phases are timed separately (the split the threads scaling
+    /// section of `BENCH_throughput.json` v3 records — the sweep is the
+    /// serial fraction that bounds the speedup). Like
     /// [`Session::time_run`], never touches the result store.
+    ///
+    /// [`WarmState`]: eole_core::pipeline::WarmState
     ///
     /// # Errors
     ///
-    /// The first piece failure, in interval order.
+    /// A sweep failure, then the first piece failure in interval order.
     pub fn time_run_intervals(
         &self,
         spec: &RunSpec,
         threads: usize,
         policy: IntervalPolicy,
-    ) -> Result<TimedRun, RunError> {
+    ) -> Result<TimedIntervals, RunError> {
         use std::sync::atomic::{AtomicUsize, Ordering};
         use std::sync::Mutex;
         let trace = self.prepare(&spec.workload)?;
         let bounds = spec.runner.interval_bounds(policy.k);
+        let positions = spec.runner.warm_positions(policy);
+        let warm_start = std::time::Instant::now();
+        let (states, _sweep) = spec
+            .runner
+            .try_sweep_warm_states(
+                &trace,
+                spec.effective_config(),
+                &positions,
+                |_, _| None,
+                |_, _, _, _| {},
+            )
+            .map_err(|e| crate::exec::attribute_workload(e, spec))?;
+        let warmup_seconds = warm_start.elapsed().as_secs_f64();
         let slots: Vec<Mutex<Option<Result<SimStats, RunError>>>> =
             bounds.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
@@ -340,13 +380,19 @@ impl Session {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&(s, e)) = bounds.get(i) else { break };
-                    let out =
-                        spec.runner.try_run_piece(&trace, spec.effective_config(), s, e, policy.warmup);
+                    let out = spec.runner.try_run_piece_warm(
+                        &trace,
+                        spec.effective_config(),
+                        states.get(i),
+                        s,
+                        e,
+                        policy.warmup,
+                    );
                     *crate::exec::lock_clean(&slots[i]) = Some(out);
                 });
             }
         });
-        let seconds = start.elapsed().as_secs_f64();
+        let detailed_seconds = start.elapsed().as_secs_f64();
         let mut stats = SimStats::default();
         for slot in slots {
             let piece = slot
@@ -356,7 +402,7 @@ impl Session {
                 .map_err(|e| crate::exec::attribute_workload(e, spec))?;
             stats.merge(&piece);
         }
-        Ok(TimedRun { stats, seconds })
+        Ok(TimedIntervals { stats, warmup_seconds, detailed_seconds })
     }
 
     /// Renders a report set in the requested format. The JSON form wraps
@@ -432,12 +478,22 @@ impl Session {
         } else {
             ""
         };
+        let warm = if self.intervals().is_some() {
+            format!(
+                ", warm checkpoints loaded {} built {}",
+                self.executor.warm_loaded(),
+                self.executor.warm_built(),
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "store hits {}, simulated {}, shard-skipped {}, traces generated {}{}",
+            "store hits {}, simulated {}, shard-skipped {}, traces generated {}{}{}",
             self.executor.store_hits(),
             self.executor.simulated(),
             self.executor.shard_skips(),
             self.executor.cache().generated(),
+            warm,
             degraded,
         )
     }

@@ -25,6 +25,7 @@ use std::sync::Mutex;
 pub use eole_store_service::StoreError;
 
 use eole_core::canon::{CanonicalBytes, Fnv64, SIM_FINGERPRINT_VERSION};
+use eole_core::pipeline::WARMSTATE_FORMAT;
 use eole_core::stats::SimStats;
 use eole_mem::hierarchy::MemStats;
 use eole_stats::json::Json;
@@ -182,6 +183,104 @@ impl RunKey {
     }
 }
 
+/// The distinctive stem prefix of warm-state checkpoint entries: stores
+/// that share a namespace with run results (one directory, one daemon)
+/// use it to tell the two payload kinds apart without reading them.
+/// (No Table 3 workload is named `warm`, so a result stem can never
+/// start with this prefix.)
+pub const WARM_STEM_PREFIX: &str = "warm__";
+
+/// The canonical identity of one warm-state checkpoint
+/// (`eole-warmstate/v1`, see [`eole_core::pipeline::WarmState`]).
+///
+/// A checkpoint is the byte-exact functional-warm state at trace
+/// `position`, so its identity is everything that determines that state:
+/// the simulator's cycle-behavior version and the snapshot format (both
+/// folded into the digest via [`WARMSTATE_FORMAT`]), the base
+/// configuration digest plus the replication seed (the seed perturbs the
+/// effective configuration), the workload *and its generated trace
+/// length* (trace identity, as in [`crate::exec::TraceCache`]), and the
+/// position itself. Deliberately absent: the interval count `k` and the
+/// per-interval warmup window — a checkpoint at position P is the same
+/// bytes whichever split asked for it, which is what lets a `k=2` session
+/// reuse the checkpoints a `k=4` session swept.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct WarmKey {
+    /// Simulator cycle-behavior version ([`SIM_FINGERPRINT_VERSION`]).
+    pub sim_version: u32,
+    /// Display name of the base configuration (filenames/payloads only).
+    pub config_name: String,
+    /// Content digest of the base configuration.
+    pub config_digest: u64,
+    /// Workload name (Table 3 registry).
+    pub workload: String,
+    /// Generated trace length in µ-ops ([`crate::Runner::trace_len`]).
+    pub trace_len: u64,
+    /// Replication seed (perturbs the effective configuration).
+    pub seed: u64,
+    /// Trace position (µ-op index) the checkpoint was captured at.
+    pub position: u64,
+}
+
+impl WarmKey {
+    /// Derives the checkpoint key for `spec` at `position` under the
+    /// current simulator version.
+    pub fn of(spec: &RunSpec, position: u64) -> WarmKey {
+        WarmKey {
+            sim_version: SIM_FINGERPRINT_VERSION,
+            config_name: spec.config.name.clone(),
+            config_digest: spec.config.digest(),
+            workload: spec.workload.name.to_string(),
+            trace_len: spec.runner.trace_len(),
+            seed: spec.seed,
+            position,
+        }
+    }
+
+    /// A 64-bit digest of the whole key. The snapshot format marker
+    /// participates, so a `WARMSTATE_FORMAT` bump (any snapshot layout
+    /// change) silently invalidates every cached checkpoint — old
+    /// entries become misses that degrade to a functional rebuild.
+    pub fn digest64(&self) -> u64 {
+        let mut c = CanonicalBytes::new();
+        c.put_str("eole-warm-key/v1");
+        c.put_str(WARMSTATE_FORMAT);
+        c.put_u64(u64::from(self.sim_version));
+        c.put_u64(self.config_digest);
+        c.put_str(&self.workload);
+        c.put_u64(self.trace_len);
+        c.put_u64(self.seed);
+        c.put_u64(self.position);
+        c.digest()
+    }
+
+    /// Filesystem- and wire-safe file stem, always starting with
+    /// [`WARM_STEM_PREFIX`]. Same discipline as [`RunKey::file_stem`]:
+    /// sanitized human-readable prefix, then the config digest and the
+    /// full key digest so distinct keys can never share a file. The
+    /// alphabet (ASCII alphanumerics, `_`, `-`) and length also satisfy
+    /// the `eole-stored` daemon's wire-key grammar.
+    pub fn file_stem(&self) -> String {
+        let sanitize = |s: &str| -> String {
+            s.chars()
+                .map(|ch| if ch.is_ascii_alphanumeric() || ch == '_' || ch == '-' { ch } else { '-' })
+                .collect()
+        };
+        format!(
+            "{}{}__{}__v{}_t{}_s{}_p{}__{:016x}-{:016x}",
+            WARM_STEM_PREFIX,
+            sanitize(&self.workload),
+            sanitize(&self.config_name),
+            self.sim_version,
+            self.trace_len,
+            self.seed,
+            self.position,
+            self.config_digest,
+            self.digest64(),
+        )
+    }
+}
+
 /// Where completed runs are remembered.
 ///
 /// Implementations must be shareable across the executor's worker threads
@@ -217,6 +316,32 @@ pub trait ResultStore: Send + Sync + std::fmt::Debug {
     /// no leases; the default is a no-op.
     fn abandon(&self, _key: &RunKey) {}
 
+    /// The serialized warm-state checkpoint for `key`
+    /// (`eole-warmstate/v1` bytes), if present and intact. Checkpoints
+    /// are an optional acceleration layer: a store that does not persist
+    /// them (the default) answers `None` and the chained sweep rebuilds
+    /// the state functionally — a miss, or a corrupt entry, costs a
+    /// rebuild, never correctness.
+    fn load_warm(&self, _key: &WarmKey) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Persists a warm-state checkpoint (overwrites an existing entry).
+    /// Best-effort by contract — callers treat a failure as "not
+    /// cached", not as a run failure.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`StoreError`] for accounting; the default drops the
+    /// checkpoint and reports success.
+    fn save_warm(&self, _key: &WarmKey, _bytes: &[u8]) -> Result<(), StoreError> {
+        Ok(())
+    }
+
+    /// Releases an in-flight single-flight claim on a checkpoint key
+    /// without publishing (the warm analogue of [`ResultStore::abandon`]).
+    fn abandon_warm(&self, _key: &WarmKey) {}
+
     /// True when the store has fallen back to cache-less operation
     /// (e.g. the remote daemon became unreachable); loads answer `None`
     /// and saves are dropped, so runs still complete correctly.
@@ -244,6 +369,7 @@ pub trait ResultStore: Send + Sync + std::fmt::Debug {
 #[derive(Debug, Default)]
 pub struct MemStore {
     map: Mutex<HashMap<RunKey, SimStats>>,
+    warm: Mutex<HashMap<WarmKey, Vec<u8>>>,
 }
 
 impl MemStore {
@@ -260,6 +386,18 @@ impl ResultStore for MemStore {
 
     fn save(&self, key: &RunKey, stats: &SimStats) -> Result<(), StoreError> {
         lock_clean(&self.map).insert(key.clone(), *stats);
+        Ok(())
+    }
+
+    // Checkpoints live beside results but never count in `len()` — the
+    // store-size invariants (shard accounting, `--assert-cached`) are
+    // about run results.
+    fn load_warm(&self, key: &WarmKey) -> Option<Vec<u8>> {
+        lock_clean(&self.warm).get(key).cloned()
+    }
+
+    fn save_warm(&self, key: &WarmKey, bytes: &[u8]) -> Result<(), StoreError> {
+        lock_clean(&self.warm).insert(key.clone(), bytes.to_vec());
         Ok(())
     }
 
@@ -348,6 +486,24 @@ impl DirStore {
     fn path_for(&self, key: &RunKey) -> PathBuf {
         self.dir.join(format!("{}.json", key.file_stem()))
     }
+
+    fn warm_path_for(&self, key: &WarmKey) -> PathBuf {
+        self.dir.join(format!("{}.json", key.file_stem()))
+    }
+
+    /// Shared temp-file + atomic-rename write (results and checkpoints).
+    fn write_atomically(&self, path: &Path, payload: &str) -> Result<(), StoreError> {
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, payload)
+            .map_err(|e| StoreError::Io(format!("write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            StoreError::Io(format!("rename {} -> {}: {e}", tmp.display(), path.display()))
+        })
+    }
 }
 
 impl ResultStore for DirStore {
@@ -400,26 +556,68 @@ impl ResultStore for DirStore {
             // a `.tmp` file.
             return Err(StoreError::Io("injected fault: dir.save.io".to_string()));
         }
-        let path = self.path_for(key);
-        let tmp = self.dir.join(format!(
-            ".tmp-{}-{}",
-            std::process::id(),
-            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
-        ));
-        let payload = render_result_payload(key, stats);
-        std::fs::write(&tmp, payload)
-            .map_err(|e| StoreError::Io(format!("write {}: {e}", tmp.display())))?;
-        std::fs::rename(&tmp, &path).map_err(|e| {
-            StoreError::Io(format!("rename {} -> {}: {e}", tmp.display(), path.display()))
-        })
+        self.write_atomically(&self.path_for(key), &render_result_payload(key, stats))
+    }
+
+    fn load_warm(&self, key: &WarmKey) -> Option<Vec<u8>> {
+        let path = self.warm_path_for(key);
+        let mut text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        if faults::fire(faults::DIR_LOAD_CORRUPT).is_some() {
+            text.truncate(text.len() / 2);
+        }
+        match parse_warm_payload(&text, key) {
+            Ok(bytes) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(bytes)
+            }
+            Err(PayloadError::Corrupt(_)) => {
+                // Same quarantine discipline as damaged results: set the
+                // entry aside for forensics, answer a miss — the sweep
+                // rebuilds the checkpoint and the fresh save recreates
+                // `<stem>.json`.
+                let _ = std::fs::rename(&path, path.with_extension("quarantined"));
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(PayloadError::Foreign(_)) => {
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn save_warm(&self, key: &WarmKey, bytes: &[u8]) -> Result<(), StoreError> {
+        if faults::fire(faults::DIR_SAVE_IO).is_some() {
+            return Err(StoreError::Io("injected fault: dir.save.io".to_string()));
+        }
+        self.write_atomically(&self.warm_path_for(key), &render_warm_payload(key, bytes))
     }
 
     fn len(&self) -> usize {
+        // Warm-state checkpoints share the directory but are excluded:
+        // `len()` is the *result* count (shard accounting and the
+        // single-flight CI invariant `sims == keys` depend on it).
         std::fs::read_dir(&self.dir)
             .map(|entries| {
                 entries
                     .filter_map(Result::ok)
-                    .filter(|e| e.path().extension().is_some_and(|ext| ext == "json"))
+                    .filter(|e| {
+                        let path = e.path();
+                        path.extension().is_some_and(|ext| ext == "json")
+                            && !path
+                                .file_name()
+                                .and_then(|n| n.to_str())
+                                .is_some_and(|n| n.starts_with(WARM_STEM_PREFIX))
+                    })
                     .count()
             })
             .unwrap_or(0)
@@ -706,6 +904,135 @@ fn parse_checked_payload(v: &Json, key: &RunKey) -> Result<SimStats, String> {
     })
 }
 
+// ---- eole-warmstate/v1 payload -------------------------------------------
+// The store wrapper around `WarmState` checkpoint bytes: the same
+// spliced-FNV-checksum discipline as `eole-result/v2`, with the binary
+// snapshot carried as base64 (the store formats are line-oriented JSON
+// end to end — daemon wire frames included — so raw bytes are not an
+// option). A corrupt or foreign wrapper is a miss that degrades to a
+// functional rebuild, never an error.
+
+const BASE64_ALPHABET: &[u8; 64] =
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Standard base64 with padding (RFC 4648), hand-rolled — the workspace
+/// takes no external dependencies and the std library has no codec.
+fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let n = (u32::from(chunk[0]) << 16)
+            | (u32::from(chunk.get(1).copied().unwrap_or(0)) << 8)
+            | u32::from(chunk.get(2).copied().unwrap_or(0));
+        out.push(BASE64_ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(BASE64_ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 { BASE64_ALPHABET[(n >> 6) as usize & 63] as char } else { '=' });
+        out.push(if chunk.len() > 2 { BASE64_ALPHABET[n as usize & 63] as char } else { '=' });
+    }
+    out
+}
+
+/// Inverse of [`base64_encode`]; any malformed input is an error (the
+/// caller maps it to [`PayloadError::Corrupt`]).
+fn base64_decode(text: &str) -> Result<Vec<u8>, String> {
+    let value_of = |c: u8| -> Result<u32, String> {
+        match c {
+            b'A'..=b'Z' => Ok(u32::from(c - b'A')),
+            b'a'..=b'z' => Ok(u32::from(c - b'a') + 26),
+            b'0'..=b'9' => Ok(u32::from(c - b'0') + 52),
+            b'+' => Ok(62),
+            b'/' => Ok(63),
+            _ => Err(format!("invalid base64 byte {c:#04x}")),
+        }
+    };
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err("base64 length not a multiple of 4".to_string());
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for chunk in bytes.chunks(4) {
+        let pad = chunk.iter().rev().take_while(|&&c| c == b'=').count();
+        if pad > 2 || chunk[..4 - pad].contains(&b'=') {
+            return Err("misplaced base64 padding".to_string());
+        }
+        let mut n = 0u32;
+        for &c in &chunk[..4 - pad] {
+            n = (n << 6) | value_of(c)?;
+        }
+        n <<= 6 * pad as u32;
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Ok(out)
+}
+
+/// Renders the stored checkpoint payload: schema tag, spliced checksum,
+/// the full [`WarmKey`] for verification, and the snapshot bytes as
+/// base64 under `data`.
+pub fn render_warm_payload(key: &WarmKey, bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4 + 512);
+    out.push_str(&format!(
+        "{{\"schema\":\"{WARMSTATE_FORMAT}\",\"crc\":\"0000000000000000\","
+    ));
+    out.push_str(&format!("\"sim_version\":{},", key.sim_version));
+    out.push_str(&format!(
+        "\"key\":{{\"config\":{},\"config_digest\":\"{:016x}\",\"workload\":{},\"trace_len\":{},\"seed\":{},\"position\":{}}},",
+        json_string(&key.config_name),
+        key.config_digest,
+        json_string(&key.workload),
+        key.trace_len,
+        key.seed,
+        key.position,
+    ));
+    out.push_str(&format!("\"data\":\"{}\"}}\n", base64_encode(bytes)));
+    let at = out.find(CRC_FIELD).expect("crc placeholder rendered above") + CRC_FIELD.len(); // lint:allow(error-typing) the placeholder is rendered unconditionally a few lines up
+    let digest = format!("{:016x}", Fnv64::digest(out.as_bytes()));
+    out.replace_range(at..at + 16, &digest);
+    out
+}
+
+/// Parses an `eole-warmstate/v1` wrapper back into checkpoint bytes,
+/// verifying schema, checksum, and that the payload belongs to `key`.
+/// The same recovery split as results: [`PayloadError::Corrupt`] entries
+/// get quarantined by [`DirStore`], [`PayloadError::Foreign`] ones are
+/// plain misses — either way the sweep rebuilds the checkpoint.
+///
+/// # Errors
+///
+/// [`PayloadError`] as above; never a panic.
+pub fn parse_warm_payload(text: &str, key: &WarmKey) -> Result<Vec<u8>, PayloadError> {
+    let v = Json::parse(text).map_err(PayloadError::Corrupt)?;
+    if v.get("schema").and_then(Json::as_str) != Some(WARMSTATE_FORMAT) {
+        return Err(PayloadError::Foreign(format!("not an {WARMSTATE_FORMAT} payload")));
+    }
+    verify_payload_checksum(text)?;
+    if u64_field(&v, "sim_version").map_err(PayloadError::Foreign)?
+        != u64::from(key.sim_version)
+    {
+        return Err(PayloadError::Foreign("sim_version mismatch".into()));
+    }
+    let k = v.get("key").ok_or_else(|| PayloadError::Foreign("missing `key`".into()))?;
+    let field = |name| u64_field(k, name).map_err(PayloadError::Foreign);
+    if k.get("config_digest").and_then(Json::as_str)
+        != Some(format!("{:016x}", key.config_digest).as_str())
+        || k.get("workload").and_then(Json::as_str) != Some(key.workload.as_str())
+        || field("trace_len")? != key.trace_len
+        || field("seed")? != key.seed
+        || field("position")? != key.position
+    {
+        return Err(PayloadError::Foreign("key mismatch".into()));
+    }
+    let data = v
+        .get("data")
+        .and_then(Json::as_str)
+        .ok_or_else(|| PayloadError::Corrupt("missing `data` field".into()))?;
+    base64_decode(data).map_err(PayloadError::Corrupt)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -938,5 +1265,121 @@ mod tests {
         assert_eq!(store.len(), 1);
         let back = store.load(&key).unwrap();
         assert_eq!(format!("{back:?}"), format!("{:?}", dense_stats()));
+    }
+
+    #[test]
+    fn base64_round_trips_and_rejects_damage() {
+        for len in 0..70usize {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            let text = base64_encode(&data);
+            assert_eq!(text.len() % 4, 0);
+            assert_eq!(base64_decode(&text).unwrap(), data, "len {len}");
+        }
+        assert!(base64_decode("AAA").is_err(), "length not a multiple of 4");
+        assert!(base64_decode("A=AA").is_err(), "misplaced padding");
+        assert!(base64_decode("AA!?").is_err(), "bytes outside the alphabet");
+    }
+
+    #[test]
+    fn warm_payload_round_trips_and_verifies_identity() {
+        let key = WarmKey::of(&spec(), 12_500);
+        let bytes: Vec<u8> = (0..997u32).map(|i| (i % 251) as u8).collect();
+        let payload = render_warm_payload(&key, &bytes);
+        assert_eq!(parse_warm_payload(&payload, &key).unwrap(), bytes);
+
+        // Foreign: any key axis moving (position, seed, trace length,
+        // config, workload, sim version) must reject the payload.
+        for other in [
+            WarmKey { position: 12_501, ..key.clone() },
+            WarmKey { seed: 1, ..key.clone() },
+            WarmKey { trace_len: key.trace_len + 1, ..key.clone() },
+            WarmKey { config_digest: key.config_digest ^ 1, ..key.clone() },
+            WarmKey { workload: "mcf".into(), ..key.clone() },
+            WarmKey { sim_version: key.sim_version + 1, ..key.clone() },
+        ] {
+            assert!(
+                matches!(parse_warm_payload(&payload, &other), Err(PayloadError::Foreign(_))),
+                "{other:?} must be foreign"
+            );
+        }
+
+        // Corrupt: bit damage inside the base64 body is caught by the
+        // checksum; truncation is unparsable JSON.
+        let at = payload.find("\"data\":\"").unwrap() + "\"data\":\"".len() + 3;
+        let mut tampered = payload.clone().into_bytes();
+        tampered[at] = if tampered[at] == b'A' { b'B' } else { b'A' };
+        assert!(matches!(
+            parse_warm_payload(&String::from_utf8(tampered).unwrap(), &key),
+            Err(PayloadError::Corrupt(_))
+        ));
+        assert!(matches!(
+            parse_warm_payload(&payload[..payload.len() / 2], &key),
+            Err(PayloadError::Corrupt(_))
+        ));
+        // A result payload under a warm key is foreign (wrong schema).
+        let result = render_result_payload(&RunKey::of(&spec()), &dense_stats());
+        assert!(matches!(parse_warm_payload(&result, &key), Err(PayloadError::Foreign(_))));
+    }
+
+    #[test]
+    fn warm_key_stems_are_wire_safe_and_distinct() {
+        let a = WarmKey::of(&spec(), 0);
+        let b = WarmKey::of(&spec(), 6_250);
+        assert_ne!(a.digest64(), b.digest64(), "position must change the digest");
+        assert_ne!(a.file_stem(), b.file_stem());
+        for key in [&a, &b] {
+            let stem = key.file_stem();
+            assert!(stem.starts_with(WARM_STEM_PREFIX), "{stem}");
+            assert!(stem.len() <= 512, "daemon wire keys are capped at 512 chars");
+            assert!(
+                stem.chars().all(|c| c.is_ascii_alphanumeric() || "_-".contains(c)),
+                "{stem}"
+            );
+        }
+        // A warm stem never collides with any result stem's shape: the
+        // prefix is reserved (no Table 3 workload is named `warm`).
+        assert!(!RunKey::of(&spec()).file_stem().starts_with(WARM_STEM_PREFIX));
+    }
+
+    #[test]
+    fn mem_store_keeps_checkpoints_out_of_len() {
+        let store = MemStore::new();
+        let key = WarmKey::of(&spec(), 5_000);
+        assert!(store.load_warm(&key).is_none());
+        store.save_warm(&key, b"snapshot bytes").unwrap();
+        assert_eq!(store.load_warm(&key).as_deref(), Some(&b"snapshot bytes"[..]));
+        assert_eq!(store.len(), 0, "checkpoints are not results");
+    }
+
+    #[test]
+    fn dir_store_warm_round_trip_quarantines_damage_and_skips_len() {
+        let dir = std::env::temp_dir().join(format!(
+            "eole-warm-store-test-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let store = DirStore::open(&dir).unwrap();
+        let key = WarmKey::of(&spec(), 10_000);
+        let bytes: Vec<u8> = (0..4_096u32).map(|i| (i % 253) as u8).collect();
+        store.save_warm(&key, &bytes).unwrap();
+        assert_eq!(store.load_warm(&key).as_deref(), Some(bytes.as_slice()));
+        assert_eq!(store.len(), 0, "checkpoint files never count as results");
+        store.save(&RunKey::of(&spec()), &dense_stats()).unwrap();
+        assert_eq!(store.len(), 1, "results still count");
+
+        // Damage the checkpoint: the load must miss, quarantine the
+        // file, and a fresh save must self-heal.
+        let path = dir.join(format!("{}.json", key.file_stem()));
+        let mut raw = std::fs::read(&path).unwrap();
+        let at = raw.len() / 2;
+        raw[at] ^= 0x01;
+        std::fs::write(&path, &raw).unwrap();
+        assert!(store.load_warm(&key).is_none(), "damaged checkpoint must miss");
+        assert!(path.with_extension("quarantined").exists());
+        assert_eq!(store.quarantined_count(), 1);
+        store.save_warm(&key, &bytes).unwrap();
+        assert_eq!(store.load_warm(&key).as_deref(), Some(bytes.as_slice()));
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -27,9 +27,11 @@ mod frontend;
 mod late;
 mod ooo;
 mod state;
+mod warm;
 mod window;
 
 #[cfg(test)]
 mod tests;
 
 pub use state::{PreparedTrace, SimError, Simulator};
+pub use warm::{WarmState, WARMSTATE_FORMAT};

@@ -231,6 +231,42 @@ impl Cache {
     }
 }
 
+impl eole_predictors::snapshot::Snapshot for Cache {
+    fn snapshot(&self, w: &mut eole_predictors::snapshot::SnapWriter) {
+        w.put_usize(self.lines.len());
+        for l in &self.lines {
+            w.put_bool(l.valid);
+            w.put_u64(l.tag);
+            w.put_bool(l.dirty);
+            w.put_u64(l.ready_at);
+            w.put_u64(l.lru);
+        }
+        w.put_u64(self.lru_clock);
+        w.put_u64(self.stats.accesses);
+        w.put_u64(self.stats.misses);
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut eole_predictors::snapshot::SnapReader<'_>,
+    ) -> Result<(), eole_predictors::snapshot::SnapError> {
+        if r.get_usize()? != self.lines.len() {
+            return Err(eole_predictors::snapshot::SnapError::new("cache size mismatch"));
+        }
+        for l in &mut self.lines {
+            l.valid = r.get_bool()?;
+            l.tag = r.get_u64()?;
+            l.dirty = r.get_bool()?;
+            l.ready_at = r.get_u64()?;
+            l.lru = r.get_u64()?;
+        }
+        self.lru_clock = r.get_u64()?;
+        self.stats.accesses = r.get_u64()?;
+        self.stats.misses = r.get_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

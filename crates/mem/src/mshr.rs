@@ -101,6 +101,42 @@ impl MshrFile {
     }
 }
 
+impl eole_predictors::snapshot::Snapshot for MshrFile {
+    fn snapshot(&self, w: &mut eole_predictors::snapshot::SnapWriter) {
+        // Entry order is part of the state: `complete` pushes in call
+        // order and `swap_remove`/`retain` are deterministic, so a replay
+        // reproduces the same vector — serialize it verbatim.
+        w.put_usize(self.entries.len());
+        for e in &self.entries {
+            w.put_u64(e.line_addr);
+            w.put_u64(e.ready);
+        }
+        w.put_u64(self.full_stall_cycles);
+        w.put_u64(self.merges);
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut eole_predictors::snapshot::SnapReader<'_>,
+    ) -> Result<(), eole_predictors::snapshot::SnapError> {
+        let n = r.get_usize()?;
+        if n > self.capacity + 1 {
+            // `complete` may overshoot capacity by one transiently; more
+            // than that cannot be a state this file produced.
+            return Err(eole_predictors::snapshot::SnapError::new("mshr count out of range"));
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            let line_addr = r.get_u64()?;
+            let ready = r.get_u64()?;
+            self.entries.push(Entry { line_addr, ready });
+        }
+        self.full_stall_cycles = r.get_u64()?;
+        self.merges = r.get_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -111,6 +111,34 @@ impl Btb {
     }
 }
 
+impl crate::snapshot::Snapshot for Btb {
+    fn snapshot(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.put_usize(self.entries.len());
+        for e in &self.entries {
+            w.put_bool(e.valid);
+            w.put_u32(e.tag);
+            w.put_u32(e.target);
+            w.put_u8(e.lru);
+        }
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapError> {
+        if r.get_usize()? != self.entries.len() {
+            return Err(crate::snapshot::SnapError::new("btb size mismatch"));
+        }
+        for e in &mut self.entries {
+            e.valid = r.get_bool()?;
+            e.tag = r.get_u32()?;
+            e.target = r.get_u32()?;
+            e.lru = r.get_u8()?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -296,6 +296,61 @@ impl DirectionPredictor for Tage {
     }
 }
 
+impl crate::snapshot::Snapshot for Tage {
+    fn snapshot(&self, w: &mut crate::snapshot::SnapWriter) {
+        self.base.snapshot(w);
+        w.put_usize(self.base_conf.len());
+        for &c in &self.base_conf {
+            w.put_u8(c);
+        }
+        w.put_usize(self.tagged.len());
+        for comp in &self.tagged {
+            w.put_usize(comp.len());
+            for e in comp {
+                w.put_bool(e.valid);
+                w.put_u32(e.tag);
+                w.put_i8(e.ctr);
+                w.put_u8(e.useful);
+                w.put_u8(e.conf);
+            }
+        }
+        self.rng.snapshot(w);
+        w.put_u64(self.updates);
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapError> {
+        use crate::snapshot::SnapError;
+        self.base.restore(r)?;
+        if r.get_usize()? != self.base_conf.len() {
+            return Err(SnapError::new("tage base_conf size mismatch"));
+        }
+        for c in &mut self.base_conf {
+            *c = r.get_u8()?;
+        }
+        if r.get_usize()? != self.tagged.len() {
+            return Err(SnapError::new("tage component count mismatch"));
+        }
+        for comp in &mut self.tagged {
+            if r.get_usize()? != comp.len() {
+                return Err(SnapError::new("tage component size mismatch"));
+            }
+            for e in comp.iter_mut() {
+                e.valid = r.get_bool()?;
+                e.tag = r.get_u32()?;
+                e.ctr = r.get_i8()?;
+                e.useful = r.get_u8()?;
+                e.conf = r.get_u8()?;
+            }
+        }
+        self.rng.restore(r)?;
+        self.updates = r.get_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -40,5 +40,6 @@ pub mod branch;
 pub mod fpc;
 pub mod history;
 pub mod rng;
+pub mod snapshot;
 pub mod storesets;
 pub mod value;

@@ -256,6 +256,60 @@ impl BlockVp {
     }
 }
 
+impl crate::snapshot::Snapshot for BlockVp {
+    fn snapshot(&self, w: &mut crate::snapshot::SnapWriter) {
+        // Warm-state capture happens at a drained boundary (functional
+        // warmup commits every instance it predicts), so the speculative
+        // window carries no state worth serializing. The count is written
+        // so a capture taken mid-flight is rejected on restore rather
+        // than silently losing the window.
+        debug_assert!(self.window.is_empty(), "warm capture with in-flight instances");
+        w.put_usize(self.window.len());
+        match &self.backend {
+            BlockBackend::Legacy(p) => {
+                w.put_u8(0);
+                p.snapshot(w);
+            }
+            BlockBackend::DVtage(d) => {
+                w.put_u8(1);
+                d.snapshot(w);
+            }
+        }
+        match self.last_access {
+            None => w.put_bool(false),
+            Some((cycle, bpc)) => {
+                w.put_bool(true);
+                w.put_u64(cycle);
+                w.put_u64(bpc);
+            }
+        }
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapError> {
+        use crate::snapshot::SnapError;
+        if r.get_usize()? != 0 {
+            return Err(SnapError::new("warm snapshot with in-flight window"));
+        }
+        self.window.clear();
+        self.spec_last.clear();
+        let tag = r.get_u8()?;
+        match (&mut self.backend, tag) {
+            (BlockBackend::Legacy(p), 0) => p.restore(r)?,
+            (BlockBackend::DVtage(d), 1) => d.restore(r)?,
+            _ => return Err(SnapError::new("vp backend kind mismatch")),
+        }
+        self.last_access = if r.get_bool()? {
+            Some((r.get_u64()?, r.get_u64()?))
+        } else {
+            None
+        };
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -467,6 +467,79 @@ impl DVtage {
     }
 }
 
+impl crate::snapshot::Snapshot for DVtage {
+    fn snapshot(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.put_usize(self.lvt.len());
+        for &v in &self.lvt {
+            w.put_u64(v);
+        }
+        w.put_usize(self.base.len());
+        for s in &self.base {
+            w.put_i64(s.delta);
+            s.conf.snapshot(w);
+        }
+        w.put_usize(self.tagged.len());
+        for comp in &self.tagged {
+            w.put_usize(comp.meta.len());
+            for m in &comp.meta {
+                w.put_bool(m.valid);
+                w.put_u32(m.tag);
+                w.put_u8(m.useful);
+            }
+            w.put_usize(comp.slots.len());
+            for s in &comp.slots {
+                w.put_i64(s.delta);
+                s.conf.snapshot(w);
+            }
+        }
+        self.rng.snapshot(w);
+        w.put_u64(self.updates);
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapError> {
+        use crate::snapshot::SnapError;
+        if r.get_usize()? != self.lvt.len() {
+            return Err(SnapError::new("dvtage lvt size mismatch"));
+        }
+        for v in &mut self.lvt {
+            *v = r.get_u64()?;
+        }
+        if r.get_usize()? != self.base.len() {
+            return Err(SnapError::new("dvtage base size mismatch"));
+        }
+        for s in &mut self.base {
+            s.delta = r.get_i64()?;
+            s.conf.restore(r)?;
+        }
+        if r.get_usize()? != self.tagged.len() {
+            return Err(SnapError::new("dvtage component count mismatch"));
+        }
+        for comp in &mut self.tagged {
+            if r.get_usize()? != comp.meta.len() {
+                return Err(SnapError::new("dvtage meta size mismatch"));
+            }
+            for m in comp.meta.iter_mut() {
+                m.valid = r.get_bool()?;
+                m.tag = r.get_u32()?;
+                m.useful = r.get_u8()?;
+            }
+            if r.get_usize()? != comp.slots.len() {
+                return Err(SnapError::new("dvtage slots size mismatch"));
+            }
+            for s in comp.slots.iter_mut() {
+                s.delta = r.get_i64()?;
+                s.conf.restore(r)?;
+            }
+        }
+        self.rng.restore(r)?;
+        self.updates = r.get_u64()?;
+        Ok(())
+    }
+}
+
 /// The per-instruction protocol, used by offline evaluation
 /// ([`evaluate_stream`](super::evaluate_stream), the predictor
 /// microbench) where fetch is immediately followed by commit: no

@@ -119,6 +119,46 @@ impl ValuePredictor for Fcm {
     }
 }
 
+impl crate::snapshot::Snapshot for Fcm {
+    fn snapshot(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.put_usize(self.vht.len());
+        for e in &self.vht {
+            w.put_bool(e.valid);
+            w.put_u64(e.tag);
+            w.put_u64(e.context);
+        }
+        w.put_usize(self.vpt.len());
+        for e in &self.vpt {
+            w.put_u64(e.value);
+            e.conf.snapshot(w);
+        }
+        self.rng.snapshot(w);
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapError> {
+        use crate::snapshot::SnapError;
+        if r.get_usize()? != self.vht.len() {
+            return Err(SnapError::new("fcm vht size mismatch"));
+        }
+        for e in &mut self.vht {
+            e.valid = r.get_bool()?;
+            e.tag = r.get_u64()?;
+            e.context = r.get_u64()?;
+        }
+        if r.get_usize()? != self.vpt.len() {
+            return Err(SnapError::new("fcm vpt size mismatch"));
+        }
+        for e in &mut self.vpt {
+            e.value = r.get_u64()?;
+            e.conf.restore(r)?;
+        }
+        self.rng.restore(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

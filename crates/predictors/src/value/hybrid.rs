@@ -86,6 +86,21 @@ impl ValuePredictor for VtageTwoDeltaStride {
     }
 }
 
+impl crate::snapshot::Snapshot for VtageTwoDeltaStride {
+    fn snapshot(&self, w: &mut crate::snapshot::SnapWriter) {
+        self.vtage.snapshot(w);
+        self.stride.snapshot(w);
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapError> {
+        self.vtage.restore(r)?;
+        self.stride.restore(r)
+    }
+}
+
 /// A simple stride-only hybrid stand-in used in ablations (same interface,
 /// no context component).
 #[derive(Clone, Debug)]

@@ -229,6 +229,78 @@ impl ValuePredictor for TwoDeltaStride {
     }
 }
 
+impl crate::snapshot::Snapshot for StridePredictor {
+    fn snapshot(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.put_usize(self.entries.len());
+        for e in &self.entries {
+            w.put_bool(e.valid);
+            w.put_u64(e.tag);
+            w.put_u64(e.last);
+            w.put_i64(e.stride);
+            e.conf.snapshot(w);
+        }
+        self.rng.snapshot(w);
+        // Zero-count keys are kept on drain (`saturating_sub`), so they are
+        // part of the state a replay would rebuild — serialize them too.
+        crate::snapshot::put_map_u64_u32(w, &self.inflight);
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapError> {
+        use crate::snapshot::SnapError;
+        if r.get_usize()? != self.entries.len() {
+            return Err(SnapError::new("stride size mismatch"));
+        }
+        for e in &mut self.entries {
+            e.valid = r.get_bool()?;
+            e.tag = r.get_u64()?;
+            e.last = r.get_u64()?;
+            e.stride = r.get_i64()?;
+            e.conf.restore(r)?;
+        }
+        self.rng.restore(r)?;
+        crate::snapshot::get_map_u64_u32(r, &mut self.inflight)
+    }
+}
+
+impl crate::snapshot::Snapshot for TwoDeltaStride {
+    fn snapshot(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.put_usize(self.entries.len());
+        for e in &self.entries {
+            w.put_bool(e.valid);
+            w.put_u64(e.tag);
+            w.put_u64(e.last);
+            w.put_i64(e.stride1);
+            w.put_i64(e.stride2);
+            e.conf.snapshot(w);
+        }
+        self.rng.snapshot(w);
+        crate::snapshot::put_map_u64_u32(w, &self.inflight);
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapError> {
+        use crate::snapshot::SnapError;
+        if r.get_usize()? != self.entries.len() {
+            return Err(SnapError::new("2d-stride size mismatch"));
+        }
+        for e in &mut self.entries {
+            e.valid = r.get_bool()?;
+            e.tag = r.get_u64()?;
+            e.last = r.get_u64()?;
+            e.stride1 = r.get_i64()?;
+            e.stride2 = r.get_i64()?;
+            e.conf.restore(r)?;
+        }
+        self.rng.restore(r)?;
+        crate::snapshot::get_map_u64_u32(r, &mut self.inflight)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

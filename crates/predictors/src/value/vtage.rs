@@ -267,6 +267,61 @@ impl ValuePredictor for Vtage {
     }
 }
 
+impl crate::snapshot::Snapshot for Vtage {
+    fn snapshot(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.put_usize(self.base.len());
+        for e in &self.base {
+            w.put_u64(e.value);
+            e.conf.snapshot(w);
+        }
+        w.put_usize(self.tagged.len());
+        for comp in &self.tagged {
+            w.put_usize(comp.len());
+            for e in comp {
+                w.put_bool(e.valid);
+                w.put_u32(e.tag);
+                w.put_u64(e.value);
+                e.conf.snapshot(w);
+                w.put_u8(e.useful);
+            }
+        }
+        self.rng.snapshot(w);
+        w.put_u64(self.updates);
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapError> {
+        use crate::snapshot::SnapError;
+        if r.get_usize()? != self.base.len() {
+            return Err(SnapError::new("vtage base size mismatch"));
+        }
+        for e in &mut self.base {
+            e.value = r.get_u64()?;
+            e.conf.restore(r)?;
+        }
+        if r.get_usize()? != self.tagged.len() {
+            return Err(SnapError::new("vtage component count mismatch"));
+        }
+        for comp in &mut self.tagged {
+            if r.get_usize()? != comp.len() {
+                return Err(SnapError::new("vtage component size mismatch"));
+            }
+            for e in comp.iter_mut() {
+                e.valid = r.get_bool()?;
+                e.tag = r.get_u32()?;
+                e.value = r.get_u64()?;
+                e.conf.restore(r)?;
+                e.useful = r.get_u8()?;
+            }
+        }
+        self.rng.restore(r)?;
+        self.updates = r.get_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

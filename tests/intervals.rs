@@ -11,9 +11,10 @@
 //! proptest extends the exactness contract to random (K, W, runner)
 //! draws.
 
+use eole_bench::store::render_result_payload;
 use eole_bench::{
-    check_stitched_against_serial, Grid, IntervalPolicy, MemStore, ResultStore, RunKey, RunSpec,
-    Runner, Session, INTERVAL_CYCLE_BUDGET,
+    check_stitched_against_serial, DirStore, Grid, IntervalPolicy, MemStore, ResultStore, RunKey,
+    RunSpec, Runner, Session, INTERVAL_CYCLE_BUDGET, WARM_STEM_PREFIX,
 };
 use eole_core::config::CoreConfig;
 use eole_core::stats::SimStats;
@@ -191,6 +192,178 @@ fn executor_interval_path_matches_library_stitch_and_caches() {
     serial.run(&grid);
     assert_eq!(serial.executor().store_hits(), 0, "serial keys must miss stitched results");
     assert_eq!(serial.executor().simulated(), 4);
+}
+
+/// The checkpointed chained sweep — one O(trace) functional pass that
+/// emits every piece's [`WarmState`] — reproduces the replay-from-zero
+/// stitch byte for byte across every quick-suite preset, and its
+/// functional work is bounded by a single trace prefix (the PR's
+/// O(trace)-vs-O(k·T/2) warmup claim, as an assertion).
+///
+/// [`WarmState`]: eole_core::pipeline::WarmState
+#[test]
+fn chained_sweep_is_bit_identical_to_replay_stitch() {
+    let runner = Runner::quick();
+    for workload in SUITE_WORKLOADS {
+        let w = workload_by_name(workload).expect("suite workload");
+        let trace = runner.try_prepare(&w).expect("trace");
+        for config in &suite_configs() {
+            for k in [2u32, 8] {
+                let policy = IntervalPolicy::of(k, &runner);
+                let replay =
+                    runner.try_run_intervals(&trace, config.clone(), policy).expect("replay");
+                let (chained, sweep) = runner
+                    .try_run_intervals_chained(&trace, config.clone(), policy)
+                    .expect("chained");
+                let label = format!("{}/{workload} k={k}", config.name);
+                // Byte identity of the full statistics record: compare the
+                // canonical store payload both would publish.
+                let spec =
+                    RunSpec { config: config.clone(), workload: w.clone(), runner, seed: 0 };
+                let key = RunKey::of_intervals(&spec, policy);
+                assert_eq!(
+                    render_result_payload(&key, &chained),
+                    render_result_payload(&key, &replay),
+                    "{label}: chained stitch must equal the replay stitch byte for byte"
+                );
+                assert!(
+                    sweep.swept <= runner.warmup + runner.measure,
+                    "{label}: sweep replayed {} µ-ops, more than one trace prefix ({})",
+                    sweep.swept,
+                    runner.warmup + runner.measure,
+                );
+                assert_eq!(sweep.built, k as usize, "{label}: one checkpoint per piece");
+                assert_eq!(sweep.loaded, 0, "{label}: no cache was offered");
+            }
+        }
+    }
+}
+
+/// The executor's checkpoint cache: a cold stitched run builds and
+/// publishes its checkpoints; a later run at a *different* k (whose
+/// result keys therefore miss) re-serves the positions it shares —
+/// [`eole_bench::WarmKey`] deliberately carries no k, so k=2's positions
+/// are a subset of k=4's and its sweep rebuilds nothing.
+#[test]
+fn executor_checkpoint_sweep_caches_warm_state_across_k() {
+    let runner = Runner::quick();
+    let grid = Grid::new()
+        .runner(runner)
+        .configs([CoreConfig::eole_6_64()])
+        .workload_names(&["gzip"]);
+    let store: Arc<dyn ResultStore> = Arc::new(MemStore::new());
+    let window = Some(10_000);
+    let cold = Session::builder()
+        .runner(runner)
+        .threads(3)
+        .intervals(4)
+        .interval_warmup(window)
+        .store(Arc::clone(&store))
+        .build()
+        .unwrap();
+    let first = cold.run(&grid);
+    assert_eq!(cold.executor().warm_built(), 4, "cold sweep builds one checkpoint per piece");
+    assert_eq!(cold.executor().warm_loaded(), 0);
+    assert_eq!(store.len(), 1, "checkpoints never count as result entries");
+
+    let warm = Session::builder()
+        .runner(runner)
+        .threads(2)
+        .intervals(2)
+        .interval_warmup(window)
+        .store(Arc::clone(&store))
+        .build()
+        .unwrap();
+    let second = warm.run(&grid);
+    assert_eq!(warm.executor().store_hits(), 0, "k=2 result keys miss k=4 results");
+    assert_eq!(warm.executor().warm_loaded(), 2, "k=2 positions are a subset of k=4's");
+    assert_eq!(warm.executor().warm_built(), 0, "nothing to rebuild on a warm store");
+    // Checkpoint-restored pieces produce the same stitch the library does.
+    let spec = &grid.specs()[0];
+    let trace = runner.try_prepare(&spec.workload).unwrap();
+    let policy = IntervalPolicy { k: 2, warmup: 10_000 };
+    let want = runner.try_run_intervals(&trace, spec.effective_config(), policy).unwrap();
+    let got = second[0].stats().expect("stitched run succeeds");
+    assert_eq!(got.cycles, want.cycles);
+    assert_eq!(got.committed, want.committed);
+    assert_eq!(got.squashed, want.squashed);
+    assert_eq!(
+        first[0].stats().unwrap().committed,
+        got.committed,
+        "both splits commit exactly the measurement window"
+    );
+}
+
+/// A damaged checkpoint on disk degrades that position to functional
+/// replay (the sweep rebuilds and republishes it) and is quarantined for
+/// forensics — the stitched statistics are unaffected.
+#[test]
+fn corrupt_warm_checkpoint_degrades_to_replay_and_heals() {
+    let dir = std::env::temp_dir().join(format!("eole-warm-degrade-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(DirStore::open(&dir).unwrap());
+    let runner = Runner::quick();
+    let grid = Grid::new()
+        .runner(runner)
+        .configs([CoreConfig::eole_6_64()])
+        .workload_names(&["gzip"]);
+    let window = Some(10_000);
+    let cold = Session::builder()
+        .runner(runner)
+        .threads(2)
+        .intervals(2)
+        .interval_warmup(window)
+        .store(Arc::clone(&store) as Arc<dyn ResultStore>)
+        .build()
+        .unwrap();
+    cold.run(&grid);
+    assert_eq!(cold.executor().warm_built(), 2);
+
+    // Flip one byte inside one checkpoint payload on disk.
+    let victim = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(WARM_STEM_PREFIX) && n.ends_with(".json"))
+        })
+        .expect("a checkpoint landed on disk");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let at = bytes.len() / 2;
+    bytes[at] ^= 0x01;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    // k=4 misses the k=2 result key, so its sweep re-reads checkpoints:
+    // the damaged one is quarantined and rebuilt, the good one is served.
+    let rerun = Session::builder()
+        .runner(runner)
+        .threads(2)
+        .intervals(4)
+        .interval_warmup(window)
+        .store(Arc::clone(&store) as Arc<dyn ResultStore>)
+        .build()
+        .unwrap();
+    let results = rerun.run(&grid);
+    assert_eq!(rerun.executor().warm_loaded(), 1, "the undamaged checkpoint is served");
+    assert_eq!(rerun.executor().warm_built(), 3, "the damaged one is rebuilt, plus k=4's new positions");
+    assert_eq!(store.quarantined_count(), 1, "damage is quarantined, not silently retried");
+    assert!(
+        victim.with_extension("quarantined").exists(),
+        "the damaged payload is renamed aside for forensics"
+    );
+    assert!(victim.exists(), "the rebuilt checkpoint is republished at the same path (self-heal)");
+
+    let spec = &grid.specs()[0];
+    let trace = runner.try_prepare(&spec.workload).unwrap();
+    let policy = IntervalPolicy { k: 4, warmup: 10_000 };
+    let want = runner.try_run_intervals(&trace, spec.effective_config(), policy).unwrap();
+    let got = results[0].stats().expect("degraded run still succeeds");
+    assert_eq!(got.cycles, want.cycles, "statistics survive checkpoint damage untouched");
+    assert_eq!(got.committed, want.committed);
+    assert_eq!(got.squashed, want.squashed);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// The session JSON header advertises the interval policy (additive

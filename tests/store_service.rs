@@ -176,6 +176,64 @@ fn daemon_loss_mid_run_degrades_to_local_simulation() {
     assert!(rendered.contains("\"degraded\":true"), "{rendered}");
 }
 
+/// Warm checkpoints ride the daemon end to end: a real captured
+/// [`WarmState`] published by one client is served to another, decodes,
+/// and restores bit-identically — the daemon is payload-agnostic, so
+/// `eole-warmstate/v1` needs no server-side support, only the disjoint
+/// `warm__` key namespace.
+///
+/// [`WarmState`]: eole_core::pipeline::WarmState
+#[test]
+fn warm_checkpoints_round_trip_through_the_daemon() {
+    use eole_bench::{RemoteStore, ResultStore, RunSpec, WarmKey};
+    use eole_core::pipeline::{Simulator, WarmState};
+    use eole_workloads::workload_by_name;
+
+    let dir = temp_dir("warmstate");
+    let daemon = spawn_daemon(&dir);
+    let runner = Runner::quick();
+    let spec = RunSpec {
+        config: CoreConfig::eole_6_64(),
+        workload: workload_by_name("gzip").unwrap(),
+        runner,
+        seed: 0,
+    };
+    let trace = runner.try_prepare(&spec.workload).unwrap();
+    let mut sim = Simulator::new(&trace, spec.config.clone()).unwrap();
+    sim.functional_warm(7_500);
+    let warm = sim.capture_warm();
+    let key = WarmKey::of(&spec, 7_500);
+
+    let producer = RemoteStore::connect(&daemon.addr().to_string()).unwrap();
+    // Cold key: the daemon grants this client the lease (a `None`,
+    // meaning *build it*)…
+    assert!(producer.load_warm(&key).is_none());
+    // …and the publish releases it.
+    producer.save_warm(&key, warm.as_bytes()).unwrap();
+
+    // A second session's client is served the identical bytes, which
+    // restore into a simulator bit-identically to the original capture.
+    let consumer = RemoteStore::connect(&daemon.addr().to_string()).unwrap();
+    let bytes = consumer.load_warm(&key).expect("published checkpoint is served");
+    let decoded = WarmState::from_bytes(bytes).expect("payload decodes");
+    let mut restored = Simulator::new(&trace, spec.config.clone()).unwrap();
+    restored.restore_warm(&decoded).expect("restore succeeds");
+    assert_eq!(restored.capture_warm().as_bytes(), warm.as_bytes());
+
+    // A different position is a different wire key — cold, not served.
+    assert!(consumer.load_warm(&WarmKey::of(&spec, 9_999)).is_none());
+    // The configuration participates in the key (stem and digest), so
+    // the same position under another config is cold too — a checkpoint
+    // can never be served across configurations.
+    let other = RunSpec { config: CoreConfig::baseline_6_64(), ..spec.clone() };
+    assert!(consumer.load_warm(&WarmKey::of(&other, 7_500)).is_none());
+    // Release the leases those cold misses granted, so shutdown is clean.
+    consumer.abandon_warm(&WarmKey::of(&spec, 9_999));
+    consumer.abandon_warm(&WarmKey::of(&other, 7_500));
+    assert!(!producer.degraded() && !consumer.degraded());
+    daemon.shutdown();
+}
+
 #[test]
 fn dead_daemon_at_connect_time_is_a_loud_typed_error() {
     // Degradation covers daemons that *die*; a daemon that never existed
